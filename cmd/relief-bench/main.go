@@ -1,0 +1,178 @@
+// relief-bench regenerates the paper's evaluation tables and figures as
+// text tables.
+//
+// Usage:
+//
+//	relief-bench                 # run every experiment
+//	relief-bench -exp fig4       # one experiment
+//	relief-bench -list           # list experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"relief/internal/exp"
+	"relief/internal/workload"
+)
+
+type generator func(*exp.Sweep) ([]*exp.Table, error)
+
+func one(fn func(*exp.Sweep) (*exp.Table, error)) generator {
+	return func(s *exp.Sweep) ([]*exp.Table, error) {
+		t, err := fn(s)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{t}, nil
+	}
+}
+
+func perLevel(fn func(*exp.Sweep, workload.Contention) (*exp.Table, error)) generator {
+	return func(s *exp.Sweep) ([]*exp.Table, error) {
+		var out []*exp.Table
+		for _, lvl := range []workload.Contention{workload.Low, workload.Medium, workload.High, workload.Continuous} {
+			t, err := fn(s, lvl)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, t)
+		}
+		return out, nil
+	}
+}
+
+var experiments = map[string]generator{
+	"table2": func(*exp.Sweep) ([]*exp.Table, error) {
+		t, err := exp.Table2()
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{t}, nil
+	},
+	"fig4": perLevel(exp.Fig4),
+	"fig5": perLevel(exp.Fig5),
+	"fig6": one(exp.Fig6),
+	"fig7": perLevel(exp.Fig7),
+	"fig8": perLevel(exp.Fig8),
+	"fig9": func(s *exp.Sweep) ([]*exp.Table, error) {
+		a, b, err := exp.Fig9(s, workload.High)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{a, b}, nil
+	},
+	"fig10": func(s *exp.Sweep) ([]*exp.Table, error) {
+		a, b, err := exp.Fig9(s, workload.Continuous)
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{a, b}, nil
+	},
+	"table7":   one(exp.Table7),
+	"table8":   one(exp.Table8),
+	"fig11":    one(exp.Fig11),
+	"fig12":    one(exp.Fig12),
+	"fig13":    one(exp.Fig13),
+	"ablation": one(exp.Ablation),
+	"dram":     one(exp.DRAMStudy),
+	"energy":   one(exp.EnergyStudy),
+	"scaling": func(*exp.Sweep) ([]*exp.Table, error) {
+		t, err := exp.ScalingStudy()
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{t}, nil
+	},
+	"periodic": func(*exp.Sweep) ([]*exp.Table, error) {
+		t, err := exp.PeriodicStudy()
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{t}, nil
+	},
+	"tiled": func(*exp.Sweep) ([]*exp.Table, error) {
+		t, err := exp.TiledStudy()
+		if err != nil {
+			return nil, err
+		}
+		return []*exp.Table{t}, nil
+	},
+}
+
+// order fixes a presentation order for -exp all.
+var order = []string{
+	"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"table7", "table8", "fig11", "fig12", "fig13", "ablation", "dram",
+	"periodic", "tiled", "energy", "scaling",
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment to run (see -list)")
+	format := flag.String("format", "text", "output format: text or csv")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel simulations while prefetching the scenario grid")
+	jsonOut := flag.String("json", "", "also dump every raw scenario result as JSON to this file")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		names := make([]string, 0, len(experiments))
+		for n := range experiments {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Println(strings.Join(names, "\n"))
+		return
+	}
+
+	sweep := exp.NewSweep()
+	if *expFlag == "all" && *jobs > 1 {
+		sweep.Warm(exp.MainGrid(), *jobs)
+	}
+	names := order
+	if *expFlag != "all" {
+		if _, ok := experiments[*expFlag]; !ok {
+			fmt.Fprintf(os.Stderr, "relief-bench: unknown experiment %q (use -list)\n", *expFlag)
+			os.Exit(2)
+		}
+		names = []string{*expFlag}
+	}
+	defer func() {
+		if *jsonOut == "" {
+			return
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relief-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := sweep.DumpJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "relief-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+	for _, name := range names {
+		tables, err := experiments[name](sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "relief-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			switch *format {
+			case "csv":
+				if err := t.RenderCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "relief-bench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			default:
+				t.Render(os.Stdout)
+			}
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+// TestRegistryConsistency: every experiment in the presentation order
+// exists, and every registered experiment appears in the order.
+func TestRegistryConsistency(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range order {
+		if _, ok := experiments[name]; !ok {
+			t.Errorf("order lists unknown experiment %q", name)
+		}
+		if seen[name] {
+			t.Errorf("order lists %q twice", name)
+		}
+		seen[name] = true
+	}
+	for name := range experiments {
+		if !seen[name] {
+			t.Errorf("experiment %q missing from presentation order", name)
+		}
+	}
+}

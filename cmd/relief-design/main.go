@@ -1,0 +1,61 @@
+// relief-design reproduces the paper's accelerator design-space
+// exploration (§IV-B): for each of the seven accelerators it sweeps
+// functional units x scratchpad ports, reports the minimum-ED^2 design,
+// and compares the resulting task latency with the calibrated compute time
+// the simulator uses.
+//
+// Usage:
+//
+//	relief-design              # chosen design per accelerator
+//	relief-design -sweep conv  # full sweep table for one accelerator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relief/internal/accel"
+	"relief/internal/design"
+)
+
+func main() {
+	sweepFor := flag.String("sweep", "", "print the full FU x port sweep for one accelerator (name prefix)")
+	flag.Parse()
+
+	sp := design.DefaultSpace()
+	if *sweepFor != "" {
+		for _, k := range design.Kernels() {
+			if !strings.HasPrefix(k.Kind.String(), *sweepFor) {
+				continue
+			}
+			fmt.Printf("ED^2 sweep for %s (work %.0f ops, mem %.0f accesses per task):\n",
+				k.Kind, k.WorkOps, k.MemOps)
+			pts, best := design.Sweep(k, sp)
+			fmt.Printf("%4s %6s %12s %12s %14s\n", "FUs", "ports", "latency", "energy(uJ)", "ED2(fJ*s^2)")
+			for i, p := range pts {
+				mark := " "
+				if i == best {
+					mark = "*"
+				}
+				fmt.Printf("%4d %6d %12v %12.3f %14.4g %s\n",
+					p.Config.FUs, p.Config.Ports, p.Latency, p.EnergyJ*1e6, p.ED2*1e15, mark)
+			}
+			return
+		}
+		fmt.Fprintf(os.Stderr, "relief-design: no accelerator matching %q\n", *sweepFor)
+		os.Exit(2)
+	}
+
+	fmt.Println("Minimum-ED^2 designs (paper §IV-B methodology):")
+	fmt.Printf("%-15s %5s %6s %12s %12s %14s %10s\n",
+		"accelerator", "FUs", "ports", "latency", "calibrated", "energy(uJ)", "lat/cal")
+	for _, k := range design.Kernels() {
+		p := design.Choose(k, sp)
+		cal := accel.ComputeTime(k.Kind, accel.OpDefault, 128*128, 5)
+		fmt.Printf("%-15s %5d %6d %12v %12v %12.3f %10.2f\n",
+			k.Kind, p.Config.FUs, p.Config.Ports, p.Latency, cal,
+			p.EnergyJ*1e6, float64(p.Latency)/float64(cal))
+	}
+}

@@ -1,0 +1,37 @@
+// relief-report writes a self-contained HTML report with SVG charts of the
+// high-contention evaluation — the Go counterpart of the paper artifact's
+// matplotlib plotting scripts.
+//
+// Usage:
+//
+//	relief-report -o report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relief/internal/exp"
+	"relief/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "report.html", "output HTML file")
+	flag.Parse()
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := report.Generate(exp.NewSweep(), f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("report written to %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "relief-report: %v\n", err)
+	os.Exit(1)
+}

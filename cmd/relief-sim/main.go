@@ -1,0 +1,142 @@
+// relief-sim runs a single scheduling scenario and prints its metrics.
+//
+// Usage:
+//
+//	relief-sim -mix CGL -policy RELIEF
+//	relief-sim -mix CDH -policy LAX -continuous
+//	relief-sim -mix GHL -policy RELIEF -topology xbar -bw average
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"relief/internal/exp"
+	"relief/internal/predict"
+	"relief/internal/trace"
+	"relief/internal/workload"
+	"relief/internal/xbar"
+)
+
+func main() {
+	mix := flag.String("mix", "CGL", "application mix, e.g. C, CD, CGL (C=canny D=deblur G=gru H=harris L=lstm)")
+	policy := flag.String("policy", "RELIEF", "scheduling policy (FCFS, GEDF-D, GEDF-N, LL, LAX, HetSched, RELIEF, RELIEF-LAX)")
+	topo := flag.String("topology", "bus", "interconnect topology: bus or xbar")
+	bw := flag.String("bw", "max", "bandwidth predictor: max, last, average, ewma")
+	dm := flag.Bool("predict-dm", false, "use the graph-analysis data-movement predictor")
+	continuous := flag.Bool("continuous", false, "run applications in a loop until the 50ms horizon")
+	noFwd := flag.Bool("no-forwarding", false, "disable forwarding hardware")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
+	statsOut := flag.String("stats-out", "", "write gem5-style statistics to this file")
+	platformFile := flag.String("platform", "", "JSON platform spec (overrides -topology/-bw/-no-forwarding)")
+	flag.Parse()
+
+	apps, err := workload.ParseMix(*mix)
+	if err != nil {
+		fatal(err)
+	}
+	sc := exp.Scenario{
+		Mix:               apps,
+		Contention:        workload.Contention(len(apps)),
+		Policy:            *policy,
+		BWPredictor:       *bw,
+		DisableForwarding: *noFwd,
+	}
+	if *continuous {
+		sc.Contention = workload.Continuous
+	}
+	if *dm {
+		sc.DM = predict.DMPredict
+	}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+		sc.Trace = rec
+	}
+	if *platformFile != "" {
+		f, err := os.Open(*platformFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := exp.LoadPlatform(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sc.Platform = spec
+	}
+	switch *topo {
+	case "bus":
+	case "xbar":
+		sc.Topology = xbar.Crossbar
+	default:
+		fatal(fmt.Errorf("unknown topology %q", *topo))
+	}
+
+	res, err := exp.Run(sc)
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+	fwd, col := st.ForwardsPerEdge()
+	dramPct, spadPct := st.DataMovement()
+	dramE, spadE := st.MemoryEnergy()
+	avg, tail := st.SchedLatency()
+
+	fmt.Printf("scenario: mix=%s policy=%s contention=%s topology=%s\n",
+		*mix, *policy, sc.Contention, *topo)
+	fmt.Printf("makespan:            %v\n", st.Makespan)
+	fmt.Printf("edges:               %d (forwards %d = %.1f%%, colocations %d = %.1f%%)\n",
+		st.Edges, st.Forwards, fwd, st.Colocations, col)
+	fmt.Printf("main memory traffic: %.2f MB (%.1f%% of all-DRAM baseline)\n",
+		float64(st.DRAMReadBytes+st.DRAMWriteBytes)/1e6, dramPct)
+	fmt.Printf("spad-to-spad:        %.2f MB (%.1f%%)\n", float64(st.SpadXferBytes)/1e6, spadPct)
+	fmt.Printf("memory energy:       dram %.1f uJ, spad %.1f uJ\n", dramE*1e6, spadE*1e6)
+	fmt.Printf("node deadlines met:  %d/%d (%.1f%%)\n", st.NodesMetDeadline, st.NodesDone, st.NodeDeadlinePct())
+	fmt.Printf("DAG deadlines met:   %.1f%%\n", st.DAGDeadlinePct())
+	fmt.Printf("accel occupancy:     %.2f\n", st.Occupancy())
+	fmt.Printf("interconnect occ.:   %.1f%%\n", 100*st.InterconnectOccupancy)
+	fmt.Printf("scheduler latency:   avg %v, tail %v\n", avg, tail)
+
+	names := make([]string, 0, len(st.Apps))
+	for n := range st.Apps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := st.Apps[n]
+		fmt.Printf("  %-7s iterations=%d deadlinesMet=%d slowdown=%.2f\n",
+			n, a.Iterations, a.DeadlinesMet, a.Slowdown())
+	}
+
+	if *statsOut != "" {
+		f, err := os.Create(*statsOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := st.WriteGem5Style(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stats:               written to %s\n", *statsOut)
+	}
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace:               %d events written to %s\n", rec.Len(), *traceOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "relief-sim: %v\n", err)
+	os.Exit(1)
+}

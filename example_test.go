@@ -1,0 +1,62 @@
+package relief_test
+
+import (
+	"fmt"
+
+	"relief"
+)
+
+// ExampleNewSystem runs one benchmark DAG under RELIEF and reports the
+// edge materialisation.
+func ExampleNewSystem() {
+	sys := relief.NewSystem(relief.Config{Policy: "RELIEF"})
+	dag, _ := relief.BuildWorkload("canny")
+	if err := sys.Submit(dag, 0); err != nil {
+		panic(err)
+	}
+	rep := sys.Run()
+	fmt.Printf("nodes=%d edges=%d forwards=%d colocations=%d\n",
+		rep.NodesDone, rep.Edges, rep.Forwards, rep.Colocations)
+	// Output:
+	// nodes=13 edges=15 forwards=9 colocations=6
+}
+
+// ExampleSystem_Submit builds a custom two-stage pipeline and schedules it.
+func ExampleSystem_Submit() {
+	d := relief.NewDAG("demo", "X", 5*relief.Millisecond)
+	src := d.AddNode("conv", relief.Convolution, relief.OpDefault, 65536)
+	src.ExtraInputBytes = 65536 // frame loaded from main memory
+	src.FilterSize = 3
+	d.AddNode("act", relief.ElemMatrix, relief.OpSigmoid, 65536, src)
+
+	sys := relief.NewSystem(relief.Config{Policy: "RELIEF"})
+	if err := sys.Submit(d, 0); err != nil {
+		panic(err)
+	}
+	rep := sys.Run()
+	fmt.Printf("forwarded edges: %d of %d\n", rep.Forwards, rep.Edges)
+	// Output:
+	// forwarded edges: 1 of 1
+}
+
+// ExamplePolicyByName compares two policies on the same workload.
+func ExamplePolicyByName() {
+	for _, name := range []string{"LAX", "RELIEF"} {
+		if _, err := relief.PolicyByName(name); err != nil {
+			panic(err)
+		}
+		sys := relief.NewSystem(relief.Config{Policy: name})
+		for _, app := range []string{"gru", "lstm"} {
+			dag, _ := relief.BuildWorkload(app)
+			if err := sys.Submit(dag, 0); err != nil {
+				panic(err)
+			}
+		}
+		rep := sys.Run()
+		_, col := rep.ForwardsPerEdge()
+		fmt.Printf("%s colocates %.0f%% of edges\n", name, col)
+	}
+	// Output:
+	// LAX colocates 25% of edges
+	// RELIEF colocates 64% of edges
+}

@@ -1,0 +1,37 @@
+// Quickstart: submit one of the paper's benchmark DAGs to a simulated SoC
+// under two scheduling policies and compare data movement and QoS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relief"
+)
+
+func main() {
+	for _, policy := range []string{"LAX", "RELIEF"} {
+		// A System is one simulation: configure, submit, run.
+		sys := relief.NewSystem(relief.Config{Policy: policy})
+
+		// A vision application contends with two RNN streams (the paper's
+		// CGL mix).
+		for _, app := range []string{"canny", "gru", "lstm"} {
+			dag, err := relief.BuildWorkload(app)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.Submit(dag, 0); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		rep := sys.Run()
+		fwd, col := rep.ForwardsPerEdge()
+		fmt.Printf("%-8s makespan=%v forwards=%.1f%% colocations=%.1f%% dram=%.2fMB nodeDeadlines=%.1f%%\n",
+			policy, rep.Makespan, fwd, col, float64(rep.DRAMBytes)/1e6, rep.NodeDeadlinePct())
+		for name, a := range rep.Apps {
+			fmt.Printf("  %-7s slowdown=%.2f deadlineMet=%v\n", name, a.Slowdown, a.DeadlinesMet == a.Iterations)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package relief_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"relief"
+)
+
+func TestSubmitPeriodicFacade(t *testing.T) {
+	sys := relief.NewSystem(relief.Config{Policy: "RELIEF"})
+	err := sys.SubmitPeriodic(func() *relief.DAG {
+		d, err := relief.BuildWorkload("canny")
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}, 16600*relief.Microsecond, 50*relief.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sys.RunFor(60 * relief.Millisecond)
+	a := rep.Apps["canny"]
+	if a.Iterations != 4 { // releases at 0, 16.6, 33.2, 49.8 ms
+		t.Fatalf("periodic canny finished %d frames, want 4", a.Iterations)
+	}
+	if a.DeadlinesMet != 4 {
+		t.Errorf("uncontended periodic canny missed deadlines: %d/4", a.DeadlinesMet)
+	}
+}
+
+func TestTraceThroughFacade(t *testing.T) {
+	rec := relief.NewTraceRecorder()
+	sys := relief.NewSystem(relief.Config{Policy: "RELIEF", Trace: rec})
+	d, _ := relief.BuildWorkload("gru")
+	if err := sys.Submit(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if rec.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || buf.Bytes()[0] != '[' {
+		t.Fatal("chrome trace output malformed")
+	}
+}
+
+func TestWriteGem5StatsFacade(t *testing.T) {
+	sys := relief.NewSystem(relief.Config{Policy: "RELIEF"})
+	d, _ := relief.BuildWorkload("canny")
+	if err := sys.Submit(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	var buf bytes.Buffer
+	if err := sys.WriteGem5Stats(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sim_ticks") || !strings.Contains(out, "system.app.canny.iterations") {
+		t.Fatalf("gem5 stats incomplete:\n%s", out[:200])
+	}
+}

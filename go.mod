@@ -1,0 +1,3 @@
+module relief
+
+go 1.22

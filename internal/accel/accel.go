@@ -1,0 +1,103 @@
+// Package accel models the seven elementary loosely-coupled accelerators of
+// the RELIEF platform (paper Table I): ISP, grayscale, convolution,
+// elem-matrix, canny-non-max, harris-non-max, and edge-tracking.
+//
+// Each accelerator is a fixed-function device with a private scratchpad
+// (SPAD), a DMA engine, and a data-independent compute time that is a pure
+// function of the requested operation and input size — the property the
+// paper's compute-time predictor relies on (§III-B, 0.03% error).
+package accel
+
+import "fmt"
+
+// Kind identifies an accelerator type.
+type Kind uint8
+
+// The seven elementary accelerators (paper Table I).
+const (
+	ISP Kind = iota
+	Grayscale
+	Convolution
+	ElemMatrix
+	CannyNonMax
+	HarrisNonMax
+	EdgeTracking
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	ISP:          "isp",
+	Grayscale:    "grayscale",
+	Convolution:  "convolution",
+	ElemMatrix:   "elem-matrix",
+	CannyNonMax:  "canny-non-max",
+	HarrisNonMax: "harris-non-max",
+	EdgeTracking: "edge-tracking",
+}
+
+func (k Kind) String() string {
+	if k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// AllKinds lists every accelerator kind in declaration order.
+func AllKinds() []Kind {
+	ks := make([]Kind, NumKinds)
+	for i := range ks {
+		ks[i] = Kind(i)
+	}
+	return ks
+}
+
+// Op selects the operation an accelerator performs on a task. Most kinds
+// have a single function; elem-matrix supports the element-wise operations
+// of paper Table I plus the batched multiply-accumulate used by the RNN
+// workloads, and convolution is parameterised by filter size.
+type Op uint8
+
+// Operations.
+const (
+	OpDefault Op = iota // the kind's single function
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpSqr
+	OpSqrt
+	OpAtan2
+	OpTanh
+	OpSigmoid
+	OpMac     // batched matrix multiply-accumulate (RNN gates)
+	OpLerpSub // fused h~ - h
+	OpTanhMul // fused o * tanh(c) (LSTM output)
+	OpScale   // multiply by constant
+	OpThresh  // threshold
+	OpCopy    // identity / pack
+	numOps
+)
+
+var opNames = [numOps]string{
+	"default", "add", "sub", "mul", "div", "sqr", "sqrt", "atan2", "tanh",
+	"sigmoid", "mac", "lerpsub", "tanhmul", "scale", "thresh", "copy",
+}
+
+func (o Op) String() string {
+	if o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// SPADBytes holds the scratchpad capacity of each accelerator (paper
+// Table I).
+var SPADBytes = [NumKinds]int64{
+	ISP:          115204,
+	Grayscale:    180224,
+	Convolution:  196708,
+	ElemMatrix:   262144,
+	CannyNonMax:  262144,
+	HarrisNonMax: 196608,
+	EdgeTracking: 98432,
+}

@@ -1,0 +1,129 @@
+package accel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"relief/internal/sim"
+)
+
+func TestKindNames(t *testing.T) {
+	want := map[Kind]string{
+		ISP:          "isp",
+		Grayscale:    "grayscale",
+		Convolution:  "convolution",
+		ElemMatrix:   "elem-matrix",
+		CannyNonMax:  "canny-non-max",
+		HarrisNonMax: "harris-non-max",
+		EdgeTracking: "edge-tracking",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), name)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("out-of-range kind should still format")
+	}
+	if len(AllKinds()) != int(NumKinds) {
+		t.Errorf("AllKinds() has %d entries, want %d", len(AllKinds()), NumKinds)
+	}
+}
+
+func TestOpNames(t *testing.T) {
+	if OpMac.String() != "mac" || OpSigmoid.String() != "sigmoid" || OpDefault.String() != "default" {
+		t.Error("op names wrong")
+	}
+	if Op(200).String() == "" {
+		t.Error("out-of-range op should still format")
+	}
+}
+
+func TestSPADSizesMatchPaper(t *testing.T) {
+	// Paper Table I scratchpad sizes.
+	want := map[Kind]int64{
+		CannyNonMax:  262144,
+		Convolution:  196708,
+		EdgeTracking: 98432,
+		ElemMatrix:   262144,
+		Grayscale:    180224,
+		HarrisNonMax: 196608,
+		ISP:          115204,
+	}
+	for k, bytes := range want {
+		if SPADBytes[k] != bytes {
+			t.Errorf("SPAD[%v] = %d, want %d", k, SPADBytes[k], bytes)
+		}
+	}
+}
+
+// TestComputeTimeCalibration checks the per-task compute times against the
+// paper's Table II accelerator rows.
+func TestComputeTimeCalibration(t *testing.T) {
+	us := func(v float64) sim.Time { return sim.Time(v * float64(sim.Microsecond)) }
+	cases := []struct {
+		kind   Kind
+		filter int
+		want   sim.Time
+	}{
+		{CannyNonMax, 0, us(443.02)},
+		{Convolution, 5, us(1545.61)},
+		{EdgeTracking, 0, us(324.73)},
+		{ElemMatrix, 0, us(10.94)},
+		{Grayscale, 0, us(10.26)},
+		{HarrisNonMax, 0, us(105.01)},
+		{ISP, 0, us(34.88)},
+	}
+	for _, c := range cases {
+		got := ComputeTime(c.kind, OpDefault, 128*128, c.filter)
+		if math.Abs(float64(got-c.want)) > float64(sim.Nanosecond) {
+			t.Errorf("ComputeTime(%v) = %v, want %v", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestConvolutionFilterScaling(t *testing.T) {
+	t5 := ComputeTime(Convolution, OpDefault, 128*128, 5)
+	t3 := ComputeTime(Convolution, OpDefault, 128*128, 3)
+	// 3x3 = 9/25 of the 5x5 cost.
+	want := sim.Time(int64(t5) * 9 / 25)
+	if t3 != want {
+		t.Errorf("3x3 convolution = %v, want %v", t3, want)
+	}
+	// Unspecified filter defaults to 5x5.
+	if ComputeTime(Convolution, OpDefault, 128*128, 0) != t5 {
+		t.Error("default filter size is not 5")
+	}
+}
+
+func TestComputeTimePixelScaling(t *testing.T) {
+	full := ComputeTime(ElemMatrix, OpAdd, 128*128, 0)
+	half := ComputeTime(ElemMatrix, OpAdd, 64*128, 0)
+	if half != full/2 {
+		t.Errorf("half-size task = %v, want %v", half, full/2)
+	}
+	// Non-positive pixels falls back to the 128x128 reference.
+	if ComputeTime(ElemMatrix, OpAdd, 0, 0) != full {
+		t.Error("zero pixels should use the reference size")
+	}
+}
+
+// TestQuickComputeTimeMonotone: compute time is monotonically non-decreasing
+// in pixel count and always positive.
+func TestQuickComputeTimeMonotone(t *testing.T) {
+	f := func(rawA, rawB uint16, kindRaw uint8) bool {
+		a := int(rawA%4096) + 1
+		b := int(rawB%4096) + 1
+		if a > b {
+			a, b = b, a
+		}
+		kind := Kind(kindRaw % uint8(NumKinds))
+		ta := ComputeTime(kind, OpDefault, a, 3)
+		tb := ComputeTime(kind, OpDefault, b, 3)
+		return ta > 0 && tb >= ta
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,49 @@
+package accel
+
+import "relief/internal/sim"
+
+// Reference compute times for one task on a 128x128 input, in picoseconds,
+// calibrated to paper Table II ("Accelerator" rows, µs):
+//
+//	canny-non-max 443.02, convolution 1545.61 (5x5 filter), edge-tracking
+//	324.73, elem-matrix 10.94, grayscale 10.26, harris-non-max 105.01,
+//	ISP 34.88.
+//
+// Convolution scales with filter area (3x3 = 1545.61 * 9/25 = 556.42 µs);
+// everything scales linearly with pixel count relative to the 128x128
+// reference, matching the data-independent control flow of fixed-function
+// accelerators.
+const refPixels = 128 * 128
+
+var refCompute = [NumKinds]sim.Time{
+	ISP:          us(34.88),
+	Grayscale:    us(10.26),
+	Convolution:  us(1545.61), // at 5x5 filter
+	ElemMatrix:   us(10.94),
+	CannyNonMax:  us(443.02),
+	HarrisNonMax: us(105.01),
+	EdgeTracking: us(324.73),
+}
+
+const refFilterArea = 25 // 5x5
+
+func us(v float64) sim.Time { return sim.Time(v * float64(sim.Microsecond)) }
+
+// ComputeTime returns the nominal compute latency of one task of the given
+// kind and shape. pixels is the number of elements in the primary input
+// (128*128 for every paper workload); filterSize is the convolution filter
+// edge length (ignored for other kinds; 0 means 5).
+func ComputeTime(kind Kind, op Op, pixels, filterSize int) sim.Time {
+	if pixels <= 0 {
+		pixels = refPixels
+	}
+	t := refCompute[kind]
+	if kind == Convolution {
+		if filterSize <= 0 {
+			filterSize = 5
+		}
+		t = sim.Time(int64(t) * int64(filterSize*filterSize) / refFilterArea)
+	}
+	_ = op // fixed-function: per-op variation is below measurement noise
+	return sim.Time(int64(t) * int64(pixels) / refPixels)
+}

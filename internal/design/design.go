@@ -1,0 +1,155 @@
+// Package design reproduces the paper's accelerator design methodology
+// (§IV-B): each fixed-function accelerator is designed in isolation by
+// sweeping the number of functional units and scratchpad memory ports and
+// choosing the configuration with the minimum energy x delay^2 (ED^2)
+// product, following gem5-Aladdin/SALAM practice.
+//
+// The datapath model is analytic: a task's latency is set by the slower of
+// its compute side (work operations over functional units) and its memory
+// side (scratchpad accesses over ports), plus a fixed pipeline overhead;
+// energy combines per-operation dynamic energy (with a wiring/mux penalty
+// that grows with datapath width) and leakage proportional to area and
+// runtime. The ED^2 optimum therefore sits at the compute/memory balance
+// knee: units added past the knee no longer reduce delay but keep adding
+// energy.
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"relief/internal/accel"
+	"relief/internal/sim"
+)
+
+// Kernel describes one accelerator's per-task workload on the reference
+// 128x128 input.
+type Kernel struct {
+	Kind accel.Kind
+	// WorkOps is the number of datapath operations per task.
+	WorkOps float64
+	// MemOps is the number of scratchpad accesses per task.
+	MemOps float64
+	// FixedCycles is the pipeline fill/drain and control overhead.
+	FixedCycles float64
+}
+
+// Config is one design point.
+type Config struct {
+	FUs   int // functional units
+	Ports int // scratchpad ports
+}
+
+// Space bounds the sweep (paper: "varying the configuration in terms of
+// the number of functional units and memory ports").
+type Space struct {
+	MaxFUs, MaxPorts int
+}
+
+// DefaultSpace is a mobile-accelerator sized sweep.
+func DefaultSpace() Space { return Space{MaxFUs: 16, MaxPorts: 8} }
+
+// Technology constants for the analytic model (1 GHz clock, 16 nm-class
+// numbers; absolute values cancel in ED^2 comparisons).
+const (
+	ClockHz = 1e9
+	// Dynamic energy per work op / per scratchpad access (J).
+	eOp  = 0.8e-12
+	eMem = 1.6e-12
+	// Wiring/mux dynamic penalty, quadratic in datapath width: widening
+	// the operand network costs superlinearly, which is what bounds the
+	// ED^2 optimum away from max-width designs.
+	alphaFU   = 0.25
+	alphaPort = 0.35
+	// Leakage power per unit / per port (W).
+	leakFU   = 0.12e-3
+	leakPort = 0.20e-3
+)
+
+// Evaluate returns the task latency and energy of a design point.
+func Evaluate(k Kernel, c Config) (latency sim.Time, energyJ float64) {
+	if c.FUs < 1 || c.Ports < 1 {
+		panic(fmt.Sprintf("design: invalid config %+v", c))
+	}
+	computeCycles := k.WorkOps / float64(c.FUs)
+	memCycles := k.MemOps / float64(c.Ports)
+	cycles := math.Max(computeCycles, memCycles) + k.FixedCycles
+	seconds := cycles / ClockHz
+	wf := float64(c.FUs - 1)
+	wp := float64(c.Ports - 1)
+	dyn := k.WorkOps*eOp*(1+alphaFU*wf*wf) +
+		k.MemOps*eMem*(1+alphaPort*wp*wp)
+	leak := seconds * (float64(c.FUs)*leakFU + float64(c.Ports)*leakPort)
+	return sim.Time(seconds * float64(sim.Second)), dyn + leak
+}
+
+// ED2 returns the energy x delay^2 metric of a design point (J*s^2).
+func ED2(k Kernel, c Config) float64 {
+	d, e := Evaluate(k, c)
+	s := d.Seconds()
+	return e * s * s
+}
+
+// Point is one evaluated design point.
+type Point struct {
+	Config  Config
+	Latency sim.Time
+	EnergyJ float64
+	ED2     float64
+}
+
+// Sweep evaluates the whole space, returning all points and the index of
+// the ED^2 optimum.
+func Sweep(k Kernel, sp Space) (points []Point, best int) {
+	if sp.MaxFUs < 1 || sp.MaxPorts < 1 {
+		panic("design: empty space")
+	}
+	best = 0
+	for fu := 1; fu <= sp.MaxFUs; fu++ {
+		for p := 1; p <= sp.MaxPorts; p++ {
+			c := Config{FUs: fu, Ports: p}
+			d, e := Evaluate(k, c)
+			s := d.Seconds()
+			points = append(points, Point{Config: c, Latency: d, EnergyJ: e, ED2: e * s * s})
+			if points[len(points)-1].ED2 < points[best].ED2 {
+				best = len(points) - 1
+			}
+		}
+	}
+	return points, best
+}
+
+// Choose returns the min-ED^2 design point for the kernel.
+func Choose(k Kernel, sp Space) Point {
+	pts, best := Sweep(k, sp)
+	return pts[best]
+}
+
+// Kernels reconstructs the per-task workload of the seven accelerators on
+// 128x128 inputs. Counts are LLVM-IR-level operations — the granularity
+// gem5-SALAM's datapath models execute, where every address computation,
+// load, compare, and branch is an op (typically 5-10 IR ops per arithmetic
+// op) — tuned so the min-ED^2 design's latency approximates the calibrated
+// Table II compute times the rest of the simulator uses.
+func Kernels() []Kernel {
+	const px = 128 * 128
+	return []Kernel{
+		{Kind: accel.ISP, WorkOps: 14 * px, MemOps: 8 * px, FixedCycles: 512},
+		{Kind: accel.Grayscale, WorkOps: 2 * px, MemOps: 3 * px, FixedCycles: 256},
+		{Kind: accel.Convolution, WorkOps: 470 * px, MemOps: 30 * px, FixedCycles: 1024},
+		{Kind: accel.ElemMatrix, WorkOps: 3 * px, MemOps: 3 * px, FixedCycles: 256},
+		{Kind: accel.CannyNonMax, WorkOps: 135 * px, MemOps: 20 * px, FixedCycles: 512},
+		{Kind: accel.HarrisNonMax, WorkOps: 42 * px, MemOps: 12 * px, FixedCycles: 512},
+		{Kind: accel.EdgeTracking, WorkOps: 99 * px, MemOps: 12 * px, FixedCycles: 512},
+	}
+}
+
+// KernelFor returns the kernel description of a kind.
+func KernelFor(kind accel.Kind) (Kernel, error) {
+	for _, k := range Kernels() {
+		if k.Kind == kind {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("design: no kernel for %v", kind)
+}

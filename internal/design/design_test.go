@@ -1,0 +1,143 @@
+package design
+
+import (
+	"testing"
+
+	"relief/internal/accel"
+)
+
+func TestEvaluateBasics(t *testing.T) {
+	k := Kernel{Kind: accel.ElemMatrix, WorkOps: 1000, MemOps: 500, FixedCycles: 100}
+	d1, e1 := Evaluate(k, Config{FUs: 1, Ports: 1})
+	d2, e2 := Evaluate(k, Config{FUs: 2, Ports: 1})
+	if d2 >= d1 {
+		t.Errorf("doubling FUs did not reduce compute-bound latency: %v -> %v", d1, d2)
+	}
+	if e1 <= 0 || e2 <= 0 {
+		t.Fatal("non-positive energy")
+	}
+	// Latency floor: the memory side binds once compute is fast enough.
+	dWide, _ := Evaluate(k, Config{FUs: 16, Ports: 1})
+	wantCycles := k.MemOps/1 + k.FixedCycles
+	if float64(dWide)/1e3 != wantCycles { // ps -> cycles at 1 GHz
+		t.Errorf("mem-bound latency = %v, want %v cycles", dWide, wantCycles)
+	}
+}
+
+func TestEvaluateInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	Evaluate(Kernel{WorkOps: 1, MemOps: 1}, Config{FUs: 0, Ports: 1})
+}
+
+// TestED2InteriorOptimum: the chosen design is strictly inside the sweep
+// bounds for every paper kernel — the quadratic width penalty bounds the
+// optimum away from max-width designs.
+func TestED2InteriorOptimum(t *testing.T) {
+	sp := DefaultSpace()
+	for _, k := range Kernels() {
+		p := Choose(k, sp)
+		if p.Config.FUs >= sp.MaxFUs {
+			t.Errorf("%v: optimum FUs %d rides the sweep cap", k.Kind, p.Config.FUs)
+		}
+		if p.Config.Ports > sp.MaxPorts {
+			t.Errorf("%v: optimum ports %d outside space", k.Kind, p.Config.Ports)
+		}
+	}
+}
+
+// TestED2IsMinimum: no point in the space beats the chosen one.
+func TestED2IsMinimum(t *testing.T) {
+	sp := DefaultSpace()
+	for _, k := range Kernels() {
+		best := Choose(k, sp)
+		pts, _ := Sweep(k, sp)
+		for _, p := range pts {
+			if p.ED2 < best.ED2 {
+				t.Fatalf("%v: %+v beats chosen %+v", k.Kind, p, best)
+			}
+		}
+		if got := ED2(k, best.Config); got != best.ED2 {
+			t.Errorf("%v: ED2 recomputation mismatch", k.Kind)
+		}
+	}
+}
+
+// TestWideningPastKneeHurts: adding FUs beyond the optimum increases ED^2
+// (delay no longer falls enough to pay for the energy).
+func TestWideningPastKneeHurts(t *testing.T) {
+	sp := DefaultSpace()
+	for _, k := range Kernels() {
+		best := Choose(k, sp)
+		wider := best.Config
+		wider.FUs = sp.MaxFUs
+		if wider.FUs == best.Config.FUs {
+			continue
+		}
+		if ED2(k, wider) <= best.ED2 {
+			t.Errorf("%v: max-width design does not lose on ED^2", k.Kind)
+		}
+	}
+}
+
+// TestChosenLatencyTracksCalibration: every chosen design's latency is
+// within ~40% of the measured compute time the simulator uses (Table II) —
+// the DSE reproduces the methodology; the timing model keeps the measured
+// calibration.
+func TestChosenLatencyTracksCalibration(t *testing.T) {
+	sp := DefaultSpace()
+	for _, k := range Kernels() {
+		p := Choose(k, sp)
+		cal := accel.ComputeTime(k.Kind, accel.OpDefault, 128*128, 5)
+		ratio := float64(p.Latency) / float64(cal)
+		if ratio < 0.6 || ratio > 1.67 {
+			t.Errorf("%v: DSE latency %v vs calibrated %v (ratio %.2f)", k.Kind, p.Latency, cal, ratio)
+		}
+	}
+}
+
+// TestElemMatrixIsMemoryBound: the paper's key workload property — the
+// elem-matrix accelerator has little data reuse, so its chosen design is
+// memory-port bound.
+func TestElemMatrixIsMemoryBound(t *testing.T) {
+	k, err := KernelFor(accel.ElemMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Choose(k, DefaultSpace())
+	compute := k.WorkOps / float64(p.Config.FUs)
+	mem := k.MemOps / float64(p.Config.Ports)
+	if mem < compute*0.8 {
+		t.Errorf("elem-matrix chosen design is strongly compute-bound (compute %.0f vs mem %.0f cycles)",
+			compute, mem)
+	}
+	// Convolution, by contrast, has abundant reuse: compute-bound.
+	kc, _ := KernelFor(accel.Convolution)
+	pc := Choose(kc, DefaultSpace())
+	cc := kc.WorkOps / float64(pc.Config.FUs)
+	mc := kc.MemOps / float64(pc.Config.Ports)
+	if cc < mc {
+		t.Errorf("convolution chosen design is memory-bound (compute %.0f vs mem %.0f)", cc, mc)
+	}
+}
+
+func TestKernelForUnknown(t *testing.T) {
+	if _, err := KernelFor(accel.Kind(99)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if len(Kernels()) != int(accel.NumKinds) {
+		t.Fatalf("Kernels() covers %d kinds, want %d", len(Kernels()), accel.NumKinds)
+	}
+}
+
+func TestSweepEmptySpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty space accepted")
+		}
+	}()
+	Sweep(Kernel{WorkOps: 1, MemOps: 1}, Space{})
+}

@@ -1,0 +1,334 @@
+// Package dram models a bank-level LPDDR5 channel with an FR-FCFS memory
+// controller — the contention substrate the paper's motivation rests on
+// (§I: "contention at the memory controller"). It implements mem.Server,
+// so it drops into the interconnect in place of the fixed-bandwidth DRAM
+// resource.
+//
+// The model decomposes requests into 64-byte bursts, tracks per-bank open
+// rows, charges precharge+activate on row misses, and schedules bursts
+// with either FR-FCFS (row hits first, then oldest — Rixner et al., the
+// policy the paper cites) or plain FCFS. It is transaction-level: command
+// and data bus are unified, so bank-level parallelism is approximated
+// rather than cycle-accurate.
+package dram
+
+import (
+	"fmt"
+
+	"relief/internal/sim"
+)
+
+// Policy selects the controller's scheduling discipline.
+type Policy uint8
+
+// Controller scheduling policies.
+const (
+	FRFCFS Policy = iota // row hits first, then oldest
+	FCFS                 // strictly oldest first
+)
+
+func (p Policy) String() string {
+	if p == FCFS {
+		return "fcfs"
+	}
+	return "fr-fcfs"
+}
+
+// Config holds device and controller parameters.
+type Config struct {
+	// BurstBytes is the data moved per burst (BL32 on a 16-bit channel =
+	// 64 B, paper Table VI).
+	BurstBytes int64
+	// PageBytes is the row-buffer size per bank.
+	PageBytes int64
+	// Banks is the number of banks in the channel.
+	Banks int
+	// TBurst is the data-bus occupancy of one burst (64 B at 6400 MT/s x
+	// 16 bit = 5 ns).
+	TBurst sim.Time
+	// TGap is the per-burst command/bus overhead that calibrates achieved
+	// bandwidth below the pin peak.
+	TGap sim.Time
+	// TRP and TRCD are precharge and activate latencies charged on row
+	// misses.
+	TRP, TRCD sim.Time
+	// Policy selects FR-FCFS or FCFS scheduling.
+	Policy Policy
+	// WindowBursts caps how far FR-FCFS looks for a row hit (a real
+	// controller's finite transaction queue; 0 = unlimited).
+	WindowBursts int
+	// Channels adds address-interleaved channels, each with its own banks
+	// and data bus (0 or 1 = single channel, the paper's platform).
+	Channels int
+	// TREFI and TRFC model refresh: every TREFI the channel stalls for
+	// TRFC and all rows close (0 disables refresh).
+	TREFI, TRFC sim.Time
+}
+
+// LPDDR5 returns the paper platform's channel (Table VI: LPDDR5-6400,
+// one 16-bit channel, BL32) with TGap calibrated so a single sequential
+// DMA stream achieves ~6.4 GB/s — the effective bandwidth the paper's
+// Table II memory times imply — while contending random streams drop
+// below that.
+func LPDDR5() Config {
+	return Config{
+		BurstBytes:   64,
+		PageBytes:    2048,
+		Banks:        16,
+		TBurst:       5 * sim.Nanosecond,
+		TGap:         3300 * sim.Picosecond,
+		TRP:          18 * sim.Nanosecond,
+		TRCD:         18 * sim.Nanosecond,
+		Policy:       FRFCFS,
+		WindowBursts: 64,
+		Channels:     1,
+		TREFI:        3900 * sim.Nanosecond,
+		TRFC:         180 * sim.Nanosecond,
+	}
+}
+
+// Controller is a (possibly multi-channel) memory controller. It
+// implements mem.Server.
+type Controller struct {
+	k    *sim.Kernel
+	cfg  Config
+	name string
+
+	channels []*channel
+	cursor   int64 // synthetic address allocator for incoming requests
+
+	bytes int64
+
+	// Stats.
+	RowHits, RowMisses int64
+	Refreshes          int64
+}
+
+// channel is one independent data bus with its own banks. The burst queue
+// is a slice with a head offset: FR-FCFS removes from within the first
+// WindowBursts entries, so extraction shifts at most a window's worth of
+// elements instead of re-slicing the whole queue (which would be
+// quadratic under deep backlogs).
+type channel struct {
+	queue       []*burst
+	head        int
+	banks       []bank
+	serving     bool
+	busyAcc     sim.Time
+	busySince   sim.Time
+	nextRefresh sim.Time
+}
+
+func (ch *channel) pending() int { return len(ch.queue) - ch.head }
+
+// take removes and returns the burst at absolute index i (i >= ch.head),
+// shifting the [head, i) prefix right by one. Cost is O(i-head), bounded
+// by the scheduling window.
+func (ch *channel) take(i int) *burst {
+	b := ch.queue[i]
+	copy(ch.queue[ch.head+1:i+1], ch.queue[ch.head:i])
+	ch.queue[ch.head] = nil
+	ch.head++
+	// Compact once the dead prefix dominates, to bound memory.
+	if ch.head > 1024 && ch.head*2 > len(ch.queue) {
+		n := copy(ch.queue, ch.queue[ch.head:])
+		for j := n; j < len(ch.queue); j++ {
+			ch.queue[j] = nil
+		}
+		ch.queue = ch.queue[:n]
+		ch.head = 0
+	}
+	return b
+}
+
+type bank struct {
+	openRow int64 // -1 = closed
+	valid   bool
+}
+
+type burst struct {
+	bank, row int64
+	seq       int64
+	req       *request
+}
+
+type request struct {
+	remaining int
+	done      func()
+}
+
+// NewController builds a controller on the kernel.
+func NewController(k *sim.Kernel, name string, cfg Config) *Controller {
+	if cfg.BurstBytes <= 0 || cfg.PageBytes <= 0 || cfg.Banks <= 0 {
+		panic("dram: invalid geometry")
+	}
+	if cfg.Channels < 1 {
+		cfg.Channels = 1
+	}
+	c := &Controller{k: k, cfg: cfg, name: name}
+	for i := 0; i < cfg.Channels; i++ {
+		ch := &channel{banks: make([]bank, cfg.Banks)}
+		if cfg.TREFI > 0 {
+			ch.nextRefresh = cfg.TREFI
+		}
+		c.channels = append(c.channels, ch)
+	}
+	return c
+}
+
+// Name implements mem.Server.
+func (c *Controller) Name() string { return c.name }
+
+// ServiceTime implements mem.Server: the unloaded, all-row-hit service
+// time (used for path pipelining estimates).
+func (c *Controller) ServiceTime(n int64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	bursts := (n + c.cfg.BurstBytes - 1) / c.cfg.BurstBytes
+	return sim.Time(bursts) * (c.cfg.TBurst + c.cfg.TGap)
+}
+
+// BusyTime implements mem.Server: the union over channels is approximated
+// by the maximum per-channel busy time.
+func (c *Controller) BusyTime() sim.Time {
+	var max sim.Time
+	for _, ch := range c.channels {
+		b := ch.busyAcc
+		if ch.serving {
+			b += c.k.Now() - ch.busySince
+		}
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// BytesServed implements mem.Server.
+func (c *Controller) BytesServed() int64 { return c.bytes }
+
+// QueueLen reports the number of queued bursts across channels.
+func (c *Controller) QueueLen() int {
+	n := 0
+	for _, ch := range c.channels {
+		n += ch.pending()
+	}
+	return n
+}
+
+// RowHitRate returns the fraction of bursts that hit an open row.
+func (c *Controller) RowHitRate() float64 {
+	total := c.RowHits + c.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.RowHits) / float64(total)
+}
+
+// Enqueue implements mem.Server: the request is laid out at the next
+// contiguous synthetic addresses (each DMA chunk is a contiguous buffer
+// slice) and decomposed into bursts.
+func (c *Controller) Enqueue(n int64, done func()) {
+	if n <= 0 {
+		c.k.Schedule(0, done)
+		return
+	}
+	base := c.cursor
+	c.cursor += n
+	nBursts := int((n + c.cfg.BurstBytes - 1) / c.cfg.BurstBytes)
+	req := &request{remaining: nBursts, done: done}
+	nCh := int64(len(c.channels))
+	for i := 0; i < nBursts; i++ {
+		addr := base + int64(i)*c.cfg.BurstBytes
+		page := addr / c.cfg.PageBytes
+		chIdx := page % nCh
+		pageInCh := page / nCh
+		b := &burst{
+			bank: pageInCh % int64(c.cfg.Banks),
+			row:  pageInCh / int64(c.cfg.Banks),
+			seq:  c.cursor + int64(i), // monotone arrival order
+			req:  req,
+		}
+		ch := c.channels[chIdx]
+		ch.queue = append(ch.queue, b)
+		if !ch.serving {
+			ch.serving = true
+			ch.busySince = c.k.Now()
+			c.serve(ch)
+		}
+	}
+	c.bytes += n
+}
+
+// pick selects the next burst's absolute queue index per the scheduling
+// policy.
+func (c *Controller) pick(ch *channel) int {
+	if ch.pending() == 0 {
+		return -1
+	}
+	if c.cfg.Policy == FCFS {
+		return ch.head
+	}
+	// FR-FCFS: first row hit within the transaction window, else oldest.
+	window := ch.pending()
+	if c.cfg.WindowBursts > 0 && window > c.cfg.WindowBursts {
+		window = c.cfg.WindowBursts
+	}
+	for i := ch.head; i < ch.head+window; i++ {
+		b := ch.queue[i]
+		bk := &ch.banks[b.bank]
+		if bk.valid && bk.openRow == b.row {
+			return i
+		}
+	}
+	return ch.head
+}
+
+func (c *Controller) serve(ch *channel) {
+	i := c.pick(ch)
+	if i < 0 {
+		ch.serving = false
+		ch.busyAcc += c.k.Now() - ch.busySince
+		return
+	}
+	b := ch.take(i)
+	cost := c.cfg.TBurst + c.cfg.TGap
+	// Refresh: when traffic crosses a tREFI boundary, the channel stalls
+	// for tRFC and every row closes. Idle periods advance the schedule
+	// without cost (rows would be cold anyway).
+	if c.cfg.TREFI > 0 {
+		now := c.k.Now()
+		for ch.nextRefresh <= now {
+			ch.nextRefresh += c.cfg.TREFI
+			cost += c.cfg.TRFC
+			c.Refreshes++
+			for j := range ch.banks {
+				ch.banks[j].valid = false
+			}
+		}
+	}
+	bk := &ch.banks[b.bank]
+	if !bk.valid || bk.openRow != b.row {
+		if bk.valid {
+			cost += c.cfg.TRP // precharge the open row
+		}
+		cost += c.cfg.TRCD // activate the new row
+		bk.openRow = b.row
+		bk.valid = true
+		c.RowMisses++
+	} else {
+		c.RowHits++
+	}
+	c.k.Schedule(cost, func() {
+		b.req.remaining--
+		if b.req.remaining == 0 {
+			b.req.done()
+		}
+		c.serve(ch)
+	})
+}
+
+func (c *Controller) String() string {
+	return fmt.Sprintf("dram(%s, %d banks, hit-rate %.2f)", c.cfg.Policy, c.cfg.Banks, c.RowHitRate())
+}

@@ -1,0 +1,270 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+
+	"relief/internal/workload"
+)
+
+func TestTable2Shape(t *testing.T) {
+	tbl, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != int(workload.NumApps) {
+		t.Fatalf("Table II has %d rows, want %d", len(tbl.Rows), workload.NumApps)
+	}
+	// Ideal memory time must be strictly less than no-forwarding memory
+	// time for every application.
+	for _, row := range tbl.Rows {
+		noFwd := parseF(t, row[2])
+		ideal := parseF(t, row[3])
+		if ideal >= noFwd {
+			t.Errorf("%s: ideal %v >= no-fwd %v", row[0], ideal, noFwd)
+		}
+	}
+}
+
+// TestTable2MatchesPaperShape: RNNs are memory-dominated (paper: ~75% of
+// time on data movement), Deblur is compute-dominated (~3%).
+func TestTable2MatchesPaperShape(t *testing.T) {
+	tbl, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string][3]float64{}
+	for _, row := range tbl.Rows {
+		vals[row[0]] = [3]float64{parseF(t, row[1]), parseF(t, row[2]), parseF(t, row[3])}
+	}
+	gru := vals["gru"]
+	if frac := gru[1] / (gru[0] + gru[1]); frac < 0.6 {
+		t.Errorf("GRU memory fraction %.2f, paper says ~0.75", frac)
+	}
+	deblur := vals["deblur"]
+	if frac := deblur[1] / (deblur[0] + deblur[1]); frac > 0.1 {
+		t.Errorf("Deblur memory fraction %.2f, paper says ~0.03", frac)
+	}
+	// GRU's ideal forwarding cuts memory time substantially (paper:
+	// 3343 -> 1608 µs; our ideal additionally credits every eligible
+	// colocation, so it sits lower — see EXPERIMENTS.md).
+	if ratio := gru[2] / gru[1]; ratio < 0.1 || ratio > 0.7 {
+		t.Errorf("GRU ideal/no-fwd = %.2f, expected a large reduction", ratio)
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// TestRELIEFBeatsBaselinesOnForwards is the paper's headline claim
+// (Observation 1): under high contention RELIEF achieves more
+// forwards+colocations than every baseline on average.
+func TestRELIEFBeatsBaselinesOnForwards(t *testing.T) {
+	s := NewSweep()
+	total := func(policy string) float64 {
+		var sum float64
+		n := 0
+		for _, mix := range workload.Mixes(workload.High) {
+			res, err := s.Get(Scenario{Mix: mix, Contention: workload.High, Policy: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fwd, col := res.Stats.ForwardsPerEdge()
+			sum += fwd + col
+			n++
+		}
+		return sum / float64(n)
+	}
+	relief := total("RELIEF")
+	for _, p := range []string{"FCFS", "GEDF-D", "GEDF-N", "LAX", "HetSched"} {
+		if base := total(p); relief <= base {
+			t.Errorf("RELIEF fwd+col %.1f%% <= %s %.1f%%", relief, p, base)
+		}
+	}
+}
+
+// TestRELIEFReducesDRAMTraffic (Observation 2): RELIEF moves less data
+// through main memory than HetSched and LAX on average.
+func TestRELIEFReducesDRAMTraffic(t *testing.T) {
+	s := NewSweep()
+	avgDram := func(policy string) float64 {
+		var sum float64
+		for _, mix := range workload.Mixes(workload.High) {
+			res, err := s.Get(Scenario{Mix: mix, Contention: workload.High, Policy: policy})
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, _ := res.Stats.DataMovement()
+			sum += d
+		}
+		return sum / 10
+	}
+	relief := avgDram("RELIEF")
+	for _, p := range []string{"LAX", "HetSched"} {
+		if base := avgDram(p); relief >= base {
+			t.Errorf("RELIEF DRAM %.1f%% >= %s %.1f%%", relief, p, base)
+		}
+	}
+}
+
+// TestLAXStarvesDeblur (paper §V-E): under continuous contention with
+// other convolution-hungry vision apps, LAX starves Deblur while RELIEF
+// keeps it progressing.
+func TestLAXStarvesDeblur(t *testing.T) {
+	s := NewSweep()
+	mix, err := workload.ParseMix("CDL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lax, err := s.Get(Scenario{Mix: mix, Contention: workload.Continuous, Policy: "LAX"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relief, err := s.Get(Scenario{Mix: mix, Contention: workload.Continuous, Policy: "RELIEF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := lax.Stats.Apps["deblur"].Iterations; n != 0 {
+		t.Errorf("LAX finished %d Deblur iterations; paper reports starvation", n)
+	}
+	if n := relief.Stats.Apps["deblur"].Iterations; n == 0 {
+		t.Errorf("RELIEF starved Deblur; paper reports progress")
+	}
+}
+
+// TestFigureGeneratorsRender: every generator produces a well-formed table
+// whose text rendering is non-empty. Uses low contention plus the cheap
+// single-table figures to keep the test fast; the full sweep runs in
+// relief-bench and the benchmarks.
+func TestFigureGeneratorsRender(t *testing.T) {
+	s := NewSweep()
+	check := func(name string, tbl *Table, err error, wantRows int) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if wantRows > 0 && len(tbl.Rows) != wantRows {
+			t.Errorf("%s: %d rows, want %d", name, len(tbl.Rows), wantRows)
+		}
+		for i, r := range tbl.Rows {
+			if len(r) != len(tbl.Cols) {
+				t.Errorf("%s row %d: %d cells, %d columns", name, i, len(r), len(tbl.Cols))
+			}
+		}
+		var buf bytes.Buffer
+		tbl.Render(&buf)
+		if !strings.Contains(buf.String(), tbl.Title) {
+			t.Errorf("%s: rendering lacks title", name)
+		}
+	}
+	f4, err := Fig4(s, workload.Low)
+	check("fig4", f4, err, 6) // 5 mixes + Gmean
+	f5, err := Fig5(s, workload.Low)
+	check("fig5", f5, err, 6)
+	f7, err := Fig7(s, workload.Low)
+	check("fig7", f7, err, 6)
+	f8, err := Fig8(s, workload.Low)
+	check("fig8", f8, err, 6)
+	sl, dg, err := Fig9(s, workload.Low)
+	check("fig9a", sl, err, 5)
+	check("fig9b", dg, err, 5)
+}
+
+func TestGmeanAndAmean(t *testing.T) {
+	if g := gmean([]float64{1, 100}, 0.01); g < 9.9 || g > 10.1 {
+		t.Errorf("gmean = %v, want 10", g)
+	}
+	if g := gmean([]float64{0, 100}, 1); g < 9.999 || g > 10.001 {
+		t.Errorf("gmean with clamp = %v, want ~10", g)
+	}
+	if gmean(nil, 1) != 0 {
+		t.Error("gmean of nothing must be 0")
+	}
+	if amean([]float64{1, 2, 3}) != 2 {
+		t.Error("amean wrong")
+	}
+	if amean(nil) != 0 {
+		t.Error("amean of nothing must be 0")
+	}
+}
+
+func TestNewPolicyNames(t *testing.T) {
+	for _, n := range append(append([]string{}, FairnessPolicyNames...),
+		"RELIEF-NoFeas", "RELIEF-Unbounded", "RELIEF-HetSched") {
+		if _, err := NewPolicy(n); err != nil {
+			t.Errorf("NewPolicy(%q): %v", n, err)
+		}
+	}
+	if _, err := NewPolicy("nope"); err == nil {
+		t.Error("NewPolicy must reject unknown names")
+	}
+}
+
+// TestSweepMemoizes: repeated Get calls return the identical result object.
+func TestSweepMemoizes(t *testing.T) {
+	s := NewSweep()
+	sc := Scenario{Mix: []workload.App{workload.Canny}, Contention: workload.Low, Policy: "FCFS"}
+	a, err := s.Get(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Get(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("sweep did not memoize")
+	}
+}
+
+func TestSweepDumpJSON(t *testing.T) {
+	s := NewSweep()
+	if _, err := s.Get(Scenario{Mix: []workload.App{workload.Canny}, Contention: workload.Low, Policy: "RELIEF"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("dumped %d results, want 1", len(out))
+	}
+	apps := out[0]["apps"].(map[string]any)
+	if _, ok := apps["canny"]; !ok {
+		t.Fatal("per-app summary missing")
+	}
+}
+
+func TestSweepWarm(t *testing.T) {
+	s := NewSweep()
+	scenarios := []Scenario{
+		{Mix: []workload.App{workload.Canny}, Contention: workload.Low, Policy: "FCFS"},
+		{Mix: []workload.App{workload.GRU}, Contention: workload.Low, Policy: "RELIEF"},
+		{Mix: []workload.App{workload.Canny}, Contention: workload.Low, Policy: "FCFS"}, // dup
+	}
+	s.Warm(scenarios, 4)
+	var buf bytes.Buffer
+	if err := s.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("warmed cache has %d results, want 2 (dedup)", len(out))
+	}
+}

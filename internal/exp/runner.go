@@ -1,0 +1,155 @@
+// Package exp is the evaluation harness: it runs scheduling scenarios
+// (application mix x contention level x policy x platform knobs) and
+// regenerates every table and figure of the paper's evaluation section.
+package exp
+
+import (
+	"fmt"
+
+	"relief/internal/core"
+	"relief/internal/dram"
+	"relief/internal/graph"
+	"relief/internal/manager"
+	"relief/internal/predict"
+	"relief/internal/sched"
+	"relief/internal/sim"
+	"relief/internal/stats"
+	"relief/internal/trace"
+	"relief/internal/workload"
+	"relief/internal/xbar"
+)
+
+// PolicyNames lists the six policies of the main comparison (Figs. 4-8) in
+// the paper's plotting order.
+var PolicyNames = []string{"FCFS", "GEDF-D", "GEDF-N", "LAX", "HetSched", "RELIEF"}
+
+// FairnessPolicyNames adds LL and RELIEF-LAX for the QoS/fairness study
+// (Figs. 9-10, Table VII).
+var FairnessPolicyNames = []string{"FCFS", "GEDF-D", "GEDF-N", "LAX", "RELIEF-LAX", "LL", "HetSched", "RELIEF"}
+
+// NewPolicy constructs a scheduling policy by its paper name.
+func NewPolicy(name string) (sched.Policy, error) {
+	switch name {
+	case "FCFS":
+		return sched.FCFS{}, nil
+	case "GEDF-D":
+		return sched.GEDFD{}, nil
+	case "GEDF-N":
+		return sched.GEDFN{}, nil
+	case "LL":
+		return sched.LL{}, nil
+	case "LAX":
+		return sched.LAX{}, nil
+	case "HetSched":
+		return sched.HetSched{}, nil
+	case "RELIEF":
+		return core.New(), nil
+	case "RELIEF-LAX":
+		return core.NewLAX(), nil
+	case "RELIEF-NoFeas":
+		return &core.RELIEF{Base: sched.LL{}, DisableFeasibility: true}, nil
+	case "RELIEF-Unbounded":
+		return &core.RELIEF{Base: sched.LL{}, UnboundedForwards: true}, nil
+	case "RELIEF-HetSched":
+		return &core.RELIEF{Base: sched.HetSched{}}, nil
+	}
+	return nil, fmt.Errorf("exp: unknown policy %q", name)
+}
+
+// Scenario describes one simulation.
+type Scenario struct {
+	Mix        []workload.App
+	Contention workload.Contention
+	Policy     string
+	Topology   xbar.Topology
+	// BWPredictor is "max", "last", "average", or "ewma" ("" = max).
+	BWPredictor string
+	DM          predict.DMMode
+	// DisableForwarding runs without forwarding hardware (Table II).
+	DisableForwarding bool
+	// AlwaysWriteBack disables deferred write-back (ablation).
+	AlwaysWriteBack bool
+	// OutputPartitions overrides the double-buffered default (ablation).
+	OutputPartitions int
+	// Trace, if non-nil, records the simulation timeline.
+	Trace *trace.Recorder
+	// DetailedDRAM uses the bank-level LPDDR5 controller; DRAMFCFS demotes
+	// its scheduler from FR-FCFS to FCFS (extension study).
+	DetailedDRAM bool
+	DRAMFCFS     bool
+	// Platform, if non-nil, fully determines the platform configuration
+	// (instances, interconnect, memory, predictors); the scenario's other
+	// platform toggles are ignored.
+	Platform *PlatformSpec
+}
+
+// Result couples a scenario with its measured statistics.
+type Result struct {
+	Scenario Scenario
+	Stats    *stats.Stats
+	// End is the simulation end time.
+	End sim.Time
+	// RowHitRate is the DRAM row-buffer hit rate (detailed DRAM only).
+	RowHitRate float64
+}
+
+// Run executes the scenario to completion (or the continuous-contention
+// horizon) and returns its metrics.
+func Run(sc Scenario) (*Result, error) {
+	policy, err := NewPolicy(sc.Policy)
+	if err != nil {
+		return nil, err
+	}
+	k := sim.NewKernel()
+	st := stats.New()
+	var cfg manager.Config
+	if sc.Platform != nil {
+		cfg, err = sc.Platform.Apply(policy)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cfg = manager.DefaultConfig(policy)
+		cfg.Interconnect.Topology = sc.Topology
+		cfg.DM = sc.DM
+		cfg.DisableForwarding = sc.DisableForwarding
+		cfg.AlwaysWriteBack = sc.AlwaysWriteBack
+		if sc.OutputPartitions > 0 {
+			cfg.OutputPartitions = sc.OutputPartitions
+		}
+		cfg.DetailedDRAM = sc.DetailedDRAM
+		if sc.DRAMFCFS {
+			cfg.DRAMPolicy = dram.FCFS
+		}
+		bw, err := predict.NewBW(sc.BWPredictor, cfg.Interconnect.DRAMBandwidth)
+		if err != nil {
+			return nil, err
+		}
+		cfg.BW = bw
+	}
+	cfg.Trace = sc.Trace
+	m := manager.New(k, cfg, st)
+
+	continuous := sc.Contention == workload.Continuous
+	for _, app := range sc.Mix {
+		app := app
+		var rebuild func() *graph.DAG
+		if continuous {
+			rebuild = func() *graph.DAG { return workload.Build(app) }
+		}
+		if err := m.Submit(workload.Build(app), 0, rebuild); err != nil {
+			return nil, err
+		}
+	}
+	var end sim.Time
+	if continuous {
+		end = m.RunContinuous(workload.ContinuousHorizon)
+	} else {
+		end = m.Run()
+	}
+	res := &Result{Scenario: sc, Stats: st, End: end}
+	if dc := m.DRAMController(); dc != nil {
+		res.RowHitRate = dc.RowHitRate()
+	}
+	return res, nil
+}

@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"testing"
+
+	"relief/internal/workload"
+)
+
+// TestSmokeSingleApp runs each application alone under each policy and
+// checks basic sanity: the run terminates, all nodes finish, and the
+// forwards/colocations never exceed the edge count.
+func TestSmokeSingleApp(t *testing.T) {
+	for _, policy := range FairnessPolicyNames {
+		for app := workload.App(0); app < workload.NumApps; app++ {
+			sc := Scenario{
+				Mix:        []workload.App{app},
+				Contention: workload.Low,
+				Policy:     policy,
+			}
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", policy, app, err)
+			}
+			st := res.Stats
+			want := len(workload.Build(app).Nodes)
+			if st.NodesDone != want {
+				t.Errorf("%s/%s: finished %d of %d nodes", policy, app, st.NodesDone, want)
+			}
+			if st.Forwards+st.Colocations > st.Edges {
+				t.Errorf("%s/%s: forwards %d + colocations %d > edges %d",
+					policy, app, st.Forwards, st.Colocations, st.Edges)
+			}
+			a := st.Apps[app.Name()]
+			if a == nil || a.Iterations != 1 {
+				t.Errorf("%s/%s: expected 1 finished iteration", policy, app)
+			}
+			t.Logf("%s/%-6s runtime=%v fwd=%d col=%d edges=%d nodeDL=%.1f%%",
+				policy, app, a.Runtimes[0], st.Forwards, st.Colocations, st.Edges, st.NodeDeadlinePct())
+		}
+	}
+}

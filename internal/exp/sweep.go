@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"relief/internal/workload"
+)
+
+// Sweep memoizes scenario results so figure generators that share the same
+// underlying simulations (e.g. Figs. 4, 5, 7, 8 at the same contention
+// level) run each simulation once. It is safe for concurrent use.
+type Sweep struct {
+	mu       sync.Mutex
+	results  map[string]*Result
+	inFlight map[string]*sync.WaitGroup
+}
+
+// NewSweep returns an empty result cache.
+func NewSweep() *Sweep {
+	return &Sweep{
+		results:  make(map[string]*Result),
+		inFlight: make(map[string]*sync.WaitGroup),
+	}
+}
+
+func (s *Sweep) key(sc Scenario) string {
+	return fmt.Sprintf("%v|%v|%s|%v|%s|%v|fwd=%v|wb=%v|parts=%d|dram=%v,%v",
+		sc.Mix, sc.Contention, sc.Policy, sc.Topology, sc.BWPredictor,
+		sc.DM, sc.DisableForwarding, sc.AlwaysWriteBack, sc.OutputPartitions,
+		sc.DetailedDRAM, sc.DRAMFCFS)
+}
+
+// Warm runs the given scenarios concurrently (workers goroutines) so later
+// Get calls hit the cache. Errors surface on the subsequent Get.
+func (s *Sweep) Warm(scenarios []Scenario, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan Scenario)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sc := range ch {
+				_, _ = s.Get(sc)
+			}
+		}()
+	}
+	for _, sc := range scenarios {
+		ch <- sc
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// MainGrid enumerates the (contention, mix, policy) scenarios behind the
+// paper's core figures, for prefetching.
+func MainGrid() []Scenario {
+	var out []Scenario
+	for _, lvl := range []workload.Contention{workload.Low, workload.Medium, workload.High, workload.Continuous} {
+		for _, mix := range workload.Mixes(lvl) {
+			for _, p := range FairnessPolicyNames {
+				out = append(out, Scenario{Mix: mix, Contention: lvl, Policy: p})
+			}
+		}
+	}
+	return out
+}
+
+// Get runs the scenario (or returns the cached result).
+func (s *Sweep) Get(sc Scenario) (*Result, error) {
+	k := s.key(sc)
+	for {
+		s.mu.Lock()
+		if r, ok := s.results[k]; ok {
+			s.mu.Unlock()
+			return r, nil
+		}
+		if wg, ok := s.inFlight[k]; ok {
+			s.mu.Unlock()
+			wg.Wait()
+			continue
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		s.inFlight[k] = wg
+		s.mu.Unlock()
+
+		r, err := Run(sc)
+		s.mu.Lock()
+		if err == nil {
+			s.results[k] = r
+		}
+		delete(s.inFlight, k)
+		s.mu.Unlock()
+		wg.Done()
+		return r, err
+	}
+}
+
+// resultJSON is the machine-readable summary DumpJSON emits per scenario.
+type resultJSON struct {
+	Scenario     string             `json:"scenario"`
+	MakespanMS   float64            `json:"makespan_ms"`
+	Edges        int                `json:"edges"`
+	Forwards     int                `json:"forwards"`
+	Colocations  int                `json:"colocations"`
+	DRAMPct      float64            `json:"dram_traffic_pct"`
+	SpadPct      float64            `json:"spad_traffic_pct"`
+	NodeDLPct    float64            `json:"node_deadline_pct"`
+	DAGDLPct     float64            `json:"dag_deadline_pct"`
+	Occupancy    float64            `json:"occupancy"`
+	Interconnect float64            `json:"interconnect_occupancy"`
+	Apps         map[string]appJSON `json:"apps"`
+}
+
+type appJSON struct {
+	Iterations   int     `json:"iterations"`
+	DeadlinesMet int     `json:"deadlines_met"`
+	Slowdown     float64 `json:"slowdown"`
+}
+
+// DumpJSON writes every cached result as a JSON array, sorted by scenario
+// key, for external analysis/plotting.
+func (s *Sweep) DumpJSON(w io.Writer) error {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.results))
+	for k := range s.results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []resultJSON
+	for _, k := range keys {
+		r := s.results[k]
+		st := r.Stats
+		dram, spad := st.DataMovement()
+		rj := resultJSON{
+			Scenario:     k,
+			MakespanMS:   st.Makespan.Milliseconds(),
+			Edges:        st.Edges,
+			Forwards:     st.Forwards,
+			Colocations:  st.Colocations,
+			DRAMPct:      dram,
+			SpadPct:      spad,
+			NodeDLPct:    st.NodeDeadlinePct(),
+			DAGDLPct:     st.DAGDeadlinePct(),
+			Occupancy:    st.Occupancy(),
+			Interconnect: st.InterconnectOccupancy,
+			Apps:         map[string]appJSON{},
+		}
+		for name, a := range st.Apps {
+			slow := a.Slowdown()
+			if math.IsInf(slow, 1) {
+				slow = -1 // JSON has no Inf; -1 flags starvation
+			}
+			rj.Apps[name] = appJSON{Iterations: a.Iterations, DeadlinesMet: a.DeadlinesMet, Slowdown: slow}
+		}
+		out = append(out, rj)
+	}
+	s.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

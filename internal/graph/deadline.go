@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"fmt"
+
+	"relief/internal/sim"
+)
+
+// DeadlineMode selects how per-node deadlines are derived from the DAG
+// deadline (paper §II-C).
+type DeadlineMode uint8
+
+// Deadline assignment schemes.
+const (
+	// DeadlineDAG gives every node the DAG's deadline (GEDF-D / VIP).
+	DeadlineDAG DeadlineMode = iota
+	// DeadlineCPM assigns node deadlines by the critical-path method
+	// (GEDF-N, LL, LAX, RELIEF): a node's deadline is the latest completion
+	// time that still lets the longest downstream path finish by the DAG
+	// deadline. Under this scheme a node's laxity equals the DAG laxity
+	// along its critical path (paper §VII).
+	DeadlineCPM
+	// DeadlineSDR distributes the DAG deadline by HetSched's sub-deadline
+	// ratio: deadline_task = SDR x deadline_DAG, where SDR is the task's
+	// cumulative share of the execution time of the longest path through it.
+	DeadlineSDR
+)
+
+func (m DeadlineMode) String() string {
+	switch m {
+	case DeadlineDAG:
+		return "dag"
+	case DeadlineCPM:
+		return "cpm"
+	case DeadlineSDR:
+		return "sdr"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// AssignDeadlines fills every node's RelDeadline according to mode, using
+// runtimeOf as the per-node execution-time estimate (typically compute time
+// plus memory time at peak bandwidth, matching the paper's critical-path
+// analysis inputs).
+func AssignDeadlines(d *DAG, mode DeadlineMode, runtimeOf func(*Node) sim.Time) error {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case DeadlineDAG:
+		for _, n := range d.Nodes {
+			n.RelDeadline = d.Deadline
+		}
+		return nil
+	case DeadlineCPM:
+		after := cpAfter(order, runtimeOf)
+		for _, n := range d.Nodes {
+			// Latest completion: D - (downstream critical path excluding n).
+			n.RelDeadline = d.Deadline - (after[n] - runtimeOf(n))
+		}
+		return nil
+	case DeadlineSDR:
+		after := cpAfter(order, runtimeOf)
+		upto := cpUpto(order, runtimeOf)
+		for _, n := range d.Nodes {
+			path := upto[n] + after[n] - runtimeOf(n) // longest path through n
+			if path <= 0 {
+				n.RelDeadline = d.Deadline
+				continue
+			}
+			sdr := float64(upto[n]) / float64(path)
+			n.RelDeadline = sim.Time(sdr * float64(d.Deadline))
+		}
+		return nil
+	}
+	return fmt.Errorf("graph: unknown deadline mode %v", mode)
+}
+
+// cpAfter computes, for each node, the longest runtime path from the node
+// (inclusive) to any sink.
+func cpAfter(order []*Node, runtimeOf func(*Node) sim.Time) map[*Node]sim.Time {
+	after := make(map[*Node]sim.Time, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		var best sim.Time
+		for _, c := range n.Children {
+			if after[c] > best {
+				best = after[c]
+			}
+		}
+		after[n] = best + runtimeOf(n)
+	}
+	return after
+}
+
+// cpUpto computes, for each node, the longest runtime path from any source
+// to the node (inclusive).
+func cpUpto(order []*Node, runtimeOf func(*Node) sim.Time) map[*Node]sim.Time {
+	upto := make(map[*Node]sim.Time, len(order))
+	for _, n := range order {
+		var best sim.Time
+		for _, p := range n.Parents {
+			if upto[p] > best {
+				best = upto[p]
+			}
+		}
+		upto[n] = best + runtimeOf(n)
+	}
+	return upto
+}
+
+// CriticalPath returns the longest runtime path length in the DAG.
+func CriticalPath(d *DAG, runtimeOf func(*Node) sim.Time) (sim.Time, error) {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return 0, err
+	}
+	after := cpAfter(order, runtimeOf)
+	var best sim.Time
+	for _, n := range d.Roots() {
+		if after[n] > best {
+			best = after[n]
+		}
+	}
+	return best, nil
+}

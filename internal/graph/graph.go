@@ -1,0 +1,249 @@
+// Package graph implements the task-DAG model that applications submit to
+// the hardware manager: nodes (paper Table III), edges carrying
+// producer/consumer buffers, critical-path analysis, and the three deadline
+// assignment schemes used by the evaluated policies (DAG deadline,
+// critical-path-method node deadlines, and HetSched sub-deadline ratios).
+package graph
+
+import (
+	"fmt"
+
+	"relief/internal/accel"
+	"relief/internal/sim"
+)
+
+// State tracks a node through its lifetime.
+type State uint8
+
+// Node lifecycle states.
+const (
+	Waiting State = iota // dependencies outstanding
+	Ready                // in a ready queue
+	Running              // launched on an accelerator
+	Done
+)
+
+// Node is one task in an application DAG, executed by a single accelerator.
+// It mirrors the paper's node structure (Table III) plus the scheduling
+// state the hardware manager maintains at run time.
+type Node struct {
+	ID   int
+	Name string
+	Kind accel.Kind
+	Op   accel.Op
+	// FilterSize is the convolution filter edge length (convolution only).
+	FilterSize int
+	// Pixels is the element count of the primary input (default 128*128).
+	Pixels int
+
+	Parents  []*Node
+	Children []*Node
+	// EdgeInBytes[i] is the number of bytes received from Parents[i].
+	EdgeInBytes []int64
+	// ExtraInputBytes are loaded from main memory regardless of forwarding
+	// (weights, fresh camera frames on root nodes).
+	ExtraInputBytes int64
+	// OutputBytes is the size of the node's result buffer.
+	OutputBytes int64
+
+	// Compute is the nominal compute latency, filled by DAG.Finalize.
+	Compute sim.Time
+	// RelDeadline is the node deadline relative to DAG release, filled by
+	// AssignDeadlines.
+	RelDeadline sim.Time
+
+	DAG *DAG
+
+	// ---- run-time scheduling state (owned by the manager) ----
+
+	State            State
+	CompletedParents int
+	// Deadline is the absolute node deadline (release + RelDeadline).
+	Deadline sim.Time
+	// PredRuntime is the predicted execution time used for laxity.
+	PredRuntime sim.Time
+	// Laxity is the stored laxity key (Deadline - PredRuntime); the paper
+	// subtracts current time when comparing, and RELIEF's feasibility check
+	// mutates it when escalations consume slack (Algorithm 2, line 14).
+	Laxity sim.Time
+	// IsFwd marks a node escalated to the queue front by RELIEF.
+	IsFwd bool
+
+	ReadyAt, StartAt, FinishAt sim.Time
+	// ActualRuntime is StartAt..FinishAt, for predictor error accounting.
+	ActualRuntime sim.Time
+}
+
+// NumEdgesIn returns the number of producer edges into the node.
+func (n *Node) NumEdgesIn() int { return len(n.Parents) }
+
+// TotalInputBytes is the data the node consumes: all parent edges plus
+// DRAM-resident extra inputs.
+func (n *Node) TotalInputBytes() int64 {
+	total := n.ExtraInputBytes
+	for _, b := range n.EdgeInBytes {
+		total += b
+	}
+	return total
+}
+
+// IsLeaf reports whether the node has no children (its output is the
+// application's final result and must be written back).
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// IsRoot reports whether the node has no parents.
+func (n *Node) IsRoot() bool { return len(n.Parents) == 0 }
+
+func (n *Node) String() string {
+	return fmt.Sprintf("%s/%s#%d", n.DAG.App, n.Name, n.ID)
+}
+
+// DAG is an application task graph with a deadline.
+type DAG struct {
+	App string // application name, e.g. "canny"
+	Sym string // single-letter symbol used in the paper's mixes (C D G H L)
+	// Deadline is relative to release time (paper Table V).
+	Deadline sim.Time
+	Nodes    []*Node
+
+	// Release is the absolute submission time, set by the manager.
+	Release sim.Time
+	// FinishAt is when the last node completed (0 until then).
+	FinishAt sim.Time
+	// Iteration distinguishes re-submissions under continuous contention.
+	Iteration int
+
+	doneCount int
+}
+
+// New creates an empty DAG with the given identity and relative deadline.
+func New(app, sym string, deadline sim.Time) *DAG {
+	return &DAG{App: app, Sym: sym, Deadline: deadline}
+}
+
+// AddNode appends a node to the DAG wired to the given parents. Edge sizes
+// default to each parent's OutputBytes and can be adjusted afterwards.
+func (d *DAG) AddNode(name string, kind accel.Kind, op accel.Op, outputBytes int64, parents ...*Node) *Node {
+	n := &Node{
+		ID:          len(d.Nodes),
+		Name:        name,
+		Kind:        kind,
+		Op:          op,
+		Pixels:      128 * 128,
+		OutputBytes: outputBytes,
+		DAG:         d,
+	}
+	for _, p := range parents {
+		if p == nil {
+			panic("graph: nil parent")
+		}
+		n.Parents = append(n.Parents, p)
+		n.EdgeInBytes = append(n.EdgeInBytes, p.OutputBytes)
+		p.Children = append(p.Children, n)
+	}
+	d.Nodes = append(d.Nodes, n)
+	return n
+}
+
+// Roots returns the nodes with no parents.
+func (d *DAG) Roots() []*Node {
+	var rs []*Node
+	for _, n := range d.Nodes {
+		if n.IsRoot() {
+			rs = append(rs, n)
+		}
+	}
+	return rs
+}
+
+// Leaves returns the nodes with no children.
+func (d *DAG) Leaves() []*Node {
+	var ls []*Node
+	for _, n := range d.Nodes {
+		if n.IsLeaf() {
+			ls = append(ls, n)
+		}
+	}
+	return ls
+}
+
+// NumEdges counts producer/consumer edges, the denominator of the paper's
+// "forwards / edges" metric (Fig. 4).
+func (d *DAG) NumEdges() int {
+	total := 0
+	for _, n := range d.Nodes {
+		total += len(n.Parents)
+	}
+	return total
+}
+
+// Finalize fills each node's nominal compute time from the calibrated
+// accelerator model and validates the graph is acyclic. It must be called
+// once after construction, before deadline assignment.
+func (d *DAG) Finalize() error {
+	for _, n := range d.Nodes {
+		if n.Compute == 0 {
+			n.Compute = accel.ComputeTime(n.Kind, n.Op, n.Pixels, n.FilterSize)
+		}
+	}
+	if _, err := d.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns the nodes in a dependency-respecting order, or an error
+// if the graph has a cycle.
+func (d *DAG) TopoOrder() ([]*Node, error) {
+	indeg := make(map[*Node]int, len(d.Nodes))
+	var queue []*Node
+	for _, n := range d.Nodes {
+		indeg[n] = len(n.Parents)
+		if len(n.Parents) == 0 {
+			queue = append(queue, n)
+		}
+	}
+	order := make([]*Node, 0, len(d.Nodes))
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, c := range n.Children {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != len(d.Nodes) {
+		return nil, fmt.Errorf("graph: %s has a dependency cycle", d.App)
+	}
+	return order, nil
+}
+
+// NodeDone records a node completion and returns true when the whole DAG
+// has finished.
+func (d *DAG) NodeDone(now sim.Time) bool {
+	d.doneCount++
+	if d.doneCount == len(d.Nodes) {
+		d.FinishAt = now
+		return true
+	}
+	return false
+}
+
+// Finished reports whether every node has completed.
+func (d *DAG) Finished() bool { return d.doneCount == len(d.Nodes) }
+
+// Runtime returns the end-to-end latency of the DAG (0 if unfinished).
+func (d *DAG) Runtime() sim.Time {
+	if d.FinishAt == 0 && d.doneCount < len(d.Nodes) {
+		return 0
+	}
+	return d.FinishAt - d.Release
+}
+
+// MetDeadline reports whether the DAG finished within its deadline.
+func (d *DAG) MetDeadline() bool {
+	return d.Finished() && d.FinishAt <= d.Release+d.Deadline
+}

@@ -1,0 +1,328 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relief/internal/accel"
+	"relief/internal/sim"
+)
+
+func chain(n int) *DAG {
+	d := New("chain", "X", 10*sim.Millisecond)
+	var prev *Node
+	for i := 0; i < n; i++ {
+		if prev == nil {
+			prev = d.AddNode("n0", accel.ElemMatrix, accel.OpAdd, 1000)
+		} else {
+			prev = d.AddNode("n", accel.ElemMatrix, accel.OpAdd, 1000, prev)
+		}
+	}
+	return d
+}
+
+func TestAddNodeWiring(t *testing.T) {
+	d := New("t", "T", sim.Millisecond)
+	a := d.AddNode("a", accel.ISP, accel.OpDefault, 100)
+	b := d.AddNode("b", accel.Grayscale, accel.OpDefault, 200, a)
+	c := d.AddNode("c", accel.ElemMatrix, accel.OpAdd, 300, a, b)
+	if len(a.Children) != 2 || a.Children[0] != b || a.Children[1] != c {
+		t.Fatal("parent->child wiring broken")
+	}
+	if len(c.Parents) != 2 || c.EdgeInBytes[0] != 100 || c.EdgeInBytes[1] != 200 {
+		t.Fatalf("edge bytes default to parent output: got %v", c.EdgeInBytes)
+	}
+	if c.TotalInputBytes() != 300 {
+		t.Errorf("TotalInputBytes = %d, want 300", c.TotalInputBytes())
+	}
+	c.ExtraInputBytes = 50
+	if c.TotalInputBytes() != 350 {
+		t.Errorf("TotalInputBytes with extra = %d, want 350", c.TotalInputBytes())
+	}
+	if !a.IsRoot() || a.IsLeaf() || !c.IsLeaf() || c.IsRoot() {
+		t.Error("root/leaf classification wrong")
+	}
+	if d.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", d.NumEdges())
+	}
+	if len(d.Roots()) != 1 || len(d.Leaves()) != 1 {
+		t.Errorf("roots/leaves = %d/%d, want 1/1", len(d.Roots()), len(d.Leaves()))
+	}
+}
+
+func TestFinalizeFillsCompute(t *testing.T) {
+	d := chain(3)
+	if err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := accel.ComputeTime(accel.ElemMatrix, accel.OpAdd, 128*128, 0)
+	for _, n := range d.Nodes {
+		if n.Compute != want {
+			t.Errorf("node %s compute = %v, want %v", n.Name, n.Compute, want)
+		}
+	}
+	// Explicit compute times are preserved.
+	d2 := chain(1)
+	d2.Nodes[0].Compute = 42 * sim.Microsecond
+	if err := d2.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Nodes[0].Compute != 42*sim.Microsecond {
+		t.Error("Finalize overwrote explicit compute time")
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	d := New("cyclic", "Y", sim.Millisecond)
+	a := d.AddNode("a", accel.ElemMatrix, accel.OpAdd, 100)
+	b := d.AddNode("b", accel.ElemMatrix, accel.OpAdd, 100, a)
+	// Manually create a back edge.
+	a.Parents = append(a.Parents, b)
+	a.EdgeInBytes = append(a.EdgeInBytes, 100)
+	b.Children = append(b.Children, a)
+	if _, err := d.TopoOrder(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	if err := d.Finalize(); err == nil {
+		t.Fatal("Finalize accepted a cyclic graph")
+	}
+}
+
+func TestDAGCompletion(t *testing.T) {
+	d := chain(3)
+	d.Release = 10 * sim.Microsecond
+	for i := range d.Nodes {
+		last := d.NodeDone(sim.Time(20+i) * sim.Microsecond)
+		if (i == len(d.Nodes)-1) != last {
+			t.Fatalf("NodeDone returned %v at node %d", last, i)
+		}
+	}
+	if !d.Finished() {
+		t.Fatal("DAG not finished after all nodes done")
+	}
+	if d.Runtime() != 12*sim.Microsecond {
+		t.Errorf("Runtime = %v, want 12us", d.Runtime())
+	}
+	if !d.MetDeadline() {
+		t.Error("deadline unexpectedly missed")
+	}
+}
+
+func runtimeOf(n *Node) sim.Time { return n.Compute }
+
+func TestDeadlineDAGMode(t *testing.T) {
+	d := chain(4)
+	mustFinalize(t, d)
+	if err := AssignDeadlines(d, DeadlineDAG, runtimeOf); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range d.Nodes {
+		if n.RelDeadline != d.Deadline {
+			t.Errorf("node %s deadline %v, want DAG deadline %v", n.Name, n.RelDeadline, d.Deadline)
+		}
+	}
+}
+
+func TestDeadlineCPMChain(t *testing.T) {
+	// Four-node chain, each node 1ms, DAG deadline 10ms: node i's deadline
+	// is 10 - (remaining nodes after i) * 1ms.
+	d := chain(4)
+	for _, n := range d.Nodes {
+		n.Compute = sim.Millisecond
+	}
+	mustFinalize(t, d)
+	if err := AssignDeadlines(d, DeadlineCPM, runtimeOf); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range d.Nodes {
+		want := d.Deadline - sim.Time(3-i)*sim.Millisecond
+		if n.RelDeadline != want {
+			t.Errorf("node %d CPM deadline %v, want %v", i, n.RelDeadline, want)
+		}
+	}
+	// The sink's deadline is the DAG deadline; laxity along the chain is
+	// constant (paper §VII: LL does not distribute laxity).
+	if d.Nodes[3].RelDeadline != d.Deadline {
+		t.Error("sink deadline != DAG deadline")
+	}
+}
+
+func TestDeadlineCPMDiamond(t *testing.T) {
+	// a -> {b (3ms), c (1ms)} -> d: b is on the critical path, so c gets
+	// slack.
+	d := New("diamond", "D", 10*sim.Millisecond)
+	a := d.AddNode("a", accel.ElemMatrix, accel.OpAdd, 100)
+	b := d.AddNode("b", accel.ElemMatrix, accel.OpAdd, 100, a)
+	c := d.AddNode("c", accel.ElemMatrix, accel.OpAdd, 100, a)
+	e := d.AddNode("d", accel.ElemMatrix, accel.OpAdd, 100, b, c)
+	a.Compute, b.Compute, c.Compute, e.Compute = sim.Millisecond, 3*sim.Millisecond, sim.Millisecond, sim.Millisecond
+	mustFinalize(t, d)
+	if err := AssignDeadlines(d, DeadlineCPM, runtimeOf); err != nil {
+		t.Fatal(err)
+	}
+	if e.RelDeadline != 10*sim.Millisecond {
+		t.Errorf("sink deadline %v, want 10ms", e.RelDeadline)
+	}
+	if b.RelDeadline != 9*sim.Millisecond {
+		t.Errorf("critical-path node deadline %v, want 9ms", b.RelDeadline)
+	}
+	if c.RelDeadline != 9*sim.Millisecond {
+		t.Errorf("slack node deadline %v, want 9ms (latest completion)", c.RelDeadline)
+	}
+	if a.RelDeadline != 6*sim.Millisecond {
+		t.Errorf("source deadline %v, want 6ms", a.RelDeadline)
+	}
+}
+
+func TestDeadlineSDRDistributesLaxity(t *testing.T) {
+	d := chain(4)
+	for _, n := range d.Nodes {
+		n.Compute = sim.Millisecond
+	}
+	mustFinalize(t, d)
+	if err := AssignDeadlines(d, DeadlineSDR, runtimeOf); err != nil {
+		t.Fatal(err)
+	}
+	// SDR on a uniform chain: node i gets (i+1)/4 of the DAG deadline.
+	for i, n := range d.Nodes {
+		want := sim.Time(float64(i+1) / 4 * float64(d.Deadline))
+		if n.RelDeadline != want {
+			t.Errorf("node %d SDR deadline %v, want %v", i, n.RelDeadline, want)
+		}
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	d := chain(5)
+	for _, n := range d.Nodes {
+		n.Compute = 2 * sim.Millisecond
+	}
+	mustFinalize(t, d)
+	cp, err := CriticalPath(d, runtimeOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 10*sim.Millisecond {
+		t.Errorf("critical path %v, want 10ms", cp)
+	}
+}
+
+func mustFinalize(t *testing.T, d *DAG) {
+	t.Helper()
+	if err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomDAG builds a random layered DAG.
+func randomDAG(rng *rand.Rand) *DAG {
+	d := New("rand", "R", sim.Time(1+rng.Intn(20))*sim.Millisecond)
+	var prevLayer []*Node
+	layers := 1 + rng.Intn(5)
+	for l := 0; l < layers; l++ {
+		width := 1 + rng.Intn(4)
+		var layer []*Node
+		for i := 0; i < width; i++ {
+			var parents []*Node
+			for _, p := range prevLayer {
+				if rng.Intn(2) == 0 {
+					parents = append(parents, p)
+				}
+			}
+			if len(prevLayer) > 0 && len(parents) == 0 {
+				parents = append(parents, prevLayer[rng.Intn(len(prevLayer))])
+			}
+			n := d.AddNode("n", accel.Kind(rng.Intn(int(accel.NumKinds))), accel.OpAdd, int64(1+rng.Intn(65536)), parents...)
+			n.Compute = sim.Time(1+rng.Intn(1000)) * sim.Microsecond
+			layer = append(layer, n)
+		}
+		prevLayer = layer
+	}
+	return d
+}
+
+// TestQuickTopoOrderValid: topological order respects every edge.
+func TestQuickTopoOrderValid(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDAG(rand.New(rand.NewSource(seed)))
+		order, err := d.TopoOrder()
+		if err != nil || len(order) != len(d.Nodes) {
+			return false
+		}
+		pos := make(map[*Node]int)
+		for i, n := range order {
+			pos[n] = i
+		}
+		for _, n := range d.Nodes {
+			for _, c := range n.Children {
+				if pos[c] <= pos[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCPMDeadlinesMonotone: under CPM, a child's deadline is at least
+// its parent's deadline plus the child's runtime slack — in particular
+// deadlines never decrease along an edge, and the sink on the critical path
+// gets exactly the DAG deadline.
+func TestQuickCPMDeadlinesMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDAG(rand.New(rand.NewSource(seed)))
+		if err := AssignDeadlines(d, DeadlineCPM, runtimeOf); err != nil {
+			return false
+		}
+		for _, n := range d.Nodes {
+			for _, c := range n.Children {
+				if c.RelDeadline < n.RelDeadline {
+					return false
+				}
+			}
+			if n.IsLeaf() && n.RelDeadline > d.Deadline {
+				return false
+			}
+		}
+		// At least one leaf carries the full DAG deadline.
+		found := false
+		for _, n := range d.Leaves() {
+			if n.RelDeadline == d.Deadline {
+				found = true
+			}
+		}
+		return found
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSDRDeadlinesBounded: SDR deadlines are in (0, DAG deadline] and
+// monotone along edges.
+func TestQuickSDRDeadlinesBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDAG(rand.New(rand.NewSource(seed)))
+		if err := AssignDeadlines(d, DeadlineSDR, runtimeOf); err != nil {
+			return false
+		}
+		for _, n := range d.Nodes {
+			if n.RelDeadline <= 0 || n.RelDeadline > d.Deadline {
+				return false
+			}
+			for _, c := range n.Children {
+				if c.RelDeadline < n.RelDeadline {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"fmt"
+
+	"relief/internal/sim"
+)
+
+// Tile splits every node of the DAG into tiles independent sub-tasks, each
+// operating on 1/tiles of the data — the task-chunking the paper's
+// platform supports for accelerators whose scratchpads cannot hold a whole
+// input ("the software runtime or the hardware manager can break down
+// tasks into smaller chunks, similar to accelerator composition in GAM+",
+// §IV-B).
+//
+// Edges are connected tile-wise: tile i of a consumer reads tile i of each
+// producer. This is exact for element-wise kernels and ignores filter
+// halos for convolutions (a few rows of overlap, below the timing model's
+// resolution). Compute, output, edge, and extra-input sizes divide evenly
+// across tiles; per-node remainders go to the last tile.
+func Tile(d *DAG, tiles int) (*DAG, error) {
+	if tiles <= 0 {
+		return nil, fmt.Errorf("graph: tile count %d", tiles)
+	}
+	if tiles == 1 {
+		return d, nil
+	}
+	out := New(d.App, d.Sym, d.Deadline)
+	split := make(map[*Node][]*Node, len(d.Nodes))
+	order, err := d.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range order {
+		parts := make([]*Node, tiles)
+		for i := 0; i < tiles; i++ {
+			var parents []*Node
+			for _, p := range n.Parents {
+				parents = append(parents, split[p][i])
+			}
+			t := out.AddNode(fmt.Sprintf("%s.t%d", n.Name, i), n.Kind, n.Op,
+				share(n.OutputBytes, tiles, i), parents...)
+			t.FilterSize = n.FilterSize
+			t.Pixels = intShare(n.Pixels, tiles, i)
+			t.ExtraInputBytes = share(n.ExtraInputBytes, tiles, i)
+			for j := range n.Parents {
+				t.EdgeInBytes[j] = share(n.EdgeInBytes[j], tiles, i)
+			}
+			if n.Compute != 0 {
+				t.Compute = n.Compute / sim.Time(tiles)
+			}
+			parts[i] = t
+		}
+		split[n] = parts
+	}
+	return out, nil
+}
+
+func share(total int64, tiles, i int) int64 {
+	base := total / int64(tiles)
+	if i == tiles-1 {
+		return total - base*int64(tiles-1)
+	}
+	return base
+}
+
+func intShare(total, tiles, i int) int {
+	base := total / tiles
+	if i == tiles-1 {
+		return total - base*(tiles-1)
+	}
+	return base
+}

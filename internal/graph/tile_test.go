@@ -1,0 +1,118 @@
+package graph
+
+import (
+	"testing"
+
+	"relief/internal/accel"
+	"relief/internal/sim"
+)
+
+func diamondDAG() *DAG {
+	d := New("t", "T", 10*sim.Millisecond)
+	a := d.AddNode("a", accel.ISP, accel.OpDefault, 1000)
+	a.ExtraInputBytes = 500
+	b := d.AddNode("b", accel.Convolution, accel.OpDefault, 2000, a)
+	b.FilterSize = 3
+	c := d.AddNode("c", accel.ElemMatrix, accel.OpSqr, 2000, a)
+	d.AddNode("d", accel.ElemMatrix, accel.OpAdd, 4000, b, c)
+	return d
+}
+
+func TestTileStructure(t *testing.T) {
+	d := diamondDAG()
+	if err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	td, err := Tile(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(td.Nodes) != 4*len(d.Nodes) {
+		t.Fatalf("tiled nodes = %d, want %d", len(td.Nodes), 4*len(d.Nodes))
+	}
+	if td.NumEdges() != 4*d.NumEdges() {
+		t.Fatalf("tiled edges = %d, want %d", td.NumEdges(), 4*d.NumEdges())
+	}
+	if _, err := td.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: totals across tiles equal the original.
+	var out, extra, edges int64
+	var compute sim.Time
+	for _, n := range td.Nodes {
+		out += n.OutputBytes
+		extra += n.ExtraInputBytes
+		compute += n.Compute
+		for _, e := range n.EdgeInBytes {
+			edges += e
+		}
+	}
+	var wantOut, wantExtra, wantEdges int64
+	var wantCompute sim.Time
+	for _, n := range d.Nodes {
+		wantOut += n.OutputBytes
+		wantExtra += n.ExtraInputBytes
+		wantCompute += n.Compute
+		for _, e := range n.EdgeInBytes {
+			wantEdges += e
+		}
+	}
+	if out != wantOut || extra != wantExtra || edges != wantEdges {
+		t.Errorf("byte totals differ: out %d/%d extra %d/%d edges %d/%d",
+			out, wantOut, extra, wantExtra, edges, wantEdges)
+	}
+	if compute != wantCompute {
+		t.Errorf("compute total %v, want %v", compute, wantCompute)
+	}
+	// Filter size and kind propagate.
+	for _, n := range td.Nodes {
+		if n.Name == "b.t2" {
+			if n.Kind != accel.Convolution || n.FilterSize != 3 {
+				t.Error("tile lost kind/filter metadata")
+			}
+		}
+	}
+}
+
+func TestTileRemainders(t *testing.T) {
+	d := New("t", "T", sim.Millisecond)
+	n := d.AddNode("n", accel.ElemMatrix, accel.OpAdd, 1001)
+	n.ExtraInputBytes = 1001
+	if err := d.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	td, err := Tile(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, tn := range td.Nodes {
+		total += tn.OutputBytes
+	}
+	if total != 1001 {
+		t.Fatalf("remainder lost: total %d", total)
+	}
+}
+
+func TestTileDegenerate(t *testing.T) {
+	d := diamondDAG()
+	same, err := Tile(d, 1)
+	if err != nil || same != d {
+		t.Fatal("tiles=1 must return the original DAG")
+	}
+	if _, err := Tile(d, 0); err == nil {
+		t.Fatal("tiles=0 accepted")
+	}
+}
+
+func TestTileRejectsCycle(t *testing.T) {
+	d := New("cyclic", "Y", sim.Millisecond)
+	a := d.AddNode("a", accel.ElemMatrix, accel.OpAdd, 100)
+	b := d.AddNode("b", accel.ElemMatrix, accel.OpAdd, 100, a)
+	a.Parents = append(a.Parents, b)
+	a.EdgeInBytes = append(a.EdgeInBytes, 100)
+	b.Children = append(b.Children, a)
+	if _, err := Tile(d, 2); err == nil {
+		t.Fatal("cyclic DAG tiled")
+	}
+}

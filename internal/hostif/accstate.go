@@ -1,0 +1,114 @@
+package hostif
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"relief/internal/accel"
+)
+
+// NumSPMPartitions is the maximum scratchpad partition count the metadata
+// supports (paper Table IV: NUM_SPM_PARTITIONS = 3).
+const NumSPMPartitions = 3
+
+// AccState is the manager's per-accelerator metadata block (paper
+// Table IV): MMR apertures for the accelerator and its DMA engine, the
+// scratchpad partition addresses, the device status, the node whose output
+// each partition holds, and the ongoing-read counts that protect
+// partitions from write-after-read hazards.
+//
+// The paper gives the size as exactly 32 bytes with 32-bit pointers and 3
+// partitions; that packing implies the partition addresses are stored as a
+// base plus a stride (partitions are equal slices of the scratchpad) and
+// the ongoing-read counters are bytes:
+//
+//	acc_mmr(4) + dma_mmr(4) + spm_base(4) + spm_stride(4) +
+//	output[3](12) + status(1) + ongoing_reads[3](3) = 32.
+type AccState struct {
+	AccMMR       Pointer
+	DMAMMR       Pointer
+	SPMBase      Pointer
+	SPMStride    uint32
+	Output       [NumSPMPartitions]Pointer
+	Status       uint8
+	OngoingReads [NumSPMPartitions]uint8
+}
+
+// SPMAddr returns the address of partition i.
+func (a *AccState) SPMAddr(i int) Pointer {
+	if i < 0 || i >= NumSPMPartitions {
+		panic(fmt.Sprintf("hostif: partition %d out of range", i))
+	}
+	return a.SPMBase + Pointer(i)*Pointer(a.SPMStride)
+}
+
+// AccStateBytes is the encoded size of one acc_state (paper: 32 bytes).
+const AccStateBytes = 32
+
+// ManagerHeaderBytes is the manager's queue-bookkeeping block, making the
+// 7-accelerator metadata total 7 x 32 + 12 = 236 bytes, the paper's
+// figure.
+const ManagerHeaderBytes = 12
+
+// TotalMetadataBytes returns the manager metadata footprint for a platform
+// with n accelerators (paper: 236 bytes for 7).
+func TotalMetadataBytes(n int) int { return n*AccStateBytes + ManagerHeaderBytes }
+
+// Encode serialises the metadata block.
+func (a *AccState) Encode() []byte {
+	buf := make([]byte, 0, AccStateBytes)
+	le := binary.LittleEndian
+	buf = le.AppendUint32(buf, a.AccMMR)
+	buf = le.AppendUint32(buf, a.DMAMMR)
+	buf = le.AppendUint32(buf, a.SPMBase)
+	buf = le.AppendUint32(buf, a.SPMStride)
+	for _, p := range a.Output {
+		buf = le.AppendUint32(buf, p)
+	}
+	buf = append(buf, a.Status)
+	buf = append(buf, a.OngoingReads[:]...)
+	if len(buf) != AccStateBytes {
+		panic(fmt.Sprintf("hostif: acc_state encoded %d bytes", len(buf)))
+	}
+	return buf
+}
+
+// DecodeAccState parses one metadata block.
+func DecodeAccState(b []byte) (AccState, error) {
+	if len(b) < AccStateBytes {
+		return AccState{}, fmt.Errorf("hostif: acc_state needs %d bytes, got %d", AccStateBytes, len(b))
+	}
+	le := binary.LittleEndian
+	var a AccState
+	a.AccMMR = le.Uint32(b)
+	a.DMAMMR = le.Uint32(b[4:])
+	a.SPMBase = le.Uint32(b[8:])
+	a.SPMStride = le.Uint32(b[12:])
+	for i := 0; i < NumSPMPartitions; i++ {
+		a.Output[i] = le.Uint32(b[16+4*i:])
+	}
+	a.Status = b[28]
+	copy(a.OngoingReads[:], b[29:32])
+	return a, nil
+}
+
+// DefaultPlatformMetadata lays out metadata for the paper's 7-accelerator
+// platform: MMR apertures at 0x4000_0000 + 64 KiB per device, scratchpad
+// partitions carved evenly from each accelerator's Table I capacity.
+func DefaultPlatformMetadata() []AccState {
+	var out []AccState
+	mmrBase := Pointer(0x4000_0000)
+	spmBase := Pointer(0x5000_0000)
+	for kind := accel.Kind(0); kind < accel.NumKinds; kind++ {
+		a := AccState{
+			AccMMR:    mmrBase,
+			DMAMMR:    mmrBase + 0x1000,
+			SPMBase:   spmBase,
+			SPMStride: uint32(accel.SPADBytes[kind] / NumSPMPartitions),
+		}
+		mmrBase += 0x10000
+		spmBase += 0x0100_0000
+		out = append(out, a)
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+// Package hostif implements the host/manager shared-memory interface of
+// paper §III-C: the binary DAG-node structure the CPU writes into main
+// memory for the hardware manager to parse (Table III), and the
+// accelerator metadata block the manager maintains (Table IV).
+//
+// The paper specifies the layouts exactly: with 32-bit pointers the base
+// node with one parent and one child is 72 bytes, each additional parent
+// adds 12 bytes (input pointer + parent pointer + producer_spm entry) and
+// each additional child 4 bytes (child pointer); the largest node in the
+// benchmark suite is 96 bytes. The accelerator metadata is 32 bytes per
+// accelerator with up to 3 scratchpad partitions, 236 bytes total for the
+// 7-accelerator platform (including the manager's 12-byte queue header).
+// This package encodes and decodes those structures, so a DAG can round-
+// trip through the same bytes a real host queue would carry.
+package hostif
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"relief/internal/graph"
+)
+
+// Node status values (the status field of Table III).
+const (
+	StatusWaiting uint8 = iota
+	StatusReady
+	StatusRunning
+	StatusDone
+)
+
+// Pointer is a 32-bit shared-memory address. The encoder assigns node
+// addresses; address 0 is the null pointer.
+type Pointer = uint32
+
+// NodeHeader is the fixed part of the Table III node structure.
+//
+//	struct node {
+//	    uint32_t acc_id;
+//	    void *acc_inputs[NUM_INPUTS];
+//	    node *children[NUM_CHILDREN];
+//	    node *parents[NUM_INPUTS];
+//	    uint8_t status;
+//	    uint32_t deadline;
+//	    acc_state *producer_acc[NUM_INPUTS];
+//	    uint32_t producer_spm[NUM_INPUTS];
+//	    uint32_t completed_parents;
+//	    ... synchronisation and bookkeeping (paper: hidden for brevity)
+//	}
+type NodeHeader struct {
+	AccID            uint32
+	NumInputs        uint32
+	NumChildren      uint32
+	Status           uint8
+	Op               uint8
+	FilterSize       uint8
+	_pad             uint8
+	DeadlineUS       uint32
+	CompletedParents uint32
+	OutputBytes      uint32
+	ExtraInputBytes  uint32
+}
+
+// Layout constants, matching the paper's arithmetic.
+const (
+	// headerBytes is the per-node fixed cost excluding the variable
+	// pointer arrays: acc_id(4) + status/op/filter/pad(4) + deadline(4) +
+	// completed_parents(4) + num_inputs(4) + num_children(4) +
+	// output_bytes(4) + extra_bytes(4) + sync/bookkeeping(24) = 56.
+	headerBytes = 56
+	// perParentBytes: acc_inputs + parents + producer_acc + producer_spm
+	// minus the producer_acc entry shared with acc_inputs = 12 per parent
+	// beyond the pointers counted in the base (paper: "each additional
+	// parent ... adding 12 bytes").
+	perParentBytes = 12
+	// perChildBytes: one child pointer.
+	perChildBytes = 4
+)
+
+// NodeSize returns the encoded size of a node with the given fan-in and
+// fan-out, following the paper's formula: 72 bytes base (1 parent, 1
+// child), +12 per extra parent, +4 per extra child. Roots and leaves still
+// reserve one slot, as the fixed-size C arrays do.
+func NodeSize(parents, children int) int {
+	if parents < 1 {
+		parents = 1
+	}
+	if children < 1 {
+		children = 1
+	}
+	return headerBytes + perParentBytes + perChildBytes +
+		(parents-1)*perParentBytes + (children-1)*perChildBytes
+}
+
+// EncodeDAG serialises the DAG into one contiguous shared-memory image and
+// returns the image plus each node's address, in graph node order.
+func EncodeDAG(d *graph.DAG) ([]byte, []Pointer, error) {
+	if len(d.Nodes) == 0 {
+		return nil, nil, fmt.Errorf("hostif: empty DAG")
+	}
+	// First pass: assign addresses (base 0x1000 to keep 0 as null).
+	addrs := make([]Pointer, len(d.Nodes))
+	addr := Pointer(0x1000)
+	for i, n := range d.Nodes {
+		addrs[i] = addr
+		size := NodeSize(len(n.Parents), len(n.Children))
+		addr += Pointer(size)
+	}
+	index := make(map[*graph.Node]int, len(d.Nodes))
+	for i, n := range d.Nodes {
+		index[n] = i
+	}
+	var buf []byte
+	le := binary.LittleEndian
+	put32 := func(v uint32) { buf = le.AppendUint32(buf, v) }
+	for _, n := range d.Nodes {
+		start := len(buf)
+		put32(uint32(n.Kind))
+		buf = append(buf, statusOf(n), uint8(n.Op), uint8(n.FilterSize), 0)
+		put32(uint32(n.RelDeadline.Microseconds()))
+		put32(uint32(n.CompletedParents))
+		put32(uint32(len(n.Parents)))
+		put32(uint32(len(n.Children)))
+		put32(uint32(n.OutputBytes))
+		put32(uint32(n.ExtraInputBytes))
+		// Synchronisation and bookkeeping words (paper: hidden for
+		// brevity): 24 bytes reserved.
+		for i := 0; i < 6; i++ {
+			put32(0)
+		}
+		// Parent slots: parent pointer, acc_input pointer (edge bytes in
+		// our encoding), producer_spm. Minimum one slot.
+		nP := len(n.Parents)
+		if nP == 0 {
+			nP = 1
+		}
+		for i := 0; i < nP; i++ {
+			if i < len(n.Parents) {
+				put32(addrs[index[n.Parents[i]]])
+				put32(uint32(n.EdgeInBytes[i]))
+			} else {
+				put32(0)
+				put32(0)
+			}
+			put32(0) // producer_spm, filled by the manager at run time
+		}
+		// Child slots.
+		nC := len(n.Children)
+		if nC == 0 {
+			nC = 1
+		}
+		for i := 0; i < nC; i++ {
+			if i < len(n.Children) {
+				put32(addrs[index[n.Children[i]]])
+			} else {
+				put32(0)
+			}
+		}
+		if got, want := len(buf)-start, NodeSize(len(n.Parents), len(n.Children)); got != want {
+			return nil, nil, fmt.Errorf("hostif: node %s encoded %d bytes, want %d", n.Name, got, want)
+		}
+	}
+	return buf, addrs, nil
+}
+
+func statusOf(n *graph.Node) uint8 {
+	switch n.State {
+	case graph.Ready:
+		return StatusReady
+	case graph.Running:
+		return StatusRunning
+	case graph.Done:
+		return StatusDone
+	}
+	return StatusWaiting
+}
+
+// DecodedNode is the manager-side view of one parsed node.
+type DecodedNode struct {
+	Addr        Pointer
+	AccID       uint32
+	Status      uint8
+	Op          uint8
+	FilterSize  uint8
+	DeadlineUS  uint32
+	Parents     []Pointer
+	EdgeBytes   []uint32
+	Children    []Pointer
+	OutputBytes uint32
+	ExtraBytes  uint32
+}
+
+// DecodeDAG parses a shared-memory image produced by EncodeDAG.
+func DecodeDAG(img []byte) ([]DecodedNode, error) {
+	le := binary.LittleEndian
+	var nodes []DecodedNode
+	off := 0
+	addr := Pointer(0x1000)
+	for off < len(img) {
+		if len(img)-off < headerBytes {
+			return nil, fmt.Errorf("hostif: truncated header at %d", off)
+		}
+		get32 := func(at int) uint32 { return le.Uint32(img[off+at:]) }
+		n := DecodedNode{
+			Addr:        addr,
+			AccID:       get32(0),
+			Status:      img[off+4],
+			Op:          img[off+5],
+			FilterSize:  img[off+6],
+			DeadlineUS:  get32(8),
+			OutputBytes: get32(24),
+			ExtraBytes:  get32(28),
+		}
+		nParents := int(get32(16))
+		nChildren := int(get32(20))
+		if nParents > 64 || nChildren > 64 {
+			return nil, fmt.Errorf("hostif: implausible fan at %d (%d/%d)", off, nParents, nChildren)
+		}
+		size := NodeSize(nParents, nChildren)
+		if len(img)-off < size {
+			return nil, fmt.Errorf("hostif: truncated node at %d", off)
+		}
+		slotP := nParents
+		if slotP == 0 {
+			slotP = 1
+		}
+		p := off + headerBytes
+		for i := 0; i < slotP; i++ {
+			if i < nParents {
+				n.Parents = append(n.Parents, le.Uint32(img[p:]))
+				n.EdgeBytes = append(n.EdgeBytes, le.Uint32(img[p+4:]))
+			}
+			p += perParentBytes
+		}
+		slotC := nChildren
+		if slotC == 0 {
+			slotC = 1
+		}
+		for i := 0; i < slotC; i++ {
+			if i < nChildren {
+				n.Children = append(n.Children, le.Uint32(img[p:]))
+			}
+			p += perChildBytes
+		}
+		nodes = append(nodes, n)
+		off += size
+		addr += Pointer(size)
+	}
+	return nodes, nil
+}

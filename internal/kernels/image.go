@@ -1,0 +1,316 @@
+// Package kernels provides functional (bit-true, not timed) implementations
+// of the seven elementary accelerators the platform models — ISP,
+// grayscale, convolution, element-wise matrix operations, Canny non-max
+// suppression, Harris non-max suppression, and edge tracking — plus GRU and
+// LSTM cells built from them. The examples run these to produce real
+// outputs for the same DAG shapes the simulator schedules; the paper's
+// accelerators are fixed-function, so kernel results never influence
+// timing.
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a single-channel float32 raster.
+type Image struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewImage allocates a zeroed W x H image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("kernels: invalid image size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel at (x, y), clamping coordinates to the image border
+// (the accelerators' convolution units clamp at edges).
+func (im *Image) At(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes panic.
+func (im *Image) Set(x, y int, v float32) { im.Pix[y*im.W+x] = v }
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := NewImage(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// RGB is an interleaved three-channel raster.
+type RGB struct {
+	W, H int
+	Pix  []float32 // len = 3*W*H, R G B interleaved
+}
+
+// NewRGB allocates a zeroed RGB image.
+func NewRGB(w, h int) *RGB {
+	return &RGB{W: w, H: h, Pix: make([]float32, 3*w*h)}
+}
+
+// ISP performs the image-signal-processor pipeline on RGGB Bayer raw data:
+// bilinear demosaicing, white-balance gains, and gamma correction
+// (paper Table I: "demosaicing, color correction, and gamma correction").
+func ISP(raw []byte, w, h int, gains [3]float32, gamma float64) (*RGB, error) {
+	if len(raw) != w*h {
+		return nil, fmt.Errorf("kernels: raw length %d != %dx%d", len(raw), w, h)
+	}
+	at := func(x, y int) float32 {
+		if x < 0 {
+			x = 0
+		}
+		if x >= w {
+			x = w - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= h {
+			y = h - 1
+		}
+		return float32(raw[y*w+x]) / 255
+	}
+	isR := func(x, y int) bool { return y%2 == 0 && x%2 == 0 }
+	isB := func(x, y int) bool { return y%2 == 1 && x%2 == 1 }
+	isG := func(x, y int) bool { return (x+y)%2 == 1 }
+	out := NewRGB(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var r, g, b float32
+			switch {
+			case isR(x, y):
+				r = at(x, y)
+				g = (at(x-1, y) + at(x+1, y) + at(x, y-1) + at(x, y+1)) / 4
+				b = (at(x-1, y-1) + at(x+1, y-1) + at(x-1, y+1) + at(x+1, y+1)) / 4
+			case isB(x, y):
+				b = at(x, y)
+				g = (at(x-1, y) + at(x+1, y) + at(x, y-1) + at(x, y+1)) / 4
+				r = (at(x-1, y-1) + at(x+1, y-1) + at(x-1, y+1) + at(x+1, y+1)) / 4
+			default: // green site
+				g = at(x, y)
+				if y%2 == 0 { // red row
+					r = (at(x-1, y) + at(x+1, y)) / 2
+					b = (at(x, y-1) + at(x, y+1)) / 2
+				} else {
+					b = (at(x-1, y) + at(x+1, y)) / 2
+					r = (at(x, y-1) + at(x, y+1)) / 2
+				}
+			}
+			_ = isG
+			i := 3 * (y*w + x)
+			out.Pix[i] = gammaCorrect(r*gains[0], gamma)
+			out.Pix[i+1] = gammaCorrect(g*gains[1], gamma)
+			out.Pix[i+2] = gammaCorrect(b*gains[2], gamma)
+		}
+	}
+	return out, nil
+}
+
+func gammaCorrect(v float32, gamma float64) float32 {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return float32(math.Pow(float64(v), 1/gamma))
+}
+
+// Grayscale converts RGB to luminance (ITU-R BT.601 weights).
+func Grayscale(in *RGB) *Image {
+	out := NewImage(in.W, in.H)
+	for p := 0; p < in.W*in.H; p++ {
+		out.Pix[p] = 0.299*in.Pix[3*p] + 0.587*in.Pix[3*p+1] + 0.114*in.Pix[3*p+2]
+	}
+	return out
+}
+
+// Convolve applies a square filter with border clamping. The filter must be
+// odd-sized and at most 5x5, the accelerator's maximum (paper Table I).
+func Convolve(in *Image, filter [][]float32) *Image {
+	n := len(filter)
+	if n == 0 || n%2 == 0 || n > 5 {
+		panic(fmt.Sprintf("kernels: convolution filter must be odd-sized <=5x5, got %d", n))
+	}
+	for _, row := range filter {
+		if len(row) != n {
+			panic("kernels: convolution filter must be square")
+		}
+	}
+	r := n / 2
+	out := NewImage(in.W, in.H)
+	for y := 0; y < in.H; y++ {
+		for x := 0; x < in.W; x++ {
+			var acc float32
+			for fy := -r; fy <= r; fy++ {
+				for fx := -r; fx <= r; fx++ {
+					acc += filter[fy+r][fx+r] * in.At(x+fx, y+fy)
+				}
+			}
+			out.Set(x, y, acc)
+		}
+	}
+	return out
+}
+
+// GaussianKernel returns a normalised size x size Gaussian filter.
+func GaussianKernel(size int, sigma float64) [][]float32 {
+	if size%2 == 0 {
+		panic("kernels: gaussian kernel size must be odd")
+	}
+	r := size / 2
+	k := make([][]float32, size)
+	var sum float64
+	for y := -r; y <= r; y++ {
+		k[y+r] = make([]float32, size)
+		for x := -r; x <= r; x++ {
+			v := math.Exp(-float64(x*x+y*y) / (2 * sigma * sigma))
+			k[y+r][x+r] = float32(v)
+			sum += v
+		}
+	}
+	for y := range k {
+		for x := range k[y] {
+			k[y][x] /= float32(sum)
+		}
+	}
+	return k
+}
+
+// SobelX and SobelY return the 3x3 Sobel derivative filters.
+func SobelX() [][]float32 {
+	return [][]float32{{-1, 0, 1}, {-2, 0, 2}, {-1, 0, 1}}
+}
+
+// SobelY returns the vertical Sobel filter.
+func SobelY() [][]float32 {
+	return [][]float32{{-1, -2, -1}, {0, 0, 0}, {1, 2, 1}}
+}
+
+// BoxKernel returns a normalised size x size averaging filter.
+func BoxKernel(size int) [][]float32 {
+	k := make([][]float32, size)
+	v := float32(1) / float32(size*size)
+	for y := range k {
+		k[y] = make([]float32, size)
+		for x := range k[y] {
+			k[y][x] = v
+		}
+	}
+	return k
+}
+
+// ---- element-wise matrix operations (the elem-matrix accelerator) ----
+
+func sameShape(a, b *Image) {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("kernels: shape mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H))
+	}
+}
+
+func binary(a, b *Image, f func(x, y float32) float32) *Image {
+	sameShape(a, b)
+	out := NewImage(a.W, a.H)
+	for i := range a.Pix {
+		out.Pix[i] = f(a.Pix[i], b.Pix[i])
+	}
+	return out
+}
+
+func unary(a *Image, f func(x float32) float32) *Image {
+	out := NewImage(a.W, a.H)
+	for i := range a.Pix {
+		out.Pix[i] = f(a.Pix[i])
+	}
+	return out
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Image) *Image { return binary(a, b, func(x, y float32) float32 { return x + y }) }
+
+// Sub returns a - b element-wise.
+func Sub(a, b *Image) *Image { return binary(a, b, func(x, y float32) float32 { return x - y }) }
+
+// Mul returns a * b element-wise.
+func Mul(a, b *Image) *Image { return binary(a, b, func(x, y float32) float32 { return x * y }) }
+
+// Div returns a / b element-wise with a small epsilon guarding zero
+// denominators (the accelerator saturates rather than faulting).
+func Div(a, b *Image) *Image {
+	return binary(a, b, func(x, y float32) float32 {
+		const eps = 1e-9
+		if y > -eps && y < eps {
+			if y >= 0 {
+				y = eps
+			} else {
+				y = -eps
+			}
+		}
+		return x / y
+	})
+}
+
+// Sqr squares each element.
+func Sqr(a *Image) *Image { return unary(a, func(x float32) float32 { return x * x }) }
+
+// Sqrt takes the element-wise square root (negative inputs clamp to 0).
+func Sqrt(a *Image) *Image {
+	return unary(a, func(x float32) float32 {
+		if x < 0 {
+			return 0
+		}
+		return float32(math.Sqrt(float64(x)))
+	})
+}
+
+// Atan2 returns atan2(a, b) element-wise.
+func Atan2(a, b *Image) *Image {
+	return binary(a, b, func(x, y float32) float32 {
+		return float32(math.Atan2(float64(x), float64(y)))
+	})
+}
+
+// Tanh applies the hyperbolic tangent element-wise.
+func Tanh(a *Image) *Image {
+	return unary(a, func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+}
+
+// Sigmoid applies the logistic function element-wise.
+func Sigmoid(a *Image) *Image {
+	return unary(a, func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	})
+}
+
+// Scale multiplies every element by k.
+func Scale(a *Image, k float32) *Image {
+	return unary(a, func(x float32) float32 { return k * x })
+}
+
+// Thresh zeroes elements below t and keeps the rest.
+func Thresh(a *Image, t float32) *Image {
+	return unary(a, func(x float32) float32 {
+		if x < t {
+			return 0
+		}
+		return x
+	})
+}

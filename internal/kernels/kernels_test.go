@@ -1,0 +1,501 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// flatRaw returns a uniform Bayer frame.
+func flatRaw(w, h int, v byte) []byte {
+	raw := make([]byte, w*h)
+	for i := range raw {
+		raw[i] = v
+	}
+	return raw
+}
+
+// squareRaw returns a dark frame with a bright square.
+func squareRaw(w, h, x0, y0, x1, y1 int) []byte {
+	raw := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x >= x0 && x < x1 && y >= y0 && y < y1 {
+				raw[y*w+x] = 230
+			} else {
+				raw[y*w+x] = 25
+			}
+		}
+	}
+	return raw
+}
+
+func TestISPUniformFrame(t *testing.T) {
+	rgb, err := ISP(flatRaw(32, 32, 128), 32, 32, [3]float32{1, 1, 1}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float32(128.0 / 255)
+	for i, v := range rgb.Pix {
+		if math.Abs(float64(v-want)) > 1e-5 {
+			t.Fatalf("pixel %d = %v, want %v (uniform input must demosaic uniformly)", i, v, want)
+		}
+	}
+}
+
+func TestISPGammaAndGains(t *testing.T) {
+	rgb, err := ISP(flatRaw(16, 16, 64), 16, 16, [3]float32{2, 1, 1}, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 64.0 / 255
+	wantR := float32(math.Pow(2*base, 1/2.2))
+	wantG := float32(math.Pow(base, 1/2.2))
+	if math.Abs(float64(rgb.Pix[0]-wantR)) > 1e-5 || math.Abs(float64(rgb.Pix[1]-wantG)) > 1e-5 {
+		t.Fatalf("gamma/gain wrong: got (%v, %v), want (%v, %v)", rgb.Pix[0], rgb.Pix[1], wantR, wantG)
+	}
+}
+
+func TestISPBadLength(t *testing.T) {
+	if _, err := ISP(make([]byte, 10), 16, 16, [3]float32{1, 1, 1}, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestGrayscaleWeights(t *testing.T) {
+	rgb := NewRGB(2, 1)
+	rgb.Pix = []float32{1, 0, 0, 0, 1, 0}
+	g := Grayscale(rgb)
+	if math.Abs(float64(g.Pix[0]-0.299)) > 1e-6 || math.Abs(float64(g.Pix[1]-0.587)) > 1e-6 {
+		t.Fatalf("grayscale weights wrong: %v", g.Pix)
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	im := NewImage(8, 8)
+	for i := range im.Pix {
+		im.Pix[i] = float32(i)
+	}
+	id := [][]float32{{0, 0, 0}, {0, 1, 0}, {0, 0, 0}}
+	out := Convolve(im, id)
+	for i := range im.Pix {
+		if out.Pix[i] != im.Pix[i] {
+			t.Fatal("identity convolution changed the image")
+		}
+	}
+}
+
+func TestConvolveRejectsBadFilters(t *testing.T) {
+	im := NewImage(4, 4)
+	for _, f := range [][][]float32{
+		{{1, 1}, {1, 1}},               // even
+		{{1, 1, 1}, {1, 1}, {1, 1, 1}}, // ragged
+		make([][]float32, 7),           // too large
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad filter %v accepted", f)
+				}
+			}()
+			if len(f) == 7 {
+				for i := range f {
+					f[i] = make([]float32, 7)
+				}
+			}
+			Convolve(im, f)
+		}()
+	}
+}
+
+func TestGaussianKernelNormalised(t *testing.T) {
+	for _, size := range []int{3, 5} {
+		k := GaussianKernel(size, 1.4)
+		var sum float32
+		for _, row := range k {
+			for _, v := range row {
+				sum += v
+			}
+		}
+		if math.Abs(float64(sum-1)) > 1e-5 {
+			t.Errorf("gaussian %dx%d sums to %v", size, size, sum)
+		}
+		if k[size/2][size/2] <= k[0][0] {
+			t.Errorf("gaussian %dx%d not peaked at centre", size, size)
+		}
+	}
+}
+
+func TestSobelOnRamp(t *testing.T) {
+	// A horizontal ramp has a constant x-gradient and no y-gradient.
+	im := NewImage(8, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			im.Set(x, y, float32(x))
+		}
+	}
+	gx := Convolve(im, SobelX())
+	gy := Convolve(im, SobelY())
+	if gx.At(4, 4) != 8 { // Sobel x on unit ramp = 8
+		t.Errorf("SobelX interior = %v, want 8", gx.At(4, 4))
+	}
+	if gy.At(4, 4) != 0 {
+		t.Errorf("SobelY on x-ramp = %v, want 0", gy.At(4, 4))
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a, b := NewImage(2, 2), NewImage(2, 2)
+	a.Pix = []float32{1, 4, 9, -16}
+	b.Pix = []float32{2, 2, 3, 4}
+	if got := Add(a, b).Pix[0]; got != 3 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(a, b).Pix[1]; got != 2 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(a, b).Pix[2]; got != 27 {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Div(a, b).Pix[3]; got != -4 {
+		t.Errorf("Div = %v", got)
+	}
+	if got := Sqr(a).Pix[1]; got != 16 {
+		t.Errorf("Sqr = %v", got)
+	}
+	if got := Sqrt(a).Pix[2]; got != 3 {
+		t.Errorf("Sqrt = %v", got)
+	}
+	if got := Sqrt(a).Pix[3]; got != 0 {
+		t.Errorf("Sqrt of negative = %v, want clamp to 0", got)
+	}
+	if got := Scale(a, 2).Pix[0]; got != 2 {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Thresh(a, 5).Pix[0]; got != 0 {
+		t.Errorf("Thresh below = %v", got)
+	}
+	if got := Thresh(a, 5).Pix[2]; got != 9 {
+		t.Errorf("Thresh above = %v", got)
+	}
+}
+
+func TestDivGuardsZero(t *testing.T) {
+	a, b := NewImage(1, 1), NewImage(1, 1)
+	a.Pix[0] = 1
+	b.Pix[0] = 0
+	v := Div(a, b).Pix[0]
+	if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+		t.Fatalf("Div by zero produced %v", v)
+	}
+}
+
+func TestSigmoidTanhRanges(t *testing.T) {
+	a := NewImage(3, 1)
+	a.Pix = []float32{-100, 0, 100}
+	s := Sigmoid(a)
+	if s.Pix[0] > 0.001 || math.Abs(float64(s.Pix[1]-0.5)) > 1e-6 || s.Pix[2] < 0.999 {
+		t.Fatalf("sigmoid = %v", s.Pix)
+	}
+	th := Tanh(a)
+	if th.Pix[0] > -0.999 || th.Pix[1] != 0 || th.Pix[2] < 0.999 {
+		t.Fatalf("tanh = %v", th.Pix)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch accepted")
+		}
+	}()
+	Add(NewImage(2, 2), NewImage(3, 2))
+}
+
+func TestCannyFindsSquareEdges(t *testing.T) {
+	const w, h = 64, 64
+	edges, err := Canny(squareRaw(w, h, 16, 16, 48, 48), w, h, 0.05, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onBoundary, inFlat := 0, 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if edges.At(x, y) == 0 {
+				continue
+			}
+			nearV := (abs(x-16) <= 2 || abs(x-48) <= 2) && y >= 13 && y <= 51
+			nearH := (abs(y-16) <= 2 || abs(y-48) <= 2) && x >= 13 && x <= 51
+			if nearV || nearH {
+				onBoundary++
+			} else if x > 20 && x < 44 && y > 20 && y < 44 {
+				inFlat++
+			}
+		}
+	}
+	if onBoundary < 40 {
+		t.Errorf("only %d edge pixels near the square boundary", onBoundary)
+	}
+	if inFlat > 0 {
+		t.Errorf("%d spurious edges inside the flat region", inFlat)
+	}
+}
+
+func TestHarrisFindsCorners(t *testing.T) {
+	const w, h = 64, 64
+	corners, err := Harris(squareRaw(w, h, 16, 16, 48, 48), w, h, 0.04, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := func(x, y int) bool {
+		for _, c := range [][2]int{{16, 16}, {47, 16}, {16, 47}, {47, 47}} {
+			if abs(x-c[0]) <= 4 && abs(y-c[1]) <= 4 {
+				return true
+			}
+		}
+		return false
+	}
+	hits, misses := 0, 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if corners.At(x, y) > 0 {
+				if near(x, y) {
+					hits++
+				} else if x > 24 && x < 40 && y > 24 && y < 40 {
+					misses++ // flat interior: no corners
+				}
+			}
+		}
+	}
+	if hits < 4 {
+		t.Errorf("found %d corner responses near the true corners, want >= 4", hits)
+	}
+	if misses > 0 {
+		t.Errorf("%d corner responses in the flat interior", misses)
+	}
+}
+
+func TestDeblurImprovesMSE(t *testing.T) {
+	const w, h = 64, 64
+	sharp := squareRaw(w, h, 20, 20, 44, 44)
+	psf := GaussianKernel(5, 1.2)
+	blurred := BlurRaw(sharp, w, h, psf)
+
+	// Reference grayscale of the sharp image.
+	rgbSharp, err := ISP(sharp, w, h, [3]float32{1, 1, 1}, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSharp := Grayscale(rgbSharp)
+
+	rgbBlur, err := ISP(blurred, w, h, [3]float32{1, 1, 1}, 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBlur := Grayscale(rgbBlur)
+
+	deblurred, err := DeblurRL(blurred, w, h, 5, psf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mse := func(a, b *Image) float64 {
+		var s float64
+		for i := range a.Pix {
+			d := float64(a.Pix[i] - b.Pix[i])
+			s += d * d
+		}
+		return s / float64(len(a.Pix))
+	}
+	before, after := mse(gBlur, gSharp), mse(deblurred, gSharp)
+	if after >= before {
+		t.Errorf("RL deblur did not improve MSE: before %v, after %v", before, after)
+	}
+}
+
+func TestEdgeTrackingHysteresis(t *testing.T) {
+	// A weak segment connected to a strong pixel survives; an isolated
+	// weak pixel does not.
+	nms := NewImage(8, 1)
+	nms.Pix = []float32{0.9, 0.4, 0.4, 0, 0, 0.4, 0, 0}
+	out := EdgeTracking(nms, 0.3, 0.8)
+	want := []float32{1, 1, 1, 0, 0, 0, 0, 0}
+	for i := range want {
+		if out.Pix[i] != want[i] {
+			t.Fatalf("hysteresis = %v, want %v", out.Pix, want)
+		}
+	}
+}
+
+func TestHarrisNonMaxKeepsLocalMaxima(t *testing.T) {
+	resp := NewImage(3, 3)
+	resp.Pix = []float32{1, 2, 1, 2, 5, 2, 1, 2, 1}
+	out := HarrisNonMax(resp)
+	if out.At(1, 1) != 5 {
+		t.Error("local maximum suppressed")
+	}
+	if out.At(0, 1) != 0 {
+		t.Error("non-maximum survived")
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	x := RandMat(4, 4, 7, 1)
+	id := NewMat(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	y := MatMul(x, id)
+	for i := range x.Data {
+		if math.Abs(float64(x.Data[i]-y.Data[i])) > 1e-6 {
+			t.Fatal("x * I != x")
+		}
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := &Mat{R: 2, C: 2, Data: []float32{1, 2, 3, 4}}
+	b := &Mat{R: 2, C: 2, Data: []float32{5, 6, 7, 8}}
+	c := MatMul(a, b)
+	want := []float32{19, 22, 43, 50}
+	for i := range want {
+		if c.Data[i] != want[i] {
+			t.Fatalf("matmul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestGRUCellBounded(t *testing.T) {
+	const hidden, batch = 8, 3
+	w := &GRUWeights{
+		Wz: RandMat(hidden, hidden, 1, 0.5), Uz: RandMat(hidden, hidden, 2, 0.5),
+		Wr: RandMat(hidden, hidden, 3, 0.5), Ur: RandMat(hidden, hidden, 4, 0.5),
+		Wh: RandMat(hidden, hidden, 5, 0.5), Uh: RandMat(hidden, hidden, 6, 0.5),
+	}
+	h := NewMat(batch, hidden)
+	for t2 := 0; t2 < 10; t2++ {
+		x := RandMat(batch, hidden, uint64(t2+10), 1)
+		h = GRUCell(w, x, h)
+	}
+	for _, v := range h.Data {
+		if v < -1.0001 || v > 1.0001 || math.IsNaN(float64(v)) {
+			t.Fatalf("GRU hidden state out of (-1, 1): %v", v)
+		}
+	}
+}
+
+func TestGRUIdentityWhenUpdateClosed(t *testing.T) {
+	// With all-zero weights, z = sigmoid(0) = 0.5 and cand = 0, so
+	// h' = h + 0.5*(0 - h) = 0.5 h.
+	const hidden = 4
+	zero := NewMat(hidden, hidden)
+	w := &GRUWeights{Wz: zero, Uz: zero, Wr: zero, Ur: zero, Wh: zero, Uh: zero}
+	h := NewMat(1, hidden)
+	for i := 0; i < hidden; i++ {
+		h.Set(0, i, 0.8)
+	}
+	next := GRUCell(w, NewMat(1, hidden), h)
+	for i := 0; i < hidden; i++ {
+		if math.Abs(float64(next.At(0, i)-0.4)) > 1e-6 {
+			t.Fatalf("zero-weight GRU step = %v, want 0.4", next.At(0, i))
+		}
+	}
+}
+
+func TestLSTMCellBounded(t *testing.T) {
+	const hidden, batch = 8, 2
+	w := &LSTMWeights{
+		Wi: RandMat(hidden, hidden, 1, 0.5), Ui: RandMat(hidden, hidden, 2, 0.5),
+		Wf: RandMat(hidden, hidden, 3, 0.5), Uf: RandMat(hidden, hidden, 4, 0.5),
+		Wo: RandMat(hidden, hidden, 5, 0.5), Uo: RandMat(hidden, hidden, 6, 0.5),
+		Wg: RandMat(hidden, hidden, 7, 0.5), Ug: RandMat(hidden, hidden, 8, 0.5),
+	}
+	h, c := NewMat(batch, hidden), NewMat(batch, hidden)
+	seq := []*Mat{}
+	for t2 := 0; t2 < 12; t2++ {
+		seq = append(seq, RandMat(batch, hidden, uint64(t2+20), 1))
+	}
+	h, c = RunLSTM(w, seq, h, c)
+	for _, v := range h.Data {
+		if v < -1.0001 || v > 1.0001 || math.IsNaN(float64(v)) {
+			t.Fatalf("LSTM hidden state out of (-1, 1): %v", v)
+		}
+	}
+	for _, v := range c.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatalf("LSTM cell state diverged: %v", v)
+		}
+	}
+}
+
+func TestRandMatDeterministic(t *testing.T) {
+	a := RandMat(4, 4, 42, 1)
+	b := RandMat(4, 4, 42, 1)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("RandMat not deterministic")
+		}
+		if a.Data[i] < -1 || a.Data[i] > 1 {
+			t.Fatal("RandMat out of scale")
+		}
+	}
+}
+
+// TestQuickAddCommutes / TestQuickMulScaleDistributes: element-wise algebra
+// properties on arbitrary images.
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(raw []byte) bool {
+		n := len(raw)
+		if n < 4 {
+			return true
+		}
+		w := 2
+		h := n / 2 / w * 1
+		if h == 0 {
+			return true
+		}
+		a, b := NewImage(w, h), NewImage(w, h)
+		for i := 0; i < w*h; i++ {
+			a.Pix[i] = float32(raw[i%n]) / 8
+			b.Pix[i] = float32(raw[(i*7+3)%n]) / 8
+		}
+		x, y := Add(a, b), Add(b, a)
+		for i := range x.Pix {
+			if x.Pix[i] != y.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSqrtSqrRoundTrip(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		im := NewImage(len(raw), 1)
+		for i, v := range raw {
+			im.Pix[i] = float32(v)
+		}
+		rt := Sqrt(Sqr(im))
+		for i := range im.Pix {
+			if math.Abs(float64(rt.Pix[i]-im.Pix[i])) > 1e-2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,188 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randImage builds a deterministic image from fuzz bytes.
+func randImage(raw []byte, w, h int) *Image {
+	im := NewImage(w, h)
+	for i := range im.Pix {
+		if len(raw) > 0 {
+			im.Pix[i] = float32(raw[i%len(raw)]) / 16
+		}
+	}
+	return im
+}
+
+// TestQuickCannyNonMaxNeverAmplifies: non-max suppression only keeps or
+// zeroes magnitudes — it never invents energy.
+func TestQuickCannyNonMaxNeverAmplifies(t *testing.T) {
+	f := func(raw []byte) bool {
+		mag := randImage(raw, 8, 8)
+		dir := randImage(raw, 8, 8)
+		out := CannyNonMax(mag, dir)
+		for i := range out.Pix {
+			if out.Pix[i] != 0 && out.Pix[i] != mag.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickHarrisNonMaxIdempotent: suppressing twice changes nothing.
+func TestQuickHarrisNonMaxIdempotent(t *testing.T) {
+	f := func(raw []byte) bool {
+		resp := randImage(raw, 8, 8)
+		once := HarrisNonMax(resp)
+		twice := HarrisNonMax(once)
+		for i := range once.Pix {
+			if once.Pix[i] != twice.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEdgeTrackingMonotone: raising the thresholds can only remove
+// edge pixels, never add them.
+func TestQuickEdgeTrackingMonotone(t *testing.T) {
+	f := func(raw []byte, loRaw, hiRaw uint8) bool {
+		nms := randImage(raw, 8, 8)
+		lo := float32(loRaw) / 32
+		hi := lo + float32(hiRaw)/32
+		loose := EdgeTracking(nms, lo, hi)
+		strict := EdgeTracking(nms, lo+1, hi+1)
+		for i := range loose.Pix {
+			if strict.Pix[i] > loose.Pix[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConvolveLinear: convolution is linear — conv(a+b) = conv(a) +
+// conv(b) up to float tolerance.
+func TestQuickConvolveLinear(t *testing.T) {
+	k := GaussianKernel(3, 1)
+	f := func(raw []byte) bool {
+		a := randImage(raw, 6, 6)
+		b := randImage(append([]byte{7}, raw...), 6, 6)
+		lhs := Convolve(Add(a, b), k)
+		rhs := Add(Convolve(a, k), Convolve(b, k))
+		for i := range lhs.Pix {
+			if math.Abs(float64(lhs.Pix[i]-rhs.Pix[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGrayscaleBounded: grayscale of in-range RGB stays in range.
+func TestQuickGrayscaleBounded(t *testing.T) {
+	f := func(raw []byte) bool {
+		rgb := NewRGB(4, 4)
+		for i := range rgb.Pix {
+			if len(raw) > 0 {
+				rgb.Pix[i] = float32(raw[i%len(raw)]) / 255
+			}
+		}
+		g := Grayscale(rgb)
+		for _, v := range g.Pix {
+			if v < 0 || v > 1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickISPDeterministic: identical raw frames demosaic identically,
+// and outputs are clamped to [0, 1].
+func TestQuickISPDeterministic(t *testing.T) {
+	f := func(seed uint8, gr, gg, gb uint8) bool {
+		raw := make([]byte, 16*16)
+		for i := range raw {
+			raw[i] = byte(int(seed)*31 + i*7)
+		}
+		gains := [3]float32{1 + float32(gr)/128, 1 + float32(gg)/128, 1 + float32(gb)/128}
+		a, err := ISP(raw, 16, 16, gains, 2.2)
+		if err != nil {
+			return false
+		}
+		b, _ := ISP(raw, 16, 16, gains, 2.2)
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] || a.Pix[i] < 0 || a.Pix[i] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMatMulDistributes: (a+b)w = aw + bw.
+func TestQuickMatMulDistributes(t *testing.T) {
+	f := func(s1, s2, s3 uint16) bool {
+		a := RandMat(3, 3, uint64(s1)+1, 1)
+		b := RandMat(3, 3, uint64(s2)+1, 1)
+		w := RandMat(3, 3, uint64(s3)+1, 1)
+		lhs := MatMul(MatAdd(a, b), w)
+		rhs := MatAdd(MatMul(a, w), MatMul(b, w))
+		for i := range lhs.Data {
+			if math.Abs(float64(lhs.Data[i]-rhs.Data[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGatesBounded: sigmoid outputs in (0,1), tanh in (-1,1), for any
+// finite input matrix.
+func TestQuickGatesBounded(t *testing.T) {
+	f := func(seed uint16, scaleRaw uint8) bool {
+		scale := 1 + float32(scaleRaw)
+		m := RandMat(4, 4, uint64(seed)+1, scale)
+		s := MatSigmoid(m)
+		th := MatTanh(m)
+		for i := range s.Data {
+			if s.Data[i] < 0 || s.Data[i] > 1 {
+				return false
+			}
+			if th.Data[i] < -1 || th.Data[i] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

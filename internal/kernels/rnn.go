@@ -1,0 +1,177 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major float32 matrix. The RNN workloads operate on
+// batched activations (batch x hidden) with square weight matrices
+// (hidden x hidden), matching the simulator's 128x128 operands.
+type Mat struct {
+	R, C int
+	Data []float32
+}
+
+// NewMat allocates a zeroed R x C matrix.
+func NewMat(r, c int) *Mat {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("kernels: invalid matrix size %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, Data: make([]float32, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float32 { return m.Data[i*m.C+j] }
+
+// Set writes element (i, j).
+func (m *Mat) Set(i, j int, v float32) { m.Data[i*m.C+j] = v }
+
+func matShape(a, b *Mat) {
+	if a.R != b.R || a.C != b.C {
+		panic(fmt.Sprintf("kernels: matrix shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C))
+	}
+}
+
+// MatMul returns x * w (batch-major activations times weights): x is
+// (batch x k), w is (k x n). This is the elem-matrix accelerator's batched
+// multiply-accumulate (OpMac).
+func MatMul(x, w *Mat) *Mat {
+	if x.C != w.R {
+		panic(fmt.Sprintf("kernels: matmul inner dim mismatch %d vs %d", x.C, w.R))
+	}
+	out := NewMat(x.R, w.C)
+	for i := 0; i < x.R; i++ {
+		for k := 0; k < x.C; k++ {
+			xv := x.At(i, k)
+			if xv == 0 {
+				continue
+			}
+			for j := 0; j < w.C; j++ {
+				out.Data[i*out.C+j] += xv * w.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MatAdd returns a + b element-wise.
+func MatAdd(a, b *Mat) *Mat {
+	matShape(a, b)
+	out := NewMat(a.R, a.C)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// MatSub returns a - b element-wise.
+func MatSub(a, b *Mat) *Mat {
+	matShape(a, b)
+	out := NewMat(a.R, a.C)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// MatMulElem returns a (.) b element-wise (the Hadamard product).
+func MatMulElem(a, b *Mat) *Mat {
+	matShape(a, b)
+	out := NewMat(a.R, a.C)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// MatSigmoid applies the logistic function element-wise.
+func MatSigmoid(a *Mat) *Mat {
+	out := NewMat(a.R, a.C)
+	for i, v := range a.Data {
+		out.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return out
+}
+
+// MatTanh applies tanh element-wise.
+func MatTanh(a *Mat) *Mat {
+	out := NewMat(a.R, a.C)
+	for i, v := range a.Data {
+		out.Data[i] = float32(math.Tanh(float64(v)))
+	}
+	return out
+}
+
+// GRUWeights holds one GRU layer's parameters (hidden x hidden each).
+type GRUWeights struct {
+	Wz, Uz *Mat // update gate
+	Wr, Ur *Mat // reset gate
+	Wh, Uh *Mat // candidate
+}
+
+// GRUCell computes one timestep: given input x and state h (both
+// batch x hidden), it returns the next hidden state using the same
+// decomposition as the simulator's GRU DAG (14 elem-matrix operations).
+func GRUCell(w *GRUWeights, x, h *Mat) *Mat {
+	z := MatSigmoid(MatAdd(MatMul(x, w.Wz), MatMul(h, w.Uz)))
+	r := MatSigmoid(MatAdd(MatMul(x, w.Wr), MatMul(h, w.Ur)))
+	cand := MatTanh(MatAdd(MatMul(MatMulElem(r, h), w.Uh), MatMul(x, w.Wh)))
+	delta := MatSub(cand, h)
+	return MatAdd(MatMulElem(z, delta), h)
+}
+
+// RunGRU runs a GRU over an input sequence, returning the final hidden
+// state.
+func RunGRU(w *GRUWeights, seq []*Mat, h0 *Mat) *Mat {
+	h := h0
+	for _, x := range seq {
+		h = GRUCell(w, x, h)
+	}
+	return h
+}
+
+// LSTMWeights holds one LSTM layer's parameters.
+type LSTMWeights struct {
+	Wi, Ui *Mat // input gate
+	Wf, Uf *Mat // forget gate
+	Wo, Uo *Mat // output gate
+	Wg, Ug *Mat // cell candidate
+}
+
+// LSTMCell computes one timestep, returning the next hidden and cell
+// states, using the same decomposition as the simulator's LSTM DAG
+// (16 elem-matrix operations).
+func LSTMCell(w *LSTMWeights, x, h, c *Mat) (hNext, cNext *Mat) {
+	i := MatSigmoid(MatAdd(MatMul(x, w.Wi), MatMul(h, w.Ui)))
+	f := MatSigmoid(MatAdd(MatMul(x, w.Wf), MatMul(h, w.Uf)))
+	o := MatSigmoid(MatAdd(MatMul(x, w.Wo), MatMul(h, w.Uo)))
+	g := MatTanh(MatAdd(MatMul(x, w.Wg), MatMul(h, w.Ug)))
+	cNext = MatAdd(MatMulElem(f, c), MatMulElem(i, g))
+	hNext = MatMulElem(o, MatTanh(cNext))
+	return hNext, cNext
+}
+
+// RunLSTM runs an LSTM over an input sequence, returning the final hidden
+// and cell states.
+func RunLSTM(w *LSTMWeights, seq []*Mat, h0, c0 *Mat) (h, c *Mat) {
+	h, c = h0, c0
+	for _, x := range seq {
+		h, c = LSTMCell(w, x, h, c)
+	}
+	return h, c
+}
+
+// RandMat fills a matrix with a deterministic pseudo-random pattern scaled
+// to [-scale, scale], for examples and tests (no external RNG needed).
+func RandMat(r, c int, seed uint64, scale float32) *Mat {
+	m := NewMat(r, c)
+	s := seed
+	for i := range m.Data {
+		s = s*6364136223846793005 + 1442695040888963407
+		// Take the top 24 bits for a uniform float in [0, 1).
+		u := float32(s>>40) / float32(1<<24)
+		m.Data[i] = (2*u - 1) * scale
+	}
+	return m
+}

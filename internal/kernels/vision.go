@@ -1,0 +1,191 @@
+package kernels
+
+import "math"
+
+// CannyNonMax suppresses pixels whose gradient magnitude is not a local
+// maximum along the gradient direction (the canny-non-max accelerator).
+// mag is the gradient magnitude and dir the gradient direction in radians.
+func CannyNonMax(mag, dir *Image) *Image {
+	sameShape(mag, dir)
+	out := NewImage(mag.W, mag.H)
+	for y := 0; y < mag.H; y++ {
+		for x := 0; x < mag.W; x++ {
+			m := mag.At(x, y)
+			// Quantise the direction into one of four sectors.
+			a := math.Mod(float64(dir.At(x, y))+math.Pi, math.Pi) // [0, pi)
+			var n1, n2 float32
+			switch {
+			case a < math.Pi/8 || a >= 7*math.Pi/8:
+				n1, n2 = mag.At(x-1, y), mag.At(x+1, y)
+			case a < 3*math.Pi/8:
+				n1, n2 = mag.At(x-1, y-1), mag.At(x+1, y+1)
+			case a < 5*math.Pi/8:
+				n1, n2 = mag.At(x, y-1), mag.At(x, y+1)
+			default:
+				n1, n2 = mag.At(x+1, y-1), mag.At(x-1, y+1)
+			}
+			if m >= n1 && m >= n2 {
+				out.Set(x, y, m)
+			}
+		}
+	}
+	return out
+}
+
+// EdgeTracking performs hysteresis thresholding (the edge-tracking
+// accelerator): pixels above hi are strong edges; pixels above lo connected
+// to a strong edge (8-connectivity) are boosted to edges; the rest are
+// suppressed. Returns a binary edge map (1 = edge).
+func EdgeTracking(nms *Image, lo, hi float32) *Image {
+	out := NewImage(nms.W, nms.H)
+	type pt struct{ x, y int }
+	var stack []pt
+	for y := 0; y < nms.H; y++ {
+		for x := 0; x < nms.W; x++ {
+			if nms.At(x, y) >= hi {
+				out.Set(x, y, 1)
+				stack = append(stack, pt{x, y})
+			}
+		}
+	}
+	for len(stack) > 0 {
+		p := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				x, y := p.x+dx, p.y+dy
+				if x < 0 || x >= nms.W || y < 0 || y >= nms.H {
+					continue
+				}
+				if out.At(x, y) == 0 && nms.At(x, y) >= lo {
+					out.Set(x, y, 1)
+					stack = append(stack, pt{x, y})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// HarrisNonMax keeps only corner responses that are the maximum of their
+// 3x3 neighbourhood and suppresses the rest (the harris-non-max
+// accelerator, paper Table I: "enhance maximal corner values in 3x3 grids").
+func HarrisNonMax(resp *Image) *Image {
+	out := NewImage(resp.W, resp.H)
+	for y := 0; y < resp.H; y++ {
+		for x := 0; x < resp.W; x++ {
+			v := resp.At(x, y)
+			if v <= 0 {
+				continue
+			}
+			max := true
+			for dy := -1; dy <= 1 && max; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					if resp.At(x+dx, y+dy) > v {
+						max = false
+						break
+					}
+				}
+			}
+			if max {
+				out.Set(x, y, v)
+			}
+		}
+	}
+	return out
+}
+
+// Canny runs the full edge-detection pipeline with the same kernel
+// decomposition as the simulator's Canny DAG.
+func Canny(raw []byte, w, h int, lo, hi float32) (*Image, error) {
+	rgb, err := ISP(raw, w, h, [3]float32{1, 1, 1}, 2.2)
+	if err != nil {
+		return nil, err
+	}
+	gray := Grayscale(rgb)
+	blur := Convolve(gray, GaussianKernel(5, 1.4))
+	gx := Convolve(blur, SobelX())
+	gy := Convolve(blur, SobelY())
+	mag := Sqrt(Add(Sqr(gx), Sqr(gy)))
+	dir := Atan2(gy, gx)
+	nms := CannyNonMax(Scale(mag, 1), dir)
+	return EdgeTracking(nms, lo, hi), nil
+}
+
+// Harris runs the full corner-detection pipeline with the same kernel
+// decomposition as the simulator's Harris DAG. k is the Harris constant
+// (typically 0.04-0.06).
+func Harris(raw []byte, w, h int, k, thresh float32) (*Image, error) {
+	rgb, err := ISP(raw, w, h, [3]float32{1, 1, 1}, 2.2)
+	if err != nil {
+		return nil, err
+	}
+	gray := Grayscale(rgb)
+	blur := Convolve(gray, GaussianKernel(5, 1.0))
+	ix := Convolve(blur, SobelX())
+	iy := Convolve(blur, SobelY())
+	sxx := Convolve(Sqr(ix), BoxKernel(3))
+	syy := Convolve(Sqr(iy), BoxKernel(3))
+	sxy := Convolve(Mul(ix, iy), BoxKernel(3))
+	det := Sub(Mul(sxx, syy), Sqr(sxy))
+	trace := Add(sxx, syy)
+	resp := Sub(det, Scale(Sqr(trace), k))
+	resp = Thresh(Scale(resp, 1), thresh)
+	resp = Convolve(resp, GaussianKernel(5, 1.0))
+	return HarrisNonMax(resp), nil
+}
+
+// DeblurRL runs Richardson-Lucy deconvolution for iters iterations using
+// the given point-spread function, matching the simulator's Deblur DAG.
+func DeblurRL(raw []byte, w, h, iters int, psf [][]float32) (*Image, error) {
+	rgb, err := ISP(raw, w, h, [3]float32{1, 1, 1}, 2.2)
+	if err != nil {
+		return nil, err
+	}
+	obs := Grayscale(rgb)
+	est := obs.Clone()
+	flipped := flipFilter(psf)
+	for i := 0; i < iters; i++ {
+		reblur := Convolve(est, psf)
+		ratio := Div(obs, reblur)
+		corr := Convolve(ratio, flipped)
+		est = Mul(est, corr)
+	}
+	return est, nil
+}
+
+func flipFilter(f [][]float32) [][]float32 {
+	n := len(f)
+	out := make([][]float32, n)
+	for y := 0; y < n; y++ {
+		out[y] = make([]float32, n)
+		for x := 0; x < n; x++ {
+			out[y][x] = f[n-1-y][n-1-x]
+		}
+	}
+	return out
+}
+
+// BlurRaw convolves raw 8-bit data with a PSF, producing a synthetic blurry
+// capture for the deblur example and tests.
+func BlurRaw(raw []byte, w, h int, psf [][]float32) []byte {
+	im := NewImage(w, h)
+	for i, v := range raw {
+		im.Pix[i] = float32(v)
+	}
+	blurred := Convolve(im, psf)
+	out := make([]byte, len(raw))
+	for i, v := range blurred.Pix {
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = byte(v)
+	}
+	return out
+}

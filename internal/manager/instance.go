@@ -1,0 +1,469 @@
+package manager
+
+import (
+	"fmt"
+
+	"relief/internal/accel"
+	"relief/internal/graph"
+	"relief/internal/mem"
+	"relief/internal/sim"
+	"relief/internal/stats"
+	"relief/internal/trace"
+	"relief/internal/xbar"
+)
+
+// Instance is one physical accelerator: a fixed-function unit with a DMA
+// engine and a multi-buffered output scratchpad (paper Table IV metadata).
+type Instance struct {
+	m     *Manager
+	Index int // interconnect endpoint id
+	Kind  accel.Kind
+	Busy  bool
+	// LastNode is the previously executed node, tracked for colocation.
+	LastNode *graph.Node
+	// Parts are the output scratchpad partitions (multi-buffering).
+	Parts []*OutBuf
+	// NextPart rotates through output partitions.
+	NextPart int
+	// ComputeBusy accumulates pure compute time for occupancy (Fig. 7).
+	ComputeBusy sim.Time
+
+	dmaQueue []dmaJob
+	dmaBusy  bool
+}
+
+// OutBuf is one output scratchpad partition.
+type OutBuf struct {
+	// Node whose output occupies the partition (nil = free/invalidated).
+	Node *graph.Node
+	// OngoingReads counts consumers currently forwarding from the
+	// partition; the partition cannot be overwritten while non-zero
+	// (write-after-read protection, paper Table IV ongoing_reads).
+	OngoingReads int
+	drainWaiters []func()
+}
+
+type dmaJob struct {
+	path  []mem.Server
+	bytes int64
+	done  func(mem.TransferResult)
+}
+
+func newInstance(m *Manager, index int, kind accel.Kind, partitions int) *Instance {
+	inst := &Instance{m: m, Index: index, Kind: kind}
+	for i := 0; i < partitions; i++ {
+		inst.Parts = append(inst.Parts, &OutBuf{})
+	}
+	return inst
+}
+
+// Lane returns the instance's display label for traces.
+func (inst *Instance) Lane() string {
+	return fmt.Sprintf("%s#%d", inst.Kind, inst.Index)
+}
+
+// enqueueDMA serialises a transfer on the instance's single DMA engine.
+func (inst *Instance) enqueueDMA(path []mem.Server, bytes int64, done func(mem.TransferResult)) {
+	inst.dmaQueue = append(inst.dmaQueue, dmaJob{path: path, bytes: bytes, done: done})
+	if !inst.dmaBusy {
+		inst.dmaBusy = true
+		inst.nextDMA()
+	}
+}
+
+func (inst *Instance) nextDMA() {
+	if len(inst.dmaQueue) == 0 {
+		inst.dmaBusy = false
+		return
+	}
+	job := inst.dmaQueue[0]
+	inst.dmaQueue = inst.dmaQueue[1:]
+	mem.StartTransfer(inst.m.k, job.path, job.bytes, inst.m.cfg.DMASetup, func(res mem.TransferResult) {
+		job.done(res)
+		inst.nextDMA()
+	})
+}
+
+// readDrained registers fn to run once no consumer is reading the
+// partition.
+func (b *OutBuf) readDrained(fn func()) {
+	if b.OngoingReads == 0 {
+		fn()
+		return
+	}
+	b.drainWaiters = append(b.drainWaiters, fn)
+}
+
+func (b *OutBuf) endRead() {
+	b.OngoingReads--
+	if b.OngoingReads == 0 {
+		ws := b.drainWaiters
+		b.drainWaiters = nil
+		for _, fn := range ws {
+			fn()
+		}
+	}
+}
+
+// launch drives a node onto the instance: the driver programs input DMA
+// transfers (forwarding from producer scratchpads when the data is still
+// live, falling back to main memory otherwise), reclaims the output
+// partition (writing back a still-needed previous result first), then runs
+// the computation.
+func (m *Manager) launch(n *graph.Node, inst *Instance) {
+	inst.Busy = true
+	n.State = graph.Running
+	n.StartAt = m.k.Now()
+	m.cfg.Trace.Begin(trace.TaskInput, n.String(), inst.Lane(), n.StartAt, nil)
+	ns := m.state(n)
+	ns.pendingInputs = 1 // sentinel, released after all gates are set up
+
+	// Output partition reclaim.
+	part := inst.NextPart
+	inst.NextPart = (inst.NextPart + 1) % len(inst.Parts)
+	buf := inst.Parts[part]
+	if old := buf.Node; old != nil {
+		os := m.state(old)
+		if !m.cfg.DisableForwarding && !os.wbDone && !os.wbInFlight &&
+			!old.IsLeaf() && os.fetched < len(old.Children) {
+			// Unconsumed intermediate result about to be overwritten:
+			// write it back to main memory first.
+			m.startWriteback(old, inst, func() {})
+		}
+		if os.wbInFlight {
+			ns.pendingInputs++
+			os.wbWaiters = append(os.wbWaiters, func() { m.inputDone(n, inst, part) })
+		}
+		if buf.OngoingReads > 0 {
+			ns.pendingInputs++
+			buf.readDrained(func() { m.inputDone(n, inst, part) })
+		}
+	}
+
+	// Input edges.
+	m.st.BaselineBytes += n.TotalInputBytes() + n.OutputBytes
+	app := m.st.App(n.DAG.App, n.DAG.Sym, n.DAG.Deadline)
+	for i, p := range n.Parents {
+		bytes := n.EdgeInBytes[i]
+		m.fetchEdge(n, inst, part, p, bytes, app)
+	}
+	if n.ExtraInputBytes > 0 {
+		ns.pendingInputs++
+		m.dramRead(n, inst, part, n.ExtraInputBytes)
+	}
+
+	m.inputDone(n, inst, part) // release the sentinel
+}
+
+// fetchEdge classifies one producer edge (colocation / forward / main
+// memory) and programs the consumer-side DMA accordingly.
+func (m *Manager) fetchEdge(n *graph.Node, inst *Instance, part int, p *graph.Node, bytes int64, app *stats.AppStats) {
+	ns := m.state(n)
+	ps := m.state(p)
+	live := !m.cfg.DisableForwarding && m.outputLive(p)
+	switch {
+	case live && ps.inst == inst:
+		// Colocation: the consumer runs on the producer's accelerator and
+		// the data is already in the local scratchpad — no data movement.
+		m.st.RecordEdge(app, stats.EdgeColocation)
+		ps.fetched++
+	case live:
+		// Forward: consumer DMA reads directly from the producer's
+		// scratchpad over the interconnect.
+		m.st.RecordEdge(app, stats.EdgeForward)
+		ps.fetched++
+		pbuf := ps.inst.Parts[ps.part]
+		pbuf.OngoingReads++
+		ns.pendingInputs++
+		path := m.ic.Path(ps.inst.Index, inst.Index)
+		inst.enqueueDMA(path, bytes, func(res mem.TransferResult) {
+			pbuf.endRead()
+			m.cfg.Trace.Span(trace.Forward, p.String()+"->"+n.String(), inst.Lane(), res.Start, res.End, nil)
+			m.st.SpadXferBytes += bytes
+			m.noteSpadBytes(2 * bytes) // producer read + consumer write
+			ns.actualMemTime += res.End - res.Start
+			ns.actualBytes += bytes
+			m.inputDone(n, inst, part)
+		})
+	default:
+		// The producer's result lives only in main memory. If its
+		// write-back is still in flight the read waits for it.
+		m.st.RecordEdge(app, stats.EdgeDRAM)
+		ps.fetched++
+		ns.pendingInputs++
+		if ps.wbInFlight {
+			m.state(p).wbWaiters = append(ps.wbWaiters, func() {
+				m.dramReadStarted(n, inst, part, bytes)
+			})
+		} else {
+			m.dramReadStarted(n, inst, part, bytes)
+		}
+	}
+}
+
+// dramRead issues a main-memory read that was already counted in
+// pendingInputs.
+func (m *Manager) dramRead(n *graph.Node, inst *Instance, part int, bytes int64) {
+	m.dramReadStarted(n, inst, part, bytes)
+}
+
+func (m *Manager) dramReadStarted(n *graph.Node, inst *Instance, part int, bytes int64) {
+	ns := m.state(n)
+	path := m.ic.Path(xbar.EndpointDRAM, inst.Index)
+	inst.enqueueDMA(path, bytes, func(res mem.TransferResult) {
+		m.st.DRAMReadBytes += bytes
+		m.noteSpadBytes(bytes) // consumer scratchpad write
+		m.observeDRAMTransfer(res)
+		ns.actualMemTime += res.End - res.Start
+		ns.actualBytes += bytes
+		ns.dramBytes += bytes
+		ns.dramTime += res.End - res.Start
+		m.inputDone(n, inst, part)
+	})
+}
+
+// inputDone decrements the launch gate; when it reaches zero the
+// computation starts.
+func (m *Manager) inputDone(n *graph.Node, inst *Instance, part int) {
+	ns := m.state(n)
+	ns.pendingInputs--
+	if ns.pendingInputs > 0 || ns.gateFired {
+		return
+	}
+	ns.gateFired = true
+	// The partition is now being overwritten: invalidate the previous
+	// occupant so late consumers fall back to main memory.
+	inst.Parts[part].Node = nil
+	m.cfg.Trace.End(trace.TaskInput, n.String(), inst.Lane(), m.k.Now())
+	dur := m.jitteredCompute(n)
+	inst.ComputeBusy += dur
+	m.cfg.Trace.Span(trace.TaskCompute, n.String(), inst.Lane(), m.k.Now(), m.k.Now()+dur, nil)
+	m.k.Schedule(dur, func() { m.complete(n, inst, part, dur) })
+}
+
+// jitteredCompute applies the deterministic per-task compute-time variation.
+func (m *Manager) jitteredCompute(n *graph.Node) sim.Time {
+	if m.cfg.ComputeJitter == 0 {
+		return n.Compute
+	}
+	h := splitmix64(uint64(n.ID+1)*0x9E3779B97F4A7C15 ^
+		hashString(n.DAG.App) ^ uint64(n.DAG.Iteration)<<32)
+	// Map to [-1, 1).
+	f := float64(int64(h>>11))/float64(1<<52) - 1
+	return sim.Time(float64(n.Compute) * (1 + m.cfg.ComputeJitter*f))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// complete handles a task-completion interrupt: record the output's
+// location, update colocation tracking, advance children, make the
+// write-back decision, and free the accelerator.
+func (m *Manager) complete(n *graph.Node, inst *Instance, part int, computeDur sim.Time) {
+	ns := m.state(n)
+	ns.inst = inst
+	ns.part = part
+	inst.Parts[part].Node = n
+	inst.LastNode = n
+	m.st.PredErr.ObserveCompute(n.Compute, computeDur)
+
+	var newlyReady []*graph.Node
+	for _, c := range n.Children {
+		c.CompletedParents++
+		if c.CompletedParents == len(c.Parents) {
+			c.ReadyAt = m.k.Now()
+			newlyReady = append(newlyReady, c)
+		}
+	}
+
+	m.isr(func() sim.Time {
+		// The finishing accelerator is idle from the scheduler's point of
+		// view: its instance count participates in max_forwards and in the
+		// next-in-line write-back test.
+		inst.Busy = false
+		var cost sim.Time
+		if m.esc != nil && len(newlyReady) > 0 {
+			for _, c := range newlyReady {
+				m.preparePrediction(c)
+			}
+			scanned, _ := m.esc.EnqueueReady(m.qptrs, newlyReady, m.idleCount, m.k.Now())
+			per := m.cfg.SchedPerFwd
+			if len(newlyReady) > 0 {
+				per += m.cfg.SchedPerScan * sim.Time(scanned/len(newlyReady))
+			}
+			for range newlyReady {
+				c := m.cfg.SchedBase + per
+				m.st.SchedCosts = append(m.st.SchedCosts, c)
+				cost += c
+			}
+		} else {
+			for _, c := range newlyReady {
+				cost += m.insertPlain(c)
+			}
+		}
+
+		// Write-back decision (paper §III-C2 manager runtime): leaves
+		// always write back (the final output must reach main memory);
+		// intermediates write back immediately unless every child is next
+		// in line for execution.
+		switch {
+		case n.IsLeaf():
+			m.startWriteback(n, inst, func() { m.finishNode(n) })
+		case m.cfg.AlwaysWriteBack || m.cfg.DisableForwarding || !m.allChildrenNextInLine(n):
+			m.startWriteback(n, inst, func() {})
+			m.finishNode(n)
+		default:
+			m.finishNode(n)
+		}
+		return cost
+	})
+}
+
+// allChildrenNextInLine reports whether every child of n sits within the
+// first idle-instance positions of its ready queue, i.e. is guaranteed to
+// run next and forward the data.
+func (m *Manager) allChildrenNextInLine(n *graph.Node) bool {
+	for _, c := range n.Children {
+		if c.State != graph.Ready {
+			return false
+		}
+		q := m.queues[c.Kind]
+		limit := m.idleCount(int(c.Kind))
+		if limit > len(q) {
+			limit = len(q)
+		}
+		found := false
+		for i := 0; i < limit; i++ {
+			if q[i] == c {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// startWriteback DMA-copies a node's output from its scratchpad partition
+// to main memory.
+func (m *Manager) startWriteback(n *graph.Node, inst *Instance, done func()) {
+	ns := m.state(n)
+	if ns.wbDone || ns.wbInFlight {
+		done()
+		return
+	}
+	ns.wbInFlight = true
+	path := m.ic.Path(inst.Index, xbar.EndpointDRAM)
+	inst.enqueueDMA(path, n.OutputBytes, func(res mem.TransferResult) {
+		m.cfg.Trace.Span(trace.Writeback, n.String(), inst.Lane(), res.Start, res.End, nil)
+		ns.wbInFlight = false
+		ns.wbDone = true
+		m.st.DRAMWriteBytes += n.OutputBytes
+		m.noteSpadBytes(n.OutputBytes) // producer scratchpad read
+		m.observeDRAMTransfer(res)
+		ns.actualMemTime += res.End - res.Start
+		ns.actualBytes += n.OutputBytes
+		ns.dramBytes += n.OutputBytes
+		ns.dramTime += res.End - res.Start
+		ws := ns.wbWaiters
+		ns.wbWaiters = nil
+		for _, fn := range ws {
+			fn()
+		}
+		done()
+	})
+}
+
+// finishNode finalises a node: deadline accounting, predictor error
+// accounting, DAG completion, and continuous-contention resubmission.
+func (m *Manager) finishNode(n *graph.Node) {
+	now := m.k.Now()
+	n.State = graph.Done
+	n.FinishAt = now
+	n.ActualRuntime = now - n.StartAt
+	ns := m.state(n)
+
+	m.st.NodesDone++
+	app := m.st.App(n.DAG.App, n.DAG.Sym, n.DAG.Deadline)
+	app.NodesDone++
+	if now <= n.Deadline {
+		m.st.NodesMetDeadline++
+		app.NodesMetDeadline++
+	}
+	m.st.PredErr.ObserveDMBytes(ns.predBytes, ns.actualBytes)
+	m.st.PredErr.ObserveMemTime(ns.predMemTime, ns.actualMemTime)
+	if ns.dramTime > 0 {
+		achieved := float64(ns.dramBytes) / ns.dramTime.Seconds()
+		m.st.PredErr.ObserveBW(ns.predBW, achieved)
+	}
+
+	if n.DAG.NodeDone(now) {
+		app.Iterations++
+		app.Runtimes = append(app.Runtimes, n.DAG.Runtime())
+		if n.DAG.MetDeadline() {
+			app.DeadlinesMet++
+		}
+		if m.lastDone < now {
+			m.lastDone = now
+		}
+		if m.horizon > 0 && now < m.horizon {
+			if rb := m.rebuild[n.DAG.App]; rb != nil {
+				next := rb()
+				next.Iteration = n.DAG.Iteration + 1
+				if err := m.Submit(next, now, rb); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+}
+
+// Run drains the simulation (all submitted DAGs to completion) and records
+// makespan and interconnect occupancy. Returns the end time.
+func (m *Manager) Run() sim.Time {
+	m.k.Run()
+	m.st.Makespan = m.lastDone
+	if m.st.Makespan == 0 {
+		m.st.Makespan = m.k.Now()
+	}
+	m.st.ComputeBusy = m.totalComputeBusy()
+	m.st.InterconnectOccupancy = m.ic.Occupancy()
+	return m.k.Now()
+}
+
+// RunContinuous runs with DAG resubmission until the horizon (paper §IV-C:
+// 50 ms, results for finished tasks only).
+func (m *Manager) RunContinuous(horizon sim.Time) sim.Time {
+	m.horizon = horizon
+	m.k.RunUntil(horizon)
+	m.st.Makespan = horizon
+	m.st.ComputeBusy = m.totalComputeBusy()
+	m.st.InterconnectOccupancy = m.ic.Occupancy()
+	return m.k.Now()
+}
+
+func (m *Manager) totalComputeBusy() sim.Time {
+	var total sim.Time
+	for _, inst := range m.insts {
+		total += inst.ComputeBusy
+	}
+	return total
+}
+
+// Instances exposes the accelerator instances (read-only use).
+func (m *Manager) Instances() []*Instance { return m.insts }

@@ -1,0 +1,408 @@
+// Package manager implements the hardware accelerator manager of paper
+// §II-B/§III-C: a microcontroller-class runtime that parses submitted DAG
+// nodes, performs sorted insertion into per-accelerator-type ready queues
+// under a pluggable scheduling policy, launches tasks through driver
+// functions, services completion interrupts, and orchestrates the data
+// forwarding mechanism (scratchpad partitions, ongoing-read reference
+// counts, deferred write-backs, and colocation tracking).
+package manager
+
+import (
+	"fmt"
+
+	"relief/internal/accel"
+	"relief/internal/dram"
+	"relief/internal/graph"
+	"relief/internal/mem"
+	"relief/internal/predict"
+	"relief/internal/sched"
+	"relief/internal/sim"
+	"relief/internal/stats"
+	"relief/internal/trace"
+	"relief/internal/xbar"
+)
+
+// Config parameterises the simulated platform and manager runtime.
+type Config struct {
+	// Instances is the number of accelerator instances per kind
+	// (default: one of each, the paper's 7-accelerator platform).
+	Instances [accel.NumKinds]int
+	// OutputPartitions is the number of output scratchpad partitions per
+	// accelerator (paper: double-buffered output; metadata supports 3).
+	OutputPartitions int
+	// Interconnect selects topology and bandwidths.
+	Interconnect xbar.Config
+	// Policy is the scheduling policy. Policies implementing
+	// sched.Escalator get RELIEF-style forwarding escalation.
+	Policy sched.Policy
+	// BW is the memory-bandwidth predictor (default Max at effective DRAM
+	// bandwidth).
+	BW predict.BWPredictor
+	// DM selects the data-movement predictor (default DMMax).
+	DM predict.DMMode
+	// DisableForwarding turns off the forwarding hardware entirely: every
+	// edge goes through main memory (Table II "no fwd" configuration).
+	DisableForwarding bool
+	// AlwaysWriteBack disables the deferred write-back optimisation
+	// (ablation).
+	AlwaysWriteBack bool
+	// DMASetup is the fixed per-transfer front-end latency (MMR
+	// programming by the driver).
+	DMASetup sim.Time
+	// SchedBase and SchedPerScan model the manager microcontroller's
+	// ready-queue insertion cost (Fig. 12): cost = base + perScan * queue
+	// entries examined. SchedPerFwd is the extra per-candidate cost of
+	// RELIEF's forwarding-list management, feasibility bookkeeping, and
+	// forwarding-metadata updates.
+	SchedBase, SchedPerScan, SchedPerFwd sim.Time
+	// ComputeJitter is the relative amplitude of deterministic per-task
+	// compute-time variation (models the paper's 0.03% compute predictor
+	// error).
+	ComputeJitter float64
+	// Trace, if non-nil, records task phases, transfers, and scheduler
+	// activity for timeline export.
+	Trace *trace.Recorder
+	// DetailedDRAM swaps the fixed-bandwidth main-memory model for the
+	// bank-level LPDDR5 controller in internal/dram.
+	DetailedDRAM bool
+	// DRAMPolicy selects the detailed controller's scheduling discipline.
+	DRAMPolicy dram.Policy
+	// DRAMChannels overrides the detailed controller's channel count
+	// (0 = the paper's single channel).
+	DRAMChannels int
+}
+
+// DefaultConfig mirrors the paper's simulated platform (Table VI): one
+// instance of each of the seven accelerators, double-buffered output, a
+// shared bus, Max predictors.
+func DefaultConfig(policy sched.Policy) Config {
+	cfg := Config{
+		OutputPartitions: 2,
+		Policy:           policy,
+		DM:               predict.DMMax,
+		DMASetup:         200 * sim.Nanosecond,
+		SchedBase:        120 * sim.Nanosecond,
+		SchedPerScan:     15 * sim.Nanosecond,
+		SchedPerFwd:      300 * sim.Nanosecond,
+		ComputeJitter:    0.0005,
+	}
+	for k := range cfg.Instances {
+		cfg.Instances[k] = 1
+	}
+	total := 0
+	for _, c := range cfg.Instances {
+		total += c
+	}
+	cfg.Interconnect = xbar.DefaultConfig(total)
+	return cfg
+}
+
+// Manager is the hardware manager runtime bound to one simulation.
+type Manager struct {
+	k    *sim.Kernel
+	cfg  Config
+	ic   *xbar.Interconnect
+	st   *stats.Stats
+	dram *dram.Controller // non-nil when DetailedDRAM is enabled
+
+	pred   *predict.Runtime
+	policy sched.Policy
+	esc    sched.Escalator // non-nil if policy escalates
+
+	queues   [accel.NumKinds][]*graph.Node
+	qptrs    sched.Queues
+	insts    []*Instance
+	byKind   [accel.NumKinds][]*Instance
+	ns       map[*graph.Node]*nodeState
+	freeAt   sim.Time // manager CPU busy-until
+	rebuild  map[string]func() *graph.DAG
+	horizon  sim.Time // continuous-contention cutoff (0 = run to completion)
+	lastDone sim.Time // completion time of the last finished DAG
+}
+
+// nodeState is per-node forwarding bookkeeping (paper Table III/IV fields).
+type nodeState struct {
+	inst *Instance // instance whose scratchpad holds the node's output
+	part int
+	// wbDone / wbInFlight track the output's write-back to main memory.
+	wbDone, wbInFlight bool
+	wbWaiters          []func()
+	// fetched counts children that have pulled their edge data; once all
+	// have, the intermediate result is dispensable.
+	fetched int
+	// prediction bookkeeping (Table VIII)
+	predMemTime   sim.Time
+	predBytes     int64
+	predBW        float64
+	actualMemTime sim.Time
+	actualBytes   int64
+	dramBytes     int64    // bytes moved through main memory on this node's behalf
+	dramTime      sim.Time // wall time of those transfers
+	pendingInputs int
+	gateFired     bool
+}
+
+// New builds a manager on the given kernel, collecting metrics into st.
+func New(k *sim.Kernel, cfg Config, st *stats.Stats) *Manager {
+	if cfg.Policy == nil {
+		panic("manager: nil policy")
+	}
+	if cfg.OutputPartitions <= 0 {
+		cfg.OutputPartitions = 2
+	}
+	total := 0
+	for _, c := range cfg.Instances {
+		total += c
+	}
+	if cfg.Interconnect.Instances != total {
+		cfg.Interconnect.Instances = total
+	}
+	if cfg.BW == nil {
+		cfg.BW = &predict.Max{Peak: cfg.Interconnect.DRAMBandwidth}
+	}
+	var dc *dram.Controller
+	if cfg.DetailedDRAM && cfg.Interconnect.DRAMServer == nil {
+		dcfg := dram.LPDDR5()
+		dcfg.Policy = cfg.DRAMPolicy
+		if cfg.DRAMChannels > 0 {
+			dcfg.Channels = cfg.DRAMChannels
+		}
+		dc = dram.NewController(k, "dram", dcfg)
+		cfg.Interconnect.DRAMServer = dc
+	}
+	m := &Manager{
+		k:       k,
+		cfg:     cfg,
+		dram:    dc,
+		ic:      xbar.New(k, cfg.Interconnect),
+		st:      st,
+		policy:  cfg.Policy,
+		ns:      make(map[*graph.Node]*nodeState),
+		rebuild: make(map[string]func() *graph.DAG),
+	}
+	if e, ok := cfg.Policy.(sched.Escalator); ok {
+		m.esc = e
+	}
+	m.pred = &predict.Runtime{
+		BW:           cfg.BW,
+		DM:           cfg.DM,
+		BusBandwidth: cfg.Interconnect.BusBandwidth,
+		InstancesOf:  func(kind int) int { return cfg.Instances[kind] },
+	}
+	idx := 0
+	for kind := accel.Kind(0); kind < accel.NumKinds; kind++ {
+		for i := 0; i < cfg.Instances[kind]; i++ {
+			inst := newInstance(m, idx, kind, cfg.OutputPartitions)
+			m.insts = append(m.insts, inst)
+			m.byKind[kind] = append(m.byKind[kind], inst)
+			idx++
+		}
+	}
+	for kind := range m.queues {
+		m.qptrs = append(m.qptrs, &m.queues[kind])
+	}
+	return m
+}
+
+// Interconnect exposes the interconnect for occupancy reporting.
+func (m *Manager) Interconnect() *xbar.Interconnect { return m.ic }
+
+// DRAMController returns the bank-level controller when DetailedDRAM is
+// enabled, else nil.
+func (m *Manager) DRAMController() *dram.Controller { return m.dram }
+
+// Predictor exposes the runtime predictor (used by experiment harnesses to
+// compute prediction baselines).
+func (m *Manager) Predictor() *predict.Runtime { return m.pred }
+
+// state returns (creating if needed) the manager-side state for a node.
+func (m *Manager) state(n *graph.Node) *nodeState {
+	s, ok := m.ns[n]
+	if !ok {
+		s = &nodeState{part: -1}
+		m.ns[n] = s
+	}
+	return s
+}
+
+// idleCount reports the number of idle instances of a kind.
+func (m *Manager) idleCount(kind int) int {
+	c := 0
+	for _, inst := range m.byKind[kind] {
+		if !inst.Busy {
+			c++
+		}
+	}
+	return c
+}
+
+// RuntimeEstimate is the execution-time estimate used for critical-path
+// deadline assignment: profiled compute plus memory time at maximum data
+// movement and peak effective bandwidth. This is deliberately independent
+// of the configured predictors so every policy sees identical deadlines.
+func (m *Manager) RuntimeEstimate(n *graph.Node) sim.Time {
+	bytes := n.TotalInputBytes() + n.OutputBytes
+	memT := sim.Time(float64(bytes) / m.cfg.Interconnect.DRAMBandwidth * float64(sim.Second))
+	return n.Compute + memT
+}
+
+// Submit registers a DAG for release at the given absolute time. rebuild,
+// if non-nil, is used to re-instantiate the application under continuous
+// contention once this instance finishes.
+func (m *Manager) Submit(d *graph.DAG, release sim.Time, rebuild func() *graph.DAG) error {
+	mode := m.policy.DeadlineMode()
+	if err := graph.AssignDeadlines(d, mode, m.RuntimeEstimate); err != nil {
+		return err
+	}
+	if rebuild != nil {
+		m.rebuild[d.App] = rebuild
+	}
+	m.st.App(d.App, d.Sym, d.Deadline)
+	m.k.At(release, func() { m.release(d) })
+	return nil
+}
+
+// SubmitPeriodic releases a fresh instance of the application every period
+// until the horizon, regardless of whether earlier instances have finished
+// — the frame-queue arrival pattern of a camera pipeline or an inference
+// stream (e.g. 60 FPS vision = 16.6 ms period). Complements the paper's
+// continuous-contention mode, which resubmits on completion.
+func (m *Manager) SubmitPeriodic(build func() *graph.DAG, period, until sim.Time) error {
+	if period <= 0 {
+		return fmt.Errorf("manager: non-positive period %v", period)
+	}
+	iter := 0
+	for t := sim.Time(0); t < until; t += period {
+		d := build()
+		d.Iteration = iter
+		iter++
+		if err := m.Submit(d, t, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) release(d *graph.DAG) {
+	d.Release = m.k.Now()
+	m.cfg.Trace.Instant(trace.Release, fmt.Sprintf("%s#%d", d.App, d.Iteration), "manager", d.Release, nil)
+	for _, n := range d.Nodes {
+		n.Deadline = d.Release + n.RelDeadline
+	}
+	roots := d.Roots()
+	m.isr(func() sim.Time {
+		var cost sim.Time
+		for _, n := range roots {
+			n.ReadyAt = m.k.Now()
+			cost += m.insertPlain(n)
+		}
+		return cost
+	})
+}
+
+// insertPlain performs a vanilla policy insertion of a (non-forwarding)
+// ready node and returns the modeled cost.
+func (m *Manager) insertPlain(n *graph.Node) sim.Time {
+	m.preparePrediction(n)
+	pos, scanned := m.policy.InsertPos(m.queues[n.Kind], n, m.k.Now())
+	sched.Insert(&m.queues[n.Kind], n, pos)
+	n.IsFwd = false
+	n.State = graph.Ready
+	cost := m.cfg.SchedBase + m.cfg.SchedPerScan*sim.Time(scanned)
+	m.st.SchedCosts = append(m.st.SchedCosts, cost)
+	return cost
+}
+
+// preparePrediction fills the node's predicted runtime and laxity at
+// ready-queue insertion time (the paper predicts once, at insertion).
+func (m *Manager) preparePrediction(n *graph.Node) {
+	s := m.state(n)
+	n.PredRuntime = m.pred.PredictRuntime(n)
+	s.predMemTime = m.pred.PredictMemTime(n)
+	s.predBW = m.cfg.BW.Predict()
+	dram, bus := m.pred.PredictBytes(n)
+	s.predBytes = dram + bus
+	n.Laxity = n.Deadline - n.PredRuntime
+}
+
+// isr serialises manager work on the microcontroller: the handler runs when
+// the manager core is free, its modeled cost keeps the core busy, and the
+// launch pass (driver invocations) happens once the cost has elapsed.
+func (m *Manager) isr(work func() sim.Time) {
+	now := m.k.Now()
+	if now < m.freeAt {
+		m.k.At(m.freeAt, func() { m.isr(work) })
+		return
+	}
+	cost := work()
+	if cost < m.cfg.SchedBase {
+		cost = m.cfg.SchedBase
+	}
+	m.freeAt = now + cost
+	m.cfg.Trace.Span(trace.Schedule, "isr", "manager", now, m.freeAt, nil)
+	m.k.At(m.freeAt, m.launchPass)
+}
+
+// launchPass pops ready-queue heads onto idle accelerators.
+func (m *Manager) launchPass() {
+	for kind := range m.queues {
+		for len(m.queues[kind]) > 0 {
+			n := m.queues[kind][0]
+			inst := m.pickInstance(kind, n)
+			if inst == nil {
+				break
+			}
+			m.queues[kind] = m.queues[kind][1:]
+			m.launch(n, inst)
+		}
+	}
+}
+
+// pickInstance chooses an idle instance of the kind for n, preferring one
+// whose previously executed node is a parent of n with live output — the
+// colocation opportunity the scheduler tracks (paper §III-B).
+func (m *Manager) pickInstance(kind int, n *graph.Node) *Instance {
+	var fallback *Instance
+	for _, inst := range m.byKind[kind] {
+		if inst.Busy {
+			continue
+		}
+		if fallback == nil {
+			fallback = inst
+		}
+		if inst.LastNode != nil && m.outputLive(inst.LastNode) {
+			for _, p := range n.Parents {
+				if p == inst.LastNode {
+					return inst
+				}
+			}
+		}
+	}
+	return fallback
+}
+
+// outputLive reports whether a node's output still resides in a scratchpad
+// partition.
+func (m *Manager) outputLive(n *graph.Node) bool {
+	s, ok := m.ns[n]
+	if !ok || s.inst == nil || s.part < 0 {
+		return false
+	}
+	return s.inst.Parts[s.part].Node == n
+}
+
+func (m *Manager) String() string {
+	return fmt.Sprintf("manager(policy=%s, insts=%d)", m.policy.Name(), len(m.insts))
+}
+
+// dmaBytesToSPAD tallies scratchpad energy traffic for a transfer
+// classification.
+func (m *Manager) noteSpadBytes(n int64) { m.st.SpadDMABytes += n }
+
+// observeDRAMTransfer feeds the bandwidth predictor with the achieved
+// bandwidth of a DRAM-involving transfer.
+func (m *Manager) observeDRAMTransfer(res mem.TransferResult) {
+	if bw := res.AchievedBandwidth(); bw > 0 {
+		m.cfg.BW.Observe(bw)
+	}
+}

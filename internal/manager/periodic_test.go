@@ -1,0 +1,147 @@
+package manager
+
+import (
+	"testing"
+
+	"relief/internal/core"
+	"relief/internal/graph"
+	"relief/internal/sim"
+	"relief/internal/stats"
+	"relief/internal/trace"
+	"relief/internal/workload"
+)
+
+func TestSubmitPeriodic(t *testing.T) {
+	k := sim.NewKernel()
+	st := stats.New()
+	m := New(k, DefaultConfig(core.New()), st)
+	period := 7 * sim.Millisecond
+	horizon := 50 * sim.Millisecond
+	err := m.SubmitPeriodic(func() *graph.DAG { return workload.Build(workload.GRU) }, period, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunContinuous(horizon)
+	a := st.Apps["gru"]
+	// ceil(50/7) = 8 releases; GRU alone runs ~3.3ms, so all but possibly
+	// the last finish within the horizon.
+	if a.Iterations < 7 {
+		t.Fatalf("finished %d periodic iterations, want >= 7", a.Iterations)
+	}
+	if a.DeadlinesMet != a.Iterations {
+		t.Errorf("uncontended periodic GRU missed deadlines: %d/%d", a.DeadlinesMet, a.Iterations)
+	}
+}
+
+func TestSubmitPeriodicOverlap(t *testing.T) {
+	// A period shorter than the app runtime queues instances; all frames
+	// still finish (late) and releases stay on the period grid.
+	k := sim.NewKernel()
+	st := stats.New()
+	m := New(k, DefaultConfig(core.New()), st)
+	period := 2 * sim.Millisecond
+	var dags []*graph.DAG
+	err := m.SubmitPeriodic(func() *graph.DAG {
+		d := workload.Build(workload.GRU)
+		dags = append(dags, d)
+		return d
+	}, period, 10*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunContinuous(60 * sim.Millisecond)
+	if len(dags) != 5 {
+		t.Fatalf("released %d instances, want 5", len(dags))
+	}
+	for i, d := range dags {
+		if d.Release != sim.Time(i)*period {
+			t.Errorf("instance %d released at %v, want %v", i, d.Release, sim.Time(i)*period)
+		}
+		if !d.Finished() {
+			t.Errorf("instance %d unfinished", i)
+		}
+		if d.Iteration != i {
+			t.Errorf("instance %d iteration = %d", i, d.Iteration)
+		}
+	}
+}
+
+func TestSubmitPeriodicInvalidPeriod(t *testing.T) {
+	m := New(sim.NewKernel(), DefaultConfig(core.New()), stats.New())
+	if err := m.SubmitPeriodic(func() *graph.DAG { return workload.Build(workload.GRU) }, 0, sim.Millisecond); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+// TestTraceRecordsRun: a traced simulation produces compute, DMA,
+// writeback, schedule, and release events with coherent timestamps.
+func TestTraceRecordsRun(t *testing.T) {
+	k := sim.NewKernel()
+	st := stats.New()
+	cfg := DefaultConfig(core.New())
+	rec := trace.NewRecorder()
+	cfg.Trace = rec
+	m := New(k, cfg, st)
+	if err := m.Submit(workload.Build(workload.Canny), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	kinds := map[trace.Kind]int{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+		if e.End < e.Start {
+			t.Fatalf("event %v ends before it starts", e)
+		}
+	}
+	if kinds[trace.TaskCompute] != 13 {
+		t.Errorf("compute events = %d, want 13 (one per node)", kinds[trace.TaskCompute])
+	}
+	if kinds[trace.TaskInput] != 13 {
+		t.Errorf("input events = %d, want 13", kinds[trace.TaskInput])
+	}
+	if kinds[trace.Release] != 1 || kinds[trace.Schedule] == 0 || kinds[trace.Writeback] == 0 {
+		t.Errorf("missing event kinds: %v", kinds)
+	}
+	if kinds[trace.Forward] == 0 {
+		t.Errorf("canny should record forwards, got none")
+	}
+}
+
+// TestDetailedDRAMRuns: the bank-level controller slots in and produces
+// results close to the calibrated simple model.
+func TestDetailedDRAMRuns(t *testing.T) {
+	runWith := func(detailed bool) *stats.Stats {
+		k := sim.NewKernel()
+		st := stats.New()
+		cfg := DefaultConfig(core.New())
+		cfg.DetailedDRAM = detailed
+		m := New(k, cfg, st)
+		for _, app := range []workload.App{workload.Canny, workload.GRU} {
+			if err := m.Submit(workload.Build(app), 0, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Run()
+		if detailed {
+			dc := m.DRAMController()
+			if dc == nil {
+				t.Fatal("detailed DRAM not installed")
+			}
+			if dc.RowHitRate() < 0.8 {
+				t.Errorf("row hit rate = %.2f, want > 0.8 for streaming DMA", dc.RowHitRate())
+			}
+		} else if m.DRAMController() != nil {
+			t.Fatal("unexpected DRAM controller")
+		}
+		return st
+	}
+	simple := runWith(false)
+	detailed := runWith(true)
+	if simple.NodesDone != detailed.NodesDone {
+		t.Fatalf("node counts differ: %d vs %d", simple.NodesDone, detailed.NodesDone)
+	}
+	ratio := float64(detailed.Makespan) / float64(simple.Makespan)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("detailed/simple makespan = %.2f, want within 25%% (calibrated)", ratio)
+	}
+}

@@ -1,0 +1,231 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relief/internal/sim"
+)
+
+func TestResourceServiceTime(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewResource(k, "dram", 1*GB) // 1 GB/s = 1 byte/ns
+	if got := r.ServiceTime(1000); got != 1000*sim.Nanosecond {
+		t.Errorf("ServiceTime(1000) = %v, want 1us", got)
+	}
+	if got := r.ServiceTime(0); got != 0 {
+		t.Errorf("ServiceTime(0) = %v, want 0", got)
+	}
+	if got := r.ServiceTime(1); got < 1 {
+		t.Errorf("ServiceTime(1) = %v, want >= 1ps", got)
+	}
+	if r.Bandwidth() != 1*GB {
+		t.Errorf("Bandwidth() = %v, want 1e9", r.Bandwidth())
+	}
+}
+
+func TestResourceInvalidBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive bandwidth")
+		}
+	}()
+	NewResource(sim.NewKernel(), "bad", 0)
+}
+
+func TestResourceFIFOAndBusyTime(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewResource(k, "bus", 1*GB)
+	var done []sim.Time
+	r.Enqueue(1000, func() { done = append(done, k.Now()) }) // 1us
+	r.Enqueue(2000, func() { done = append(done, k.Now()) }) // +2us
+	k.Run()
+	if len(done) != 2 {
+		t.Fatalf("completed %d requests, want 2", len(done))
+	}
+	if done[0] != 1*sim.Microsecond || done[1] != 3*sim.Microsecond {
+		t.Errorf("completion times %v, want [1us 3us]", done)
+	}
+	if r.BusyTime() != 3*sim.Microsecond {
+		t.Errorf("BusyTime = %v, want 3us", r.BusyTime())
+	}
+	if r.BytesServed() != 3000 {
+		t.Errorf("BytesServed = %d, want 3000", r.BytesServed())
+	}
+}
+
+func TestResourceZeroByteCompletes(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewResource(k, "bus", 1*GB)
+	ran := false
+	r.Enqueue(0, func() { ran = true })
+	k.Run()
+	if !ran {
+		t.Fatal("zero-byte request never completed")
+	}
+	if r.BusyTime() != 0 {
+		t.Errorf("BusyTime = %v for zero-byte request", r.BusyTime())
+	}
+}
+
+func TestResourceIdleGapNotBusy(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewResource(k, "bus", 1*GB)
+	r.Enqueue(1000, func() {})
+	k.Schedule(10*sim.Microsecond, func() { r.Enqueue(1000, func() {}) })
+	k.Run()
+	if r.BusyTime() != 2*sim.Microsecond {
+		t.Errorf("BusyTime = %v, want 2us (idle gap excluded)", r.BusyTime())
+	}
+}
+
+func TestResourceOnBusyChange(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewResource(k, "bus", 1*GB)
+	var transitions []bool
+	r.OnBusyChange = func(b bool) { transitions = append(transitions, b) }
+	r.Enqueue(100, func() {})
+	r.Enqueue(100, func() {}) // back-to-back: no idle transition between
+	k.Run()
+	want := []bool{true, false}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestTransferSingleStage(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewResource(k, "dram", 1*GB)
+	var res TransferResult
+	StartTransfer(k, []Server{r}, 10000, 0, func(tr TransferResult) { res = tr })
+	k.Run()
+	if res.Bytes != 10000 {
+		t.Fatalf("Bytes = %d, want 10000", res.Bytes)
+	}
+	want := 10 * sim.Microsecond
+	if res.End-res.Start != want {
+		t.Errorf("duration = %v, want %v", res.End-res.Start, want)
+	}
+	if bw := res.AchievedBandwidth(); bw < 0.99*GB || bw > 1.01*GB {
+		t.Errorf("achieved bandwidth = %v, want ~1GB/s", bw)
+	}
+}
+
+func TestTransferPipelinesTwoStages(t *testing.T) {
+	// With store-and-forward chunk pipelining, a transfer over two equal
+	// stages takes bytes/bw + one extra chunk, not 2x.
+	k := sim.NewKernel()
+	a := NewResource(k, "a", 1*GB)
+	b := NewResource(k, "b", 1*GB)
+	const bytes = 16 * DefaultChunkBytes
+	var dur sim.Time
+	StartTransfer(k, []Server{a, b}, bytes, 0, func(tr TransferResult) { dur = tr.End - tr.Start })
+	k.Run()
+	serial := a.ServiceTime(bytes)
+	extra := a.ServiceTime(DefaultChunkBytes)
+	if dur != serial+extra {
+		t.Errorf("pipelined duration = %v, want %v (serial %v + chunk %v)", dur, serial+extra, serial, extra)
+	}
+}
+
+func TestTransferBottleneckStage(t *testing.T) {
+	// The slow stage dominates a pipelined transfer.
+	k := sim.NewKernel()
+	fast := NewResource(k, "bus", 10*GB)
+	slow := NewResource(k, "dram", 1*GB)
+	const bytes = 8 * DefaultChunkBytes
+	var dur sim.Time
+	StartTransfer(k, []Server{fast, slow}, bytes, 0, func(tr TransferResult) { dur = tr.End - tr.Start })
+	k.Run()
+	lower := slow.ServiceTime(bytes)
+	upper := lower + fast.ServiceTime(DefaultChunkBytes) + slow.ServiceTime(DefaultChunkBytes)
+	if dur < lower || dur > upper {
+		t.Errorf("duration %v outside [%v, %v]", dur, lower, upper)
+	}
+}
+
+func TestTransferSetupLatency(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewResource(k, "dram", 1*GB)
+	var start sim.Time = -1
+	StartTransfer(k, []Server{r}, 1000, 500*sim.Nanosecond, func(tr TransferResult) {
+		start = tr.Start
+		if tr.End != 500*sim.Nanosecond+1*sim.Microsecond {
+			t.Errorf("End = %v, want 1.5us", tr.End)
+		}
+	})
+	k.Run()
+	if start != 0 {
+		t.Errorf("Start = %v, want 0 (setup included in transfer window)", start)
+	}
+}
+
+func TestTransferEmptyPathAndZeroBytes(t *testing.T) {
+	k := sim.NewKernel()
+	count := 0
+	StartTransfer(k, nil, 1000, 0, func(TransferResult) { count++ })
+	StartTransfer(k, []Server{NewResource(k, "x", GB)}, 0, 0, func(TransferResult) { count++ })
+	k.Run()
+	if count != 2 {
+		t.Fatalf("completed %d degenerate transfers, want 2", count)
+	}
+}
+
+func TestConcurrentTransfersShareBandwidth(t *testing.T) {
+	// Two simultaneous transfers through one resource interleave at chunk
+	// granularity: both finish around 2x the solo time, and neither is
+	// starved until the other completes.
+	k := sim.NewKernel()
+	r := NewResource(k, "dram", 1*GB)
+	const bytes = 32 * DefaultChunkBytes
+	var ends []sim.Time
+	for i := 0; i < 2; i++ {
+		StartTransfer(k, []Server{r}, bytes, 0, func(tr TransferResult) { ends = append(ends, tr.End) })
+	}
+	k.Run()
+	solo := r.ServiceTime(bytes)
+	both := r.ServiceTime(2 * bytes)
+	for _, e := range ends {
+		if e < solo || e > both {
+			t.Errorf("end %v outside [%v, %v]", e, solo, both)
+		}
+	}
+	// Fairness: the first finisher must not finish before ~half the total
+	// work is done minus a chunk of slack.
+	first := ends[0]
+	if ends[1] < first {
+		first = ends[1]
+	}
+	if first < both-r.ServiceTime(2*DefaultChunkBytes) {
+		t.Errorf("first transfer finished at %v; starvation suspected (total %v)", first, both)
+	}
+}
+
+// TestQuickTransferConservation: any transfer takes at least bytes/bw on
+// its bottleneck stage and reports exactly its byte count.
+func TestQuickTransferConservation(t *testing.T) {
+	f := func(rawBytes uint32, twoStage bool) bool {
+		bytes := int64(rawBytes%5_000_000) + 1
+		k := sim.NewKernel()
+		path := []Server{NewResource(k, "a", 2*GB)}
+		if twoStage {
+			path = append(path, NewResource(k, "b", 1*GB))
+		}
+		var res TransferResult
+		StartTransfer(k, path, bytes, 0, func(tr TransferResult) { res = tr })
+		k.Run()
+		if res.Bytes != bytes {
+			return false
+		}
+		bottleneck := path[len(path)-1].ServiceTime(bytes)
+		return res.End-res.Start >= bottleneck
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,147 @@
+// Package mem models the SoC's shared-bandwidth resources: the LPDDR main
+// memory channel and (via internal/xbar) interconnect links, plus
+// energy accounting for DRAM and scratchpad traffic.
+//
+// A Resource is a FIFO bandwidth server. Transfers are decomposed into
+// chunks before they are offered to a resource, so concurrent DMA streams
+// interleave at chunk granularity, approximating the fair bandwidth sharing
+// of a real memory controller without per-cycle simulation.
+package mem
+
+import (
+	"fmt"
+
+	"relief/internal/sim"
+)
+
+// GB is 10^9 bytes, matching the GB/s units used in the paper.
+const GB = 1e9
+
+// Server is anything that drains byte requests over time: the simple
+// bandwidth Resource here, or the bank-level DRAM controller in
+// internal/dram. Transfer paths are built from Servers.
+type Server interface {
+	Name() string
+	// Enqueue schedules n bytes for service; done fires when they drain.
+	Enqueue(n int64, done func())
+	// ServiceTime is the unloaded service time for n bytes.
+	ServiceTime(n int64) sim.Time
+	// BusyTime is the cumulative time spent serving.
+	BusyTime() sim.Time
+	// BytesServed is the total bytes drained.
+	BytesServed() int64
+}
+
+// Resource is a FIFO server with a fixed service bandwidth. The zero value
+// is not usable; construct with NewResource.
+type Resource struct {
+	k         *sim.Kernel
+	name      string
+	psPerByte float64
+
+	queue   []request
+	busy    bool
+	busyAcc sim.Time // accumulated busy time
+	busyAt  sim.Time // start of current busy period
+	bytes   int64    // total bytes served
+
+	// OnBusyChange, if non-nil, fires whenever the resource transitions
+	// between idle and busy. Used by the interconnect to compute union
+	// occupancy across ports.
+	OnBusyChange func(busy bool)
+}
+
+type request struct {
+	bytes int64
+	done  func()
+}
+
+// NewResource creates a bandwidth server named name with the given
+// bandwidth in bytes per second.
+func NewResource(k *sim.Kernel, name string, bytesPerSec float64) *Resource {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("mem: resource %s: non-positive bandwidth", name))
+	}
+	return &Resource{
+		k:         k,
+		name:      name,
+		psPerByte: float64(sim.Second) / bytesPerSec,
+	}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Bandwidth returns the service bandwidth in bytes per second.
+func (r *Resource) Bandwidth() float64 { return float64(sim.Second) / r.psPerByte }
+
+// ServiceTime returns how long serving n bytes takes at full bandwidth.
+func (r *Resource) ServiceTime(n int64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	t := sim.Time(float64(n) * r.psPerByte)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Enqueue schedules n bytes for service; done fires when the bytes have
+// drained. Zero-byte requests complete on the next event dispatch.
+func (r *Resource) Enqueue(n int64, done func()) {
+	if n <= 0 {
+		r.k.Schedule(0, done)
+		return
+	}
+	r.queue = append(r.queue, request{bytes: n, done: done})
+	if !r.busy {
+		r.setBusy(true)
+		r.serve()
+	}
+}
+
+func (r *Resource) serve() {
+	if len(r.queue) == 0 {
+		r.setBusy(false)
+		return
+	}
+	req := r.queue[0]
+	r.queue = r.queue[1:]
+	r.k.Schedule(r.ServiceTime(req.bytes), func() {
+		r.bytes += req.bytes
+		req.done()
+		r.serve()
+	})
+}
+
+func (r *Resource) setBusy(b bool) {
+	if r.busy == b {
+		return
+	}
+	r.busy = b
+	if b {
+		r.busyAt = r.k.Now()
+	} else {
+		r.busyAcc += r.k.Now() - r.busyAt
+	}
+	if r.OnBusyChange != nil {
+		r.OnBusyChange(b)
+	}
+}
+
+// BusyTime returns the total time the resource has spent serving requests,
+// including the current busy period if one is in progress.
+func (r *Resource) BusyTime() sim.Time {
+	if r.busy {
+		return r.busyAcc + (r.k.Now() - r.busyAt)
+	}
+	return r.busyAcc
+}
+
+// BytesServed returns the total bytes drained through the resource.
+func (r *Resource) BytesServed() int64 { return r.bytes }
+
+// QueueLen reports the number of waiting requests (not counting the one in
+// service).
+func (r *Resource) QueueLen() int { return len(r.queue) }

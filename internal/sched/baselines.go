@@ -1,0 +1,128 @@
+package sched
+
+import (
+	"relief/internal/graph"
+	"relief/internal/sim"
+)
+
+// FCFS appends incoming tasks to the tail of the ready queue — the
+// non-preemptive version of GAM+'s round-robin scheduling.
+type FCFS struct{}
+
+// Name implements Policy.
+func (FCFS) Name() string { return "FCFS" }
+
+// DeadlineMode implements Policy. FCFS ignores deadlines; CPM deadlines are
+// still assigned so deadline-met statistics are comparable across policies.
+func (FCFS) DeadlineMode() graph.DeadlineMode { return graph.DeadlineCPM }
+
+// InsertPos implements Policy.
+func (FCFS) InsertPos(q []*graph.Node, n *graph.Node, now sim.Time) (int, int) {
+	return len(q), 0
+}
+
+// GEDFD is Global Earliest Deadline First using the owning DAG's deadline as
+// every task's deadline (paper: GEDF-DAG, as used by VIP).
+type GEDFD struct{}
+
+// Name implements Policy.
+func (GEDFD) Name() string { return "GEDF-D" }
+
+// DeadlineMode implements Policy.
+func (GEDFD) DeadlineMode() graph.DeadlineMode { return graph.DeadlineDAG }
+
+// InsertPos implements Policy.
+func (GEDFD) InsertPos(q []*graph.Node, n *graph.Node, now sim.Time) (int, int) {
+	return insertByDeadline(q, n)
+}
+
+// GEDFN is Global Earliest Deadline First with critical-path-method node
+// deadlines (paper: GEDF-Node).
+type GEDFN struct{}
+
+// Name implements Policy.
+func (GEDFN) Name() string { return "GEDF-N" }
+
+// DeadlineMode implements Policy.
+func (GEDFN) DeadlineMode() graph.DeadlineMode { return graph.DeadlineCPM }
+
+// InsertPos implements Policy.
+func (GEDFN) InsertPos(q []*graph.Node, n *graph.Node, now sim.Time) (int, int) {
+	return insertByDeadline(q, n)
+}
+
+func insertByDeadline(q []*graph.Node, n *graph.Node) (int, int) {
+	for i, e := range q {
+		if n.Deadline < e.Deadline {
+			return i, i + 1
+		}
+	}
+	return len(q), len(q)
+}
+
+// LL is Least Laxity First with CPM node deadlines: tasks sorted by
+// increasing laxity (paper Eq. 1).
+type LL struct{}
+
+// Name implements Policy.
+func (LL) Name() string { return "LL" }
+
+// DeadlineMode implements Policy.
+func (LL) DeadlineMode() graph.DeadlineMode { return graph.DeadlineCPM }
+
+// InsertPos implements Policy.
+func (LL) InsertPos(q []*graph.Node, n *graph.Node, now sim.Time) (int, int) {
+	for i, e := range q {
+		if n.Laxity < e.Laxity {
+			return i, i + 1
+		}
+	}
+	return len(q), len(q)
+}
+
+// LAX is the LL variant of Yeh et al. that de-prioritizes tasks with
+// negative laxity in favour of tasks with non-negative laxity, improving
+// deadline hits at a fairness cost (paper §II-C, §V-E).
+type LAX struct{}
+
+// Name implements Policy.
+func (LAX) Name() string { return "LAX" }
+
+// DeadlineMode implements Policy.
+func (LAX) DeadlineMode() graph.DeadlineMode { return graph.DeadlineCPM }
+
+// InsertPos implements Policy.
+func (LAX) InsertPos(q []*graph.Node, n *graph.Node, now sim.Time) (int, int) {
+	nNeg := CurrentLaxity(n, now) < 0
+	for i, e := range q {
+		eNeg := CurrentLaxity(e, now) < 0
+		if nNeg != eNeg {
+			if eNeg {
+				// Non-negative n bypasses every negative-laxity task.
+				return i, i + 1
+			}
+			continue // negative n sinks below non-negative e
+		}
+		if n.Laxity < e.Laxity {
+			return i, i + 1
+		}
+	}
+	return len(q), len(q)
+}
+
+// HetSched is the least-laxity policy of Amarnath et al. with sub-deadline
+// ratio (SDR) task deadlines: deadline_task = SDR x deadline_DAG (paper
+// Eq. 2), distributing DAG laxity across nodes in proportion to their
+// contribution to the critical path.
+type HetSched struct{}
+
+// Name implements Policy.
+func (HetSched) Name() string { return "HetSched" }
+
+// DeadlineMode implements Policy.
+func (HetSched) DeadlineMode() graph.DeadlineMode { return graph.DeadlineSDR }
+
+// InsertPos implements Policy.
+func (HetSched) InsertPos(q []*graph.Node, n *graph.Node, now sim.Time) (int, int) {
+	return LL{}.InsertPos(q, n, now)
+}

@@ -1,0 +1,216 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relief/internal/accel"
+	"relief/internal/graph"
+	"relief/internal/sim"
+)
+
+// mkNode builds a standalone node with the given scheduling keys.
+func mkNode(deadline, predRuntime sim.Time) *graph.Node {
+	d := graph.New("t", "T", 100*sim.Millisecond)
+	n := d.AddNode("n", accel.ElemMatrix, accel.OpAdd, 100)
+	n.Deadline = deadline
+	n.PredRuntime = predRuntime
+	n.Laxity = deadline - predRuntime
+	return n
+}
+
+// insertAll runs a policy's InsertPos/Insert loop over the nodes.
+func insertAll(p Policy, nodes []*graph.Node, now sim.Time) []*graph.Node {
+	var q []*graph.Node
+	for _, n := range nodes {
+		pos, _ := p.InsertPos(q, n, now)
+		Insert(&q, n, pos)
+	}
+	return q
+}
+
+func TestInsertPositions(t *testing.T) {
+	a, b, c := mkNode(1, 0), mkNode(2, 0), mkNode(3, 0)
+	var q []*graph.Node
+	Insert(&q, b, 0)
+	Insert(&q, c, 1)
+	Insert(&q, a, 0)
+	if q[0] != a || q[1] != b || q[2] != c {
+		t.Fatal("positional insert broken")
+	}
+	// Out-of-range positions clamp.
+	d := mkNode(4, 0)
+	Insert(&q, d, 99)
+	if q[3] != d {
+		t.Fatal("over-length insert should append")
+	}
+	e := mkNode(5, 0)
+	Insert(&q, e, -3)
+	if q[0] != e {
+		t.Fatal("negative insert should prepend")
+	}
+}
+
+func TestFCFSAppends(t *testing.T) {
+	p := FCFS{}
+	nodes := []*graph.Node{mkNode(30, 1), mkNode(10, 1), mkNode(20, 1)}
+	q := insertAll(p, nodes, 0)
+	for i := range nodes {
+		if q[i] != nodes[i] {
+			t.Fatal("FCFS must preserve arrival order")
+		}
+	}
+	if _, scanned := p.InsertPos(q, mkNode(1, 1), 0); scanned != 0 {
+		t.Error("FCFS should scan nothing")
+	}
+}
+
+func TestGEDFSortsByDeadline(t *testing.T) {
+	for _, p := range []Policy{GEDFD{}, GEDFN{}} {
+		nodes := []*graph.Node{mkNode(30, 1), mkNode(10, 1), mkNode(20, 1)}
+		q := insertAll(p, nodes, 0)
+		if q[0].Deadline != 10 || q[1].Deadline != 20 || q[2].Deadline != 30 {
+			t.Fatalf("%s: queue not deadline-sorted", p.Name())
+		}
+	}
+}
+
+func TestGEDFTieKeepsArrivalOrder(t *testing.T) {
+	a, b := mkNode(10, 1), mkNode(10, 2)
+	q := insertAll(GEDFN{}, []*graph.Node{a, b}, 0)
+	if q[0] != a || q[1] != b {
+		t.Fatal("equal deadlines must preserve insertion order (stable)")
+	}
+}
+
+func TestLLSortsByLaxity(t *testing.T) {
+	// Same deadline, different runtimes: longer runtime = lower laxity =
+	// higher priority.
+	a := mkNode(100*sim.Microsecond, 10*sim.Microsecond)
+	b := mkNode(100*sim.Microsecond, 90*sim.Microsecond)
+	q := insertAll(LL{}, []*graph.Node{a, b}, 0)
+	if q[0] != b || q[1] != a {
+		t.Fatal("LL must prioritise the lower-laxity task")
+	}
+}
+
+func TestLAXDeprioritizesNegativeLaxity(t *testing.T) {
+	now := 50 * sim.Microsecond
+	neg := mkNode(40*sim.Microsecond, 10*sim.Microsecond)  // laxity 30us - 50us < 0
+	pos := mkNode(100*sim.Microsecond, 20*sim.Microsecond) // laxity 80us - 50us > 0
+	q := insertAll(LAX{}, []*graph.Node{neg, pos}, now)
+	if q[0] != pos || q[1] != neg {
+		t.Fatal("LAX must let non-negative laxity bypass negative laxity")
+	}
+	// Under LL the negative-laxity task stays ahead.
+	q = insertAll(LL{}, []*graph.Node{neg, pos}, now)
+	if q[0] != neg {
+		t.Fatal("LL must keep the least-laxity task at the head")
+	}
+}
+
+func TestLAXOrdersWithinClasses(t *testing.T) {
+	now := 100 * sim.Microsecond
+	n1 := mkNode(50*sim.Microsecond, 10*sim.Microsecond)  // very negative
+	n2 := mkNode(90*sim.Microsecond, 10*sim.Microsecond)  // slightly negative
+	p1 := mkNode(200*sim.Microsecond, 10*sim.Microsecond) // positive, lax 90
+	p2 := mkNode(150*sim.Microsecond, 10*sim.Microsecond) // positive, lax 40
+	q := insertAll(LAX{}, []*graph.Node{n1, n2, p1, p2}, now)
+	want := []*graph.Node{p2, p1, n1, n2}
+	for i := range want {
+		if q[i] != want[i] {
+			t.Fatalf("LAX order wrong at %d", i)
+		}
+	}
+}
+
+func TestHetSchedUsesSDRDeadlines(t *testing.T) {
+	if (HetSched{}).DeadlineMode() != graph.DeadlineSDR {
+		t.Fatal("HetSched must use SDR deadlines")
+	}
+	if (LL{}).DeadlineMode() != graph.DeadlineCPM || (LAX{}).DeadlineMode() != graph.DeadlineCPM {
+		t.Fatal("LL/LAX must use CPM deadlines")
+	}
+	if (GEDFD{}).DeadlineMode() != graph.DeadlineDAG {
+		t.Fatal("GEDF-D must use the DAG deadline")
+	}
+}
+
+func TestCurrentLaxity(t *testing.T) {
+	n := mkNode(100*sim.Microsecond, 30*sim.Microsecond)
+	if got := CurrentLaxity(n, 20*sim.Microsecond); got != 50*sim.Microsecond {
+		t.Errorf("CurrentLaxity = %v, want 50us", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, c := range []struct {
+		p    Policy
+		want string
+	}{
+		{FCFS{}, "FCFS"}, {GEDFD{}, "GEDF-D"}, {GEDFN{}, "GEDF-N"},
+		{LL{}, "LL"}, {LAX{}, "LAX"}, {HetSched{}, "HetSched"},
+	} {
+		if c.p.Name() != c.want {
+			t.Errorf("Name() = %q, want %q", c.p.Name(), c.want)
+		}
+	}
+}
+
+// TestQuickLLSorted: after any insertion sequence, an LL queue is sorted by
+// stored laxity.
+func TestQuickLLSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var nodes []*graph.Node
+		for i := 0; i < 2+rng.Intn(30); i++ {
+			nodes = append(nodes, mkNode(sim.Time(rng.Intn(1000))*sim.Microsecond,
+				sim.Time(rng.Intn(500))*sim.Microsecond))
+		}
+		q := insertAll(LL{}, nodes, 0)
+		for i := 1; i < len(q); i++ {
+			if q[i].Laxity < q[i-1].Laxity {
+				return false
+			}
+		}
+		return len(q) == len(nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLAXPartition: a LAX queue always has every non-negative-laxity
+// task ahead of every negative-laxity task, each class laxity-sorted.
+func TestQuickLAXPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		now := sim.Time(rng.Intn(500)) * sim.Microsecond
+		var nodes []*graph.Node
+		for i := 0; i < 2+rng.Intn(30); i++ {
+			nodes = append(nodes, mkNode(sim.Time(rng.Intn(1000))*sim.Microsecond,
+				sim.Time(rng.Intn(500))*sim.Microsecond))
+		}
+		q := insertAll(LAX{}, nodes, now)
+		seenNeg := false
+		for i, n := range q {
+			neg := CurrentLaxity(n, now) < 0
+			if neg {
+				seenNeg = true
+			} else if seenNeg {
+				return false // non-negative after a negative
+			}
+			if i > 0 {
+				prev := q[i-1]
+				if (CurrentLaxity(prev, now) < 0) == neg && n.Laxity < prev.Laxity {
+					return false // class not laxity-sorted
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// Time is measured in integer picoseconds (type Time) so that sub-nanosecond
+// bus beats can be represented exactly. Events scheduled for the same tick
+// fire in the order they were scheduled, which makes every simulation run
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp or duration in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Microseconds returns t expressed in microseconds as a float64.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds returns t expressed in milliseconds as a float64.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds returns t expressed in seconds as a float64.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", t.Milliseconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	case t >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(t)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(t))
+	}
+}
+
+// Event is a handle for a scheduled callback. It can be cancelled before it
+// fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	index     int // heap index, -1 when not queued
+	cancelled bool
+}
+
+// At returns the time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Kernel is an event-driven simulation engine. The zero value is not usable;
+// call NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired reports how many events have been dispatched so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Schedule arranges for fn to run delay picoseconds from now. A negative
+// delay is treated as zero. The returned event may be cancelled.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute time t (clamped to now).
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (k *Kernel) Cancel(e *Event) {
+	if e == nil || e.cancelled || e.index < 0 {
+		if e != nil {
+			e.cancelled = true
+		}
+		return
+	}
+	e.cancelled = true
+	heap.Remove(&k.queue, e.index)
+}
+
+// Halt stops the current Run/RunUntil loop after the in-flight event returns.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Pending reports how many events are queued.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Run dispatches events until the queue is empty or Halt is called.
+// It returns the final simulation time.
+func (k *Kernel) Run() Time {
+	return k.RunUntil(-1)
+}
+
+// RunUntil dispatches events with timestamps <= limit (limit < 0 means no
+// limit) until the queue drains, Halt is called, or the next event lies
+// beyond the limit. When stopping because of the limit the clock is advanced
+// to the limit.
+func (k *Kernel) RunUntil(limit Time) Time {
+	k.halted = false
+	for len(k.queue) > 0 && !k.halted {
+		next := k.queue[0]
+		if limit >= 0 && next.at > limit {
+			k.now = limit
+			return k.now
+		}
+		heap.Pop(&k.queue)
+		if next.cancelled {
+			continue
+		}
+		k.now = next.at
+		k.fired++
+		next.fn()
+	}
+	if limit >= 0 && k.now < limit && !k.halted {
+		k.now = limit
+	}
+	return k.now
+}
+
+// eventHeap orders events by (time, sequence) for deterministic dispatch.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,214 @@
+// Package trace records simulation events — task phases, DMA transfers,
+// scheduling decisions — and exports them as human-readable timelines or
+// as Chrome trace-event JSON (load chrome://tracing or Perfetto to view).
+//
+// The recorder is optional: the manager runs with a nil *Recorder and pays
+// nothing.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"relief/internal/sim"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds.
+const (
+	TaskCompute Kind = iota // accelerator busy computing a node
+	TaskInput               // DMA-in phase (all input transfers)
+	Writeback               // output DMA to main memory
+	Forward                 // SPAD-to-SPAD transfer
+	Schedule                // manager scheduling work (ISR)
+	Release                 // DAG released
+	Deadline                // instantaneous deadline marker
+)
+
+var kindNames = [...]string{
+	TaskCompute: "compute",
+	TaskInput:   "input-dma",
+	Writeback:   "writeback",
+	Forward:     "forward",
+	Schedule:    "schedule",
+	Release:     "release",
+	Deadline:    "deadline",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded interval (or instant, when End == Start).
+type Event struct {
+	Kind  Kind
+	Name  string // node or DAG label
+	Lane  string // display row: accelerator instance, "manager", "dram"...
+	Start sim.Time
+	End   sim.Time
+	// Meta carries small key/value details (edge classification, bytes).
+	Meta map[string]string
+}
+
+// Recorder accumulates events. The zero value is ready to use.
+type Recorder struct {
+	events []Event
+	open   map[openKey]int // index of in-flight interval per (lane,name,kind)
+}
+
+type openKey struct {
+	kind Kind
+	name string
+	lane string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{open: make(map[openKey]int)}
+}
+
+// Instant records a zero-length event.
+func (r *Recorder) Instant(kind Kind, name, lane string, at sim.Time, meta map[string]string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Kind: kind, Name: name, Lane: lane, Start: at, End: at, Meta: meta})
+}
+
+// Begin opens an interval; End closes it. Unmatched Begins are closed at
+// export time with their start timestamp.
+func (r *Recorder) Begin(kind Kind, name, lane string, at sim.Time, meta map[string]string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Kind: kind, Name: name, Lane: lane, Start: at, End: -1, Meta: meta})
+	r.open[openKey{kind, name, lane}] = len(r.events) - 1
+}
+
+// End closes the most recent open interval with the same identity.
+func (r *Recorder) End(kind Kind, name, lane string, at sim.Time) {
+	if r == nil {
+		return
+	}
+	k := openKey{kind, name, lane}
+	if i, ok := r.open[k]; ok {
+		r.events[i].End = at
+		delete(r.open, k)
+	}
+}
+
+// Span records a complete interval in one call.
+func (r *Recorder) Span(kind Kind, name, lane string, start, end sim.Time, meta map[string]string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Kind: kind, Name: name, Lane: lane, Start: start, End: end, Meta: meta})
+}
+
+// Events returns the recorded events sorted by start time, closing any
+// dangling intervals.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	for i := range out {
+		if out[i].End < out[i].Start {
+			out[i].End = out[i].Start
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// WriteText renders a fixed-width timeline, one line per event.
+func (r *Recorder) WriteText(w io.Writer) error {
+	for _, e := range r.Events() {
+		var err error
+		if e.Start == e.End {
+			_, err = fmt.Fprintf(w, "%12v  %-10s %-22s %s\n", e.Start, e.Kind, e.Lane, e.Name)
+		} else {
+			_, err = fmt.Fprintf(w, "%12v  %-10s %-22s %-24s dur=%v\n", e.Start, e.Kind, e.Lane, e.Name, e.End-e.Start)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is the Chrome trace-event JSON schema (subset).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeMeta struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChromeTrace emits the events as a Chrome/Perfetto trace-event JSON
+// array, one thread row per lane.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	events := r.Events()
+	lanes := map[string]int{}
+	var laneNames []string
+	for _, e := range events {
+		if _, ok := lanes[e.Lane]; !ok {
+			lanes[e.Lane] = len(lanes) + 1
+			laneNames = append(laneNames, e.Lane)
+		}
+	}
+	var out []any
+	for _, name := range laneNames {
+		out = append(out, chromeMeta{
+			Name: "thread_name", Ph: "M", PID: 1, TID: lanes[name],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Kind.String(),
+			Ph:   "X",
+			Ts:   e.Start.Microseconds(),
+			Dur:  (e.End - e.Start).Microseconds(),
+			PID:  1,
+			TID:  lanes[e.Lane],
+			Args: e.Meta,
+		}
+		if e.Start == e.End {
+			ce.Ph = "i"
+			ce.Dur = 0
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

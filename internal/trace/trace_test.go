@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"relief/internal/sim"
+)
+
+func TestNilRecorderIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Instant(Release, "x", "manager", 0, nil)
+	r.Begin(TaskCompute, "x", "lane", 0, nil)
+	r.End(TaskCompute, "x", "lane", 1)
+	r.Span(Forward, "x", "lane", 0, 1, nil)
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must record nothing")
+	}
+}
+
+func TestBeginEndPairing(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(TaskCompute, "n1", "em#0", 10, nil)
+	r.End(TaskCompute, "n1", "em#0", 25)
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].Start != 10 || evs[0].End != 25 {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestDanglingBeginClosedAtExport(t *testing.T) {
+	r := NewRecorder()
+	r.Begin(TaskInput, "n1", "em#0", 10, nil)
+	evs := r.Events()
+	if evs[0].End != evs[0].Start {
+		t.Fatalf("dangling interval not closed: %+v", evs[0])
+	}
+}
+
+func TestEndWithoutBeginIgnored(t *testing.T) {
+	r := NewRecorder()
+	r.End(TaskCompute, "ghost", "em#0", 5)
+	if r.Len() != 0 {
+		t.Fatal("End without Begin recorded something")
+	}
+}
+
+func TestEventsSortedByStart(t *testing.T) {
+	r := NewRecorder()
+	r.Span(TaskCompute, "b", "l", 20, 30, nil)
+	r.Span(TaskCompute, "a", "l", 5, 10, nil)
+	r.Instant(Release, "c", "l", 1, nil)
+	evs := r.Events()
+	if evs[0].Name != "c" || evs[1].Name != "a" || evs[2].Name != "b" {
+		t.Fatalf("not sorted: %+v", evs)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k, want := range map[Kind]string{
+		TaskCompute: "compute", TaskInput: "input-dma", Writeback: "writeback",
+		Forward: "forward", Schedule: "schedule", Release: "release", Deadline: "deadline",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("out-of-range kind should format")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRecorder()
+	r.Span(TaskCompute, "node1", "em#0", sim.Microsecond, 3*sim.Microsecond, nil)
+	r.Instant(Release, "dag", "manager", 0, nil)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node1") || !strings.Contains(out, "dur=2.000us") {
+		t.Fatalf("text output missing content:\n%s", out)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder()
+	r.Span(TaskCompute, "node1", "em#0", sim.Microsecond, 3*sim.Microsecond,
+		map[string]string{"edge": "forward"})
+	r.Instant(Release, "dag", "manager", 0, nil)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 lane metadata records + 2 events.
+	if len(out) != 4 {
+		t.Fatalf("got %d records, want 4", len(out))
+	}
+	var compute map[string]any
+	for _, rec := range out {
+		if rec["cat"] == "compute" {
+			compute = rec
+		}
+	}
+	if compute == nil {
+		t.Fatal("compute event missing")
+	}
+	if compute["ph"] != "X" || compute["dur"].(float64) != 2 || compute["ts"].(float64) != 1 {
+		t.Fatalf("compute event wrong: %v", compute)
+	}
+	// Lanes get distinct thread ids.
+	tids := map[float64]bool{}
+	for _, rec := range out {
+		if rec["ph"] == "M" {
+			tids[rec["tid"].(float64)] = true
+		}
+	}
+	if len(tids) != 2 {
+		t.Fatalf("expected 2 lanes, got %d", len(tids))
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"testing"
+
+	"relief/internal/sim"
+)
+
+func TestBuildScaled(t *testing.T) {
+	base := Build(Canny)
+	big := BuildScaled(Canny, 2)
+	if len(big.Nodes) != len(base.Nodes) {
+		t.Fatal("scaling must not change node count")
+	}
+	for i, n := range big.Nodes {
+		b := base.Nodes[i]
+		if n.Pixels != 4*b.Pixels {
+			t.Fatalf("node %s pixels %d, want %d", n.Name, n.Pixels, 4*b.Pixels)
+		}
+		if n.OutputBytes != 4*b.OutputBytes || n.ExtraInputBytes != 4*b.ExtraInputBytes {
+			t.Fatalf("node %s buffer sizes not scaled 4x", n.Name)
+		}
+		// Compute scales linearly with pixel count.
+		if n.Compute != 4*b.Compute {
+			t.Fatalf("node %s compute %v, want %v", n.Name, n.Compute, 4*b.Compute)
+		}
+	}
+	if BuildScaled(Canny, 1).Nodes[0].Pixels != base.Nodes[0].Pixels {
+		t.Fatal("scale 1 must be identity")
+	}
+}
+
+func TestBuildScaledInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scale 0 accepted")
+		}
+	}()
+	BuildScaled(Canny, 0)
+}
+
+func TestBuildTiled(t *testing.T) {
+	base := Build(Harris)
+	tiled := BuildTiled(Harris, 2, 4)
+	if len(tiled.Nodes) != 4*len(base.Nodes) {
+		t.Fatalf("tiled nodes = %d, want %d", len(tiled.Nodes), 4*len(base.Nodes))
+	}
+	// Per-tile compute equals the unscaled node compute (scale^2 / tiles =
+	// 4/4 = 1), so each tile fits the 128x128-calibrated accelerators.
+	var totalCompute, baseCompute sim.Time
+	for _, n := range tiled.Nodes {
+		totalCompute += n.Compute
+	}
+	for _, n := range base.Nodes {
+		baseCompute += n.Compute
+	}
+	if totalCompute != 4*baseCompute {
+		t.Fatalf("tiled compute %v, want %v", totalCompute, 4*baseCompute)
+	}
+	if _, err := tiled.TopoOrder(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildDeblurIterations(t *testing.T) {
+	for _, iters := range []int{1, 3, 10} {
+		d, err := BuildDeblur(iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := len(d.Nodes), 2+4*iters; got != want {
+			t.Fatalf("deblur(%d) has %d nodes, want %d", iters, got, want)
+		}
+		if _, err := d.TopoOrder(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := BuildDeblur(0); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+}
+
+func TestBuildRNNSeqLen(t *testing.T) {
+	g, err := BuildRNN(GRU, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(g.Nodes), 2+4*14; got != want {
+		t.Fatalf("gru(4) has %d nodes, want %d", got, want)
+	}
+	l, err := BuildRNN(LSTM, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(l.Nodes), 6+2*16; got != want {
+		t.Fatalf("lstm(2) has %d nodes, want %d", got, want)
+	}
+	if _, err := BuildRNN(Canny, 8); err == nil {
+		t.Fatal("non-RNN accepted")
+	}
+	if _, err := BuildRNN(GRU, 0); err == nil {
+		t.Fatal("zero sequence accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"relief/internal/accel"
+	"relief/internal/graph"
+	"relief/internal/sim"
+)
+
+func TestAppMetadata(t *testing.T) {
+	if NumApps != 5 {
+		t.Fatalf("NumApps = %d, want 5", NumApps)
+	}
+	syms := map[App]string{Canny: "C", Deblur: "D", GRU: "G", Harris: "H", LSTM: "L"}
+	for a, s := range syms {
+		if a.Sym() != s {
+			t.Errorf("%v.Sym() = %q, want %q", a, a.Sym(), s)
+		}
+		back, err := BySym(s[0])
+		if err != nil || back != a {
+			t.Errorf("BySym(%q) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := BySym('Z'); err == nil {
+		t.Fatal("BySym must reject unknown symbols")
+	}
+	// Table V deadlines.
+	for _, a := range []App{Canny, Deblur, Harris} {
+		if a.Deadline() != ms(16.6) {
+			t.Errorf("%v deadline = %v, want 16.6ms", a, a.Deadline())
+		}
+	}
+	for _, a := range []App{GRU, LSTM} {
+		if a.Deadline() != 7*sim.Millisecond {
+			t.Errorf("%v deadline = %v, want 7ms", a, a.Deadline())
+		}
+	}
+}
+
+// TestNodeCounts pins the reconstructed DAG shapes.
+func TestNodeCounts(t *testing.T) {
+	want := map[App]int{Canny: 13, Deblur: 22, GRU: 114, Harris: 22, LSTM: 134}
+	for a, n := range want {
+		d := Build(a)
+		if len(d.Nodes) != n {
+			t.Errorf("%v has %d nodes, want %d", a, len(d.Nodes), n)
+		}
+	}
+}
+
+// TestComputeTotalsMatchPaper validates the per-application compute-time
+// calibration against paper Table II (application rows, µs).
+func TestComputeTotalsMatchPaper(t *testing.T) {
+	want := map[App]float64{
+		Canny:  3539.37,
+		Deblur: 15610.58,
+		GRU:    1249.31,
+		Harris: 6157.30,
+		LSTM:   1470.02,
+	}
+	for a, wantUS := range want {
+		d := Build(a)
+		var total float64
+		for _, n := range d.Nodes {
+			total += n.Compute.Microseconds()
+		}
+		relErr := math.Abs(total-wantUS) / wantUS
+		if relErr > 0.005 {
+			t.Errorf("%v compute total %.2fus, paper %.2fus (err %.2f%%)", a, total, wantUS, 100*relErr)
+		}
+	}
+}
+
+// TestRNNsUseOnlyElemMatrix: the paper's key structural property — GRU and
+// LSTM map exclusively to the elem-matrix accelerator, so all their
+// forwards materialise as colocations.
+func TestRNNsUseOnlyElemMatrix(t *testing.T) {
+	for _, a := range []App{GRU, LSTM} {
+		for _, n := range Build(a).Nodes {
+			if n.Kind != accel.ElemMatrix {
+				t.Fatalf("%v node %s uses %v", a, n.Name, n.Kind)
+			}
+		}
+	}
+}
+
+// TestVisionStartsWithISP: every vision application is fed by the ISP then
+// grayscale (paper §II-A).
+func TestVisionStartsWithISP(t *testing.T) {
+	for _, a := range []App{Canny, Deblur, Harris} {
+		d := Build(a)
+		roots := d.Roots()
+		if len(roots) != 1 || roots[0].Kind != accel.ISP {
+			t.Fatalf("%v must have a single ISP root", a)
+		}
+		if roots[0].ExtraInputBytes == 0 {
+			t.Fatalf("%v ISP root must load a raw frame from main memory", a)
+		}
+		if len(roots[0].Children) < 1 || roots[0].Children[0].Kind != accel.Grayscale {
+			t.Fatalf("%v ISP must feed grayscale", a)
+		}
+	}
+}
+
+func TestDAGsAreValid(t *testing.T) {
+	for a := App(0); a < NumApps; a++ {
+		d := Build(a)
+		if _, err := d.TopoOrder(); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if len(d.Leaves()) == 0 || len(d.Roots()) == 0 {
+			t.Fatalf("%v has no roots or leaves", a)
+		}
+		for _, n := range d.Nodes {
+			if n.Compute <= 0 {
+				t.Fatalf("%v node %s has no compute time", a, n.Name)
+			}
+			if n.OutputBytes <= 0 {
+				t.Fatalf("%v node %s has no output", a, n.Name)
+			}
+			if n.IsRoot() && n.ExtraInputBytes == 0 {
+				t.Fatalf("%v root %s loads nothing from memory", a, n.Name)
+			}
+		}
+	}
+}
+
+// TestBuildReturnsFreshInstances: continuous contention resubmits via
+// Build, which must never share node state.
+func TestBuildReturnsFreshInstances(t *testing.T) {
+	a := Build(GRU)
+	b := Build(GRU)
+	if a == b || a.Nodes[0] == b.Nodes[0] {
+		t.Fatal("Build must return independent DAG instances")
+	}
+	a.Nodes[0].CompletedParents = 99
+	if b.Nodes[0].CompletedParents != 0 {
+		t.Fatal("DAG instances share node state")
+	}
+}
+
+// TestRNNDependencyDepth: the RNN DAGs are dominated by long dependency
+// chains (paper: linear chains up to 9 nodes per step, serialised across
+// timesteps), which is what makes deadline-oblivious interleaving forfeit
+// forwarding.
+func TestRNNDependencyDepth(t *testing.T) {
+	for _, a := range []App{GRU, LSTM} {
+		d := Build(a)
+		if depth := dagDepth(d); depth < 9*4 {
+			t.Fatalf("%v dependency depth = %d, want >= 36 (chained timesteps)", a, depth)
+		}
+	}
+}
+
+func dagDepth(d *graph.DAG) int {
+	order, err := d.TopoOrder()
+	if err != nil {
+		return 0
+	}
+	depth := make(map[*graph.Node]int)
+	best := 0
+	for _, n := range order {
+		dn := 1
+		for _, p := range n.Parents {
+			if depth[p]+1 > dn {
+				dn = depth[p] + 1
+			}
+		}
+		depth[n] = dn
+		if dn > best {
+			best = dn
+		}
+	}
+	return best
+}
+
+func TestMixes(t *testing.T) {
+	if got := len(Mixes(Low)); got != 5 {
+		t.Errorf("low contention mixes = %d, want 5", got)
+	}
+	if got := len(Mixes(Medium)); got != 10 {
+		t.Errorf("medium contention mixes = %d, want 10 (all pairs)", got)
+	}
+	if got := len(Mixes(High)); got != 10 {
+		t.Errorf("high contention mixes = %d, want 10 (all triples)", got)
+	}
+	if got := len(Mixes(Continuous)); got != 10 {
+		t.Errorf("continuous contention mixes = %d, want 10", got)
+	}
+	// Paper order: first high mix is CDG, last GHL.
+	high := Mixes(High)
+	if MixName(high[0]) != "CDG" || MixName(high[9]) != "GHL" {
+		t.Errorf("mix order wrong: first %s last %s", MixName(high[0]), MixName(high[9]))
+	}
+}
+
+func TestMixNameAndParse(t *testing.T) {
+	mix := []App{Canny, GRU, LSTM}
+	if MixName(mix) != "CGL" {
+		t.Fatalf("MixName = %q, want CGL", MixName(mix))
+	}
+	back, err := ParseMix("CGL")
+	if err != nil || len(back) != 3 || back[0] != Canny || back[1] != GRU || back[2] != LSTM {
+		t.Fatalf("ParseMix = %v, %v", back, err)
+	}
+	if _, err := ParseMix("CXZ"); err == nil {
+		t.Fatal("ParseMix must reject unknown symbols")
+	}
+}
+
+func TestContentionString(t *testing.T) {
+	for c, want := range map[Contention]string{
+		Low: "low", Medium: "medium", High: "high", Continuous: "continuous",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+// TestEdgeBytesConsistency: every edge carries the producer's output size
+// unless explicitly overridden.
+func TestEdgeBytesConsistency(t *testing.T) {
+	for a := App(0); a < NumApps; a++ {
+		for _, n := range Build(a).Nodes {
+			for i, p := range n.Parents {
+				if n.EdgeInBytes[i] != p.OutputBytes {
+					t.Fatalf("%v edge %s->%s carries %d bytes, producer outputs %d",
+						a, p.Name, n.Name, n.EdgeInBytes[i], p.OutputBytes)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package xbar models the SoC interconnect between accelerator scratchpads
+// and main memory. Two topologies are provided, matching the paper's
+// cost/performance extremes (§IV-B, §V-H): a full-duplex shared bus that
+// serialises all transactions, and a crossbar switch that lets disjoint
+// producer/consumer pairs transfer concurrently, contending only at
+// endpoint ports.
+package xbar
+
+import (
+	"fmt"
+
+	"relief/internal/mem"
+	"relief/internal/sim"
+)
+
+// Topology selects the interconnect structure.
+type Topology uint8
+
+// Topologies.
+const (
+	Bus Topology = iota
+	Crossbar
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Bus:
+		return "bus"
+	case Crossbar:
+		return "xbar"
+	}
+	return fmt.Sprintf("topology(%d)", uint8(t))
+}
+
+// EndpointDRAM addresses main memory in Path calls; accelerator instances
+// are addressed by their non-negative instance index.
+const EndpointDRAM = -1
+
+// Interconnect wires accelerator SPAD ports and the DRAM controller
+// together and yields the resource path a DMA transfer must traverse.
+type Interconnect struct {
+	topo  Topology
+	dram  mem.Server
+	bus   *mem.Resource // Bus topology
+	ports []mem.Server  // Crossbar topology, one per accelerator instance
+
+	k *sim.Kernel
+	// union-occupancy tracking across interconnect resources (not DRAM)
+	activeLinks int
+	busySince   sim.Time
+	busyAcc     sim.Time
+}
+
+// Config sets the interconnect's bandwidth parameters.
+type Config struct {
+	Topology Topology
+	// BusBandwidth is the link bandwidth in bytes/s (paper: 16 B full-duplex
+	// bus, 14.9 GB/s peak). Crossbar ports run at the same link speed.
+	BusBandwidth float64
+	// DRAMBandwidth is the effective main-memory bandwidth in bytes/s
+	// (paper platform: LPDDR5-6400, 12.8 GB/s peak; ~6.4 GB/s achieved by a
+	// single DMA stream, which is what the Table II memory times imply).
+	DRAMBandwidth float64
+	// Instances is the number of accelerator instances (crossbar ports).
+	Instances int
+	// DRAMServer, if non-nil, replaces the default fixed-bandwidth DRAM
+	// resource — e.g. the bank-level LPDDR controller from internal/dram.
+	DRAMServer mem.Server
+}
+
+// DefaultConfig mirrors the paper's simulated platform (Table VI).
+func DefaultConfig(instances int) Config {
+	return Config{
+		Topology:      Bus,
+		BusBandwidth:  14.9 * mem.GB,
+		DRAMBandwidth: 6.4 * mem.GB,
+		Instances:     instances,
+	}
+}
+
+// New builds the interconnect.
+func New(k *sim.Kernel, cfg Config) *Interconnect {
+	ic := &Interconnect{
+		topo: cfg.Topology,
+		dram: cfg.DRAMServer,
+		k:    k,
+	}
+	if ic.dram == nil {
+		ic.dram = mem.NewResource(k, "dram", cfg.DRAMBandwidth)
+	}
+	watch := func(r *mem.Resource) {
+		r.OnBusyChange = func(busy bool) { ic.linkBusy(busy) }
+	}
+	switch cfg.Topology {
+	case Bus:
+		ic.bus = mem.NewResource(k, "bus", cfg.BusBandwidth)
+		watch(ic.bus)
+	case Crossbar:
+		ic.ports = make([]mem.Server, cfg.Instances)
+		for i := range ic.ports {
+			port := mem.NewResource(k, fmt.Sprintf("port%d", i), cfg.BusBandwidth)
+			watch(port)
+			ic.ports[i] = port
+		}
+	default:
+		panic("xbar: unknown topology")
+	}
+	return ic
+}
+
+func (ic *Interconnect) linkBusy(busy bool) {
+	if busy {
+		if ic.activeLinks == 0 {
+			ic.busySince = ic.k.Now()
+		}
+		ic.activeLinks++
+	} else {
+		ic.activeLinks--
+		if ic.activeLinks == 0 {
+			ic.busyAcc += ic.k.Now() - ic.busySince
+		}
+	}
+}
+
+// Topology returns the configured topology.
+func (ic *Interconnect) Topology() Topology { return ic.topo }
+
+// DRAM returns the main-memory resource.
+func (ic *Interconnect) DRAM() mem.Server { return ic.dram }
+
+// Path returns the ordered resources a transfer from src to dst traverses.
+// Endpoints are instance indices or EndpointDRAM.
+func (ic *Interconnect) Path(src, dst int) []mem.Server {
+	switch ic.topo {
+	case Bus:
+		switch {
+		case src == EndpointDRAM && dst == EndpointDRAM:
+			return []mem.Server{ic.dram}
+		case src == EndpointDRAM:
+			return []mem.Server{ic.dram, ic.bus}
+		case dst == EndpointDRAM:
+			return []mem.Server{ic.bus, ic.dram}
+		default:
+			return []mem.Server{ic.bus}
+		}
+	case Crossbar:
+		switch {
+		case src == EndpointDRAM && dst == EndpointDRAM:
+			return []mem.Server{ic.dram}
+		case src == EndpointDRAM:
+			return []mem.Server{ic.dram, ic.ports[dst]}
+		case dst == EndpointDRAM:
+			return []mem.Server{ic.ports[src], ic.dram}
+		default:
+			return []mem.Server{ic.ports[src], ic.ports[dst]}
+		}
+	}
+	panic("xbar: unknown topology")
+}
+
+// Occupancy returns the fraction of elapsed time for which at least one
+// interconnect link had a transaction in flight (paper Fig. 13 metric).
+func (ic *Interconnect) Occupancy() float64 {
+	now := ic.k.Now()
+	if now == 0 {
+		return 0
+	}
+	busy := ic.busyAcc
+	if ic.activeLinks > 0 {
+		busy += now - ic.busySince
+	}
+	return float64(busy) / float64(now)
+}

@@ -1,0 +1,375 @@
+// Package relief is a transaction-level SoC simulator and scheduling
+// framework reproducing "RELIEF: Relieving Memory Pressure In SoCs Via Data
+// Movement-Aware Accelerator Scheduling" (Gupta & Dwarkadas, HPCA 2024).
+//
+// It models a mobile SoC with seven elementary loosely-coupled accelerators
+// (ISP, grayscale, convolution, elem-matrix, canny-non-max, harris-non-max,
+// edge-tracking), a hardware accelerator manager, scratchpad-to-scratchpad
+// data forwarding, and eight scheduling policies: the RELIEF policy of the
+// paper plus the FCFS, GEDF-D, GEDF-N, LL, LAX, and HetSched baselines and
+// the RELIEF-LAX variant.
+//
+// The typical flow is: build (or load) application DAGs, configure a
+// System with a policy, submit the DAGs, run, and inspect the Report:
+//
+//	sys := relief.NewSystem(relief.Config{Policy: "RELIEF"})
+//	dag, _ := relief.BuildWorkload("canny")
+//	sys.Submit(dag, 0)
+//	report := sys.Run()
+//	fmt.Println(report.Forwards, report.Colocations)
+//
+// The exported DAG/Node types alias the internal graph package, so DAGs
+// built through this package interoperate with everything else.
+package relief
+
+import (
+	"fmt"
+	"io"
+
+	"relief/internal/accel"
+	"relief/internal/core"
+	"relief/internal/graph"
+	"relief/internal/manager"
+	"relief/internal/predict"
+	"relief/internal/sched"
+	"relief/internal/sim"
+	"relief/internal/stats"
+	"relief/internal/trace"
+	"relief/internal/workload"
+	"relief/internal/xbar"
+)
+
+// Time is a simulation timestamp or duration in picoseconds.
+type Time = sim.Time
+
+// Convenient duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// DAG is an application task graph; Node is one accelerator task within it.
+type (
+	DAG  = graph.DAG
+	Node = graph.Node
+)
+
+// Kind identifies an accelerator type; Op the operation a task requests.
+type (
+	Kind = accel.Kind
+	Op   = accel.Op
+)
+
+// The seven elementary accelerators of the platform.
+const (
+	ISP          = accel.ISP
+	Grayscale    = accel.Grayscale
+	Convolution  = accel.Convolution
+	ElemMatrix   = accel.ElemMatrix
+	CannyNonMax  = accel.CannyNonMax
+	HarrisNonMax = accel.HarrisNonMax
+	EdgeTracking = accel.EdgeTracking
+)
+
+// Common task operations (see the accel package for the full set).
+const (
+	OpDefault = accel.OpDefault
+	OpAdd     = accel.OpAdd
+	OpSub     = accel.OpSub
+	OpMul     = accel.OpMul
+	OpDiv     = accel.OpDiv
+	OpSqr     = accel.OpSqr
+	OpSqrt    = accel.OpSqrt
+	OpAtan2   = accel.OpAtan2
+	OpTanh    = accel.OpTanh
+	OpSigmoid = accel.OpSigmoid
+	OpMac     = accel.OpMac
+	OpScale   = accel.OpScale
+	OpThresh  = accel.OpThresh
+)
+
+// DeadlineMode selects how node deadlines derive from the DAG deadline.
+type DeadlineMode = graph.DeadlineMode
+
+// Deadline assignment schemes for Policy implementations.
+const (
+	DeadlineDAG = graph.DeadlineDAG
+	DeadlineCPM = graph.DeadlineCPM
+	DeadlineSDR = graph.DeadlineSDR
+)
+
+// Policy is the scheduling policy interface: it decides where a newly
+// ready task is inserted into its per-accelerator-type ready queue.
+// Policies additionally implementing the escalator extension (see
+// internal/sched.Escalator and the custompolicy example) get RELIEF-style
+// treatment of newly ready children.
+type Policy = sched.Policy
+
+// NewRELIEF returns the paper's RELIEF policy; NewRELIEFLAX its
+// negative-laxity-de-prioritizing variant.
+func NewRELIEF() Policy    { return core.New() }
+func NewRELIEFLAX() Policy { return core.NewLAX() }
+
+// PolicyByName constructs a policy from its paper name: "FCFS", "GEDF-D",
+// "GEDF-N", "LL", "LAX", "HetSched", "RELIEF", or "RELIEF-LAX".
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "FCFS":
+		return sched.FCFS{}, nil
+	case "GEDF-D":
+		return sched.GEDFD{}, nil
+	case "GEDF-N":
+		return sched.GEDFN{}, nil
+	case "LL":
+		return sched.LL{}, nil
+	case "LAX":
+		return sched.LAX{}, nil
+	case "HetSched":
+		return sched.HetSched{}, nil
+	case "RELIEF":
+		return core.New(), nil
+	case "RELIEF-LAX":
+		return core.NewLAX(), nil
+	}
+	return nil, fmt.Errorf("relief: unknown policy %q", name)
+}
+
+// NewDAG starts an empty application DAG with the given name, single-letter
+// symbol, and relative deadline. Add nodes with DAG.AddNode, then the
+// System finalizes it at submission.
+func NewDAG(app, sym string, deadline Time) *DAG {
+	return graph.New(app, sym, deadline)
+}
+
+// BuildWorkload builds one of the paper's five benchmark DAGs by name:
+// "canny", "deblur", "gru", "harris", or "lstm".
+func BuildWorkload(name string) (*DAG, error) {
+	for a := workload.App(0); a < workload.NumApps; a++ {
+		if a.Name() == name {
+			return workload.Build(a), nil
+		}
+	}
+	return nil, fmt.Errorf("relief: unknown workload %q", name)
+}
+
+// Config parameterises a System. The zero value plus a policy name gives
+// the paper's platform: one instance of each accelerator, double-buffered
+// output scratchpads, a shared bus, and Max predictors.
+type Config struct {
+	// Policy is a policy name for PolicyByName. Ignored if Custom is set.
+	Policy string
+	// Custom supplies a caller-implemented policy.
+	Custom Policy
+	// Crossbar switches the interconnect from the shared bus to a
+	// crossbar.
+	Crossbar bool
+	// Instances overrides the number of accelerator instances per kind
+	// (nil = one of each).
+	Instances map[Kind]int
+	// OutputPartitions overrides the per-accelerator output buffering
+	// (default 2).
+	OutputPartitions int
+	// BandwidthPredictor selects the memory bandwidth predictor: "max"
+	// (default), "last", "average", or "ewma".
+	BandwidthPredictor string
+	// PredictDataMovement enables the graph-analysis data-movement
+	// predictor instead of the maximum-data-movement default.
+	PredictDataMovement bool
+	// DisableForwarding turns the forwarding hardware off entirely.
+	DisableForwarding bool
+	// Trace, if non-nil, records task phases, DMA transfers, and manager
+	// activity; export with TraceRecorder.WriteChromeTrace or WriteText.
+	Trace *TraceRecorder
+}
+
+// TraceRecorder collects a simulation timeline (see internal/trace).
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns an empty timeline recorder to pass in Config.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// System is a configured SoC simulation accepting DAG submissions.
+type System struct {
+	kernel *sim.Kernel
+	mgr    *manager.Manager
+	st     *stats.Stats
+	ran    bool
+}
+
+// NewSystem builds a simulation from cfg. It panics on an invalid policy
+// name; use PolicyByName first to validate externally supplied names.
+func NewSystem(cfg Config) *System {
+	policy := cfg.Custom
+	if policy == nil {
+		name := cfg.Policy
+		if name == "" {
+			name = "RELIEF"
+		}
+		p, err := PolicyByName(name)
+		if err != nil {
+			panic(err)
+		}
+		policy = p
+	}
+	mcfg := manager.DefaultConfig(policy)
+	if cfg.Crossbar {
+		mcfg.Interconnect.Topology = xbar.Crossbar
+	}
+	for k, n := range cfg.Instances {
+		if k < accel.NumKinds && n > 0 {
+			mcfg.Instances[k] = n
+		}
+	}
+	if cfg.OutputPartitions > 0 {
+		mcfg.OutputPartitions = cfg.OutputPartitions
+	}
+	if cfg.BandwidthPredictor != "" {
+		bw, err := predict.NewBW(cfg.BandwidthPredictor, mcfg.Interconnect.DRAMBandwidth)
+		if err != nil {
+			panic(err)
+		}
+		mcfg.BW = bw
+	}
+	if cfg.PredictDataMovement {
+		mcfg.DM = predict.DMPredict
+	}
+	mcfg.DisableForwarding = cfg.DisableForwarding
+	mcfg.Trace = cfg.Trace
+	k := sim.NewKernel()
+	st := stats.New()
+	return &System{kernel: k, mgr: manager.New(k, mcfg, st), st: st}
+}
+
+// Submit registers a DAG for release at the given time. The DAG is
+// finalized (compute times filled, acyclicity checked) if it has not been.
+func (s *System) Submit(d *DAG, release Time) error {
+	if err := d.Finalize(); err != nil {
+		return err
+	}
+	return s.mgr.Submit(d, release, nil)
+}
+
+// SubmitLoop registers an application that re-submits itself whenever an
+// instance finishes (continuous contention). build must return a fresh DAG
+// each call.
+func (s *System) SubmitLoop(build func() *DAG, release Time) error {
+	first := build()
+	if err := first.Finalize(); err != nil {
+		return err
+	}
+	return s.mgr.Submit(first, release, func() *DAG {
+		d := build()
+		if err := d.Finalize(); err != nil {
+			panic(err)
+		}
+		return d
+	})
+}
+
+// SubmitPeriodic releases a fresh instance of the application every period
+// until the horizon — frame-queue arrivals, e.g. a 60 FPS camera pipeline.
+// Run the system with RunFor(horizon).
+func (s *System) SubmitPeriodic(build func() *DAG, period, horizon Time) error {
+	return s.mgr.SubmitPeriodic(func() *DAG {
+		d := build()
+		if err := d.Finalize(); err != nil {
+			panic(err)
+		}
+		return d
+	}, period, horizon)
+}
+
+// Run executes the simulation until every submitted DAG completes and
+// returns the report. A System can only run once.
+func (s *System) Run() *Report {
+	s.mustRunOnce()
+	s.mgr.Run()
+	return newReport(s.st)
+}
+
+// RunFor executes the simulation until the horizon (for SubmitLoop
+// workloads) and returns the report over finished work.
+func (s *System) RunFor(horizon Time) *Report {
+	s.mustRunOnce()
+	s.mgr.RunContinuous(horizon)
+	return newReport(s.st)
+}
+
+func (s *System) mustRunOnce() {
+	if s.ran {
+		panic("relief: System has already run")
+	}
+	s.ran = true
+}
+
+// Stats exposes the raw metric sink for advanced use.
+func (s *System) Stats() *stats.Stats { return s.st }
+
+// WriteGem5Stats dumps the run's statistics in gem5's stats.txt format —
+// the output format of the paper's artifact.
+func (s *System) WriteGem5Stats(w io.Writer) error { return s.st.WriteGem5Style(w) }
+
+// Report summarises a finished simulation.
+type Report struct {
+	// Edge materialisation.
+	Edges       int
+	Forwards    int
+	Colocations int
+	// Traffic and energy.
+	DRAMBytes       int64
+	SpadToSpadBytes int64
+	DRAMEnergyJ     float64
+	SPADEnergyJ     float64
+	// Deadlines.
+	NodesDone        int
+	NodesMetDeadline int
+	// Timing.
+	Makespan Time
+	// Per-application results, keyed by app name.
+	Apps map[string]AppReport
+
+	st *stats.Stats
+}
+
+// AppReport summarises one application within a run.
+type AppReport struct {
+	Iterations   int
+	DeadlinesMet int
+	Slowdown     float64
+	Runtimes     []Time
+}
+
+func newReport(st *stats.Stats) *Report {
+	dramE, spadE := st.MemoryEnergy()
+	r := &Report{
+		Edges:            st.Edges,
+		Forwards:         st.Forwards,
+		Colocations:      st.Colocations,
+		DRAMBytes:        st.DRAMReadBytes + st.DRAMWriteBytes,
+		SpadToSpadBytes:  st.SpadXferBytes,
+		DRAMEnergyJ:      dramE,
+		SPADEnergyJ:      spadE,
+		NodesDone:        st.NodesDone,
+		NodesMetDeadline: st.NodesMetDeadline,
+		Makespan:         st.Makespan,
+		Apps:             make(map[string]AppReport),
+		st:               st,
+	}
+	for name, a := range st.Apps {
+		r.Apps[name] = AppReport{
+			Iterations:   a.Iterations,
+			DeadlinesMet: a.DeadlinesMet,
+			Slowdown:     a.Slowdown(),
+			Runtimes:     append([]Time(nil), a.Runtimes...),
+		}
+	}
+	return r
+}
+
+// NodeDeadlinePct returns the percentage of finished nodes that met their
+// deadline.
+func (r *Report) NodeDeadlinePct() float64 { return r.st.NodeDeadlinePct() }
+
+// ForwardsPerEdge returns forwards/edges and colocations/edges in percent.
+func (r *Report) ForwardsPerEdge() (fwd, col float64) { return r.st.ForwardsPerEdge() }
