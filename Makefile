@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test vet bench bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep (slow): every figure/table benchmark, with
+# allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# One-iteration smoke of the hot-path benchmark; keeps CI honest about
+# simulator throughput without the full sweep's cost.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig4$$' -benchtime=1x -benchmem .
+
+ci:
+	./scripts/ci.sh
+
+clean:
+	rm -f BENCH_*.json cpu.out mem.out trace.out

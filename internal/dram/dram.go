@@ -104,19 +104,40 @@ type Controller struct {
 	Refreshes          int64
 }
 
+// burstRuns enables burst-run batching: serve resolves as many consecutive
+// scheduling decisions as are provably immune to concurrent arrivals in one
+// virtual pass and fires a single event for the whole run, instead of one
+// event per burst. Per channel this reproduces the per-burst reference
+// exactly; the one relaxation is cross-channel: two requests completing at
+// the same tick on different channels may deliver their callbacks in
+// either order (the paper platform is single-channel, where no such tie
+// can occur). Disabled only by the reference oracle test.
+var burstRuns = true
+
 // channel is one independent data bus with its own banks. The burst queue
 // is a slice with a head offset: FR-FCFS removes from within the first
 // WindowBursts entries, so extraction shifts at most a window's worth of
 // elements instead of re-slicing the whole queue (which would be
-// quadratic under deep backlogs).
+// quadratic under deep backlogs). Bursts are stored by value: a 4 KiB DMA
+// chunk decomposes into 64 of them, so pointer-per-burst allocation would
+// dominate the controller's cost.
 type channel struct {
-	queue       []*burst
+	idx         int
+	queue       []burst
 	head        int
 	banks       []bank
 	serving     bool
 	busyAcc     sim.Time
 	busySince   sim.Time
 	nextRefresh sim.Time
+
+	// Virtual-run state: the request whose completion ends the current run
+	// (nil if the run ended for scheduling reasons), when the run ends, and
+	// the cached event callbacks (allocated once per channel).
+	fin     *request
+	runEnd  sim.Time
+	runDone func()
+	hop     func()
 }
 
 func (ch *channel) pending() int { return len(ch.queue) - ch.head }
@@ -124,16 +145,16 @@ func (ch *channel) pending() int { return len(ch.queue) - ch.head }
 // take removes and returns the burst at absolute index i (i >= ch.head),
 // shifting the [head, i) prefix right by one. Cost is O(i-head), bounded
 // by the scheduling window.
-func (ch *channel) take(i int) *burst {
+func (ch *channel) take(i int) burst {
 	b := ch.queue[i]
 	copy(ch.queue[ch.head+1:i+1], ch.queue[ch.head:i])
-	ch.queue[ch.head] = nil
+	ch.queue[ch.head] = burst{} // drop the request pointer for GC
 	ch.head++
 	// Compact once the dead prefix dominates, to bound memory.
 	if ch.head > 1024 && ch.head*2 > len(ch.queue) {
 		n := copy(ch.queue, ch.queue[ch.head:])
 		for j := n; j < len(ch.queue); j++ {
-			ch.queue[j] = nil
+			ch.queue[j] = burst{}
 		}
 		ch.queue = ch.queue[:n]
 		ch.head = 0
@@ -148,13 +169,20 @@ type bank struct {
 
 type burst struct {
 	bank, row int64
-	seq       int64
 	req       *request
 }
 
+// request tracks one Enqueue across the channels its bursts interleave
+// over. Each channel's virtual run may resolve its own share of bursts
+// ahead of real time, so completion is split: shares[ch] counts this
+// channel's unresolved bursts (safe to decrement virtually), and
+// outstanding counts channels whose share is still open — it is only
+// decremented by the real run-completion event, so done fires at the true
+// service time of the request's last burst.
 type request struct {
-	remaining int
-	done      func()
+	shares      []int32
+	outstanding int32
+	done        func()
 }
 
 // NewController builds a controller on the kernel.
@@ -167,10 +195,29 @@ func NewController(k *sim.Kernel, name string, cfg Config) *Controller {
 	}
 	c := &Controller{k: k, cfg: cfg, name: name}
 	for i := 0; i < cfg.Channels; i++ {
-		ch := &channel{banks: make([]bank, cfg.Banks)}
+		ch := &channel{idx: i, banks: make([]bank, cfg.Banks)}
 		if cfg.TREFI > 0 {
 			ch.nextRefresh = cfg.TREFI
 		}
+		// runDone materializes a finished burst run: settle the share whose
+		// completion ended it (firing the request's done if this was its
+		// last open channel), then resume scheduling against the real
+		// queue — which by now includes every request that arrived while
+		// the run was in flight.
+		ch.runDone = func() {
+			if f := ch.fin; f != nil {
+				ch.fin = nil
+				f.outstanding--
+				if f.outstanding == 0 {
+					f.done()
+				}
+			}
+			c.serve(ch)
+		}
+		// hop re-schedules runDone from the last burst's pick time so the
+		// completion event is born exactly when the reference would have
+		// created it, preserving same-tick ordering against foreign events.
+		ch.hop = func() { c.k.At(ch.runEnd, ch.runDone) }
 		c.channels = append(c.channels, ch)
 	}
 	return c
@@ -237,21 +284,31 @@ func (c *Controller) Enqueue(n int64, done func()) {
 	base := c.cursor
 	c.cursor += n
 	nBursts := int((n + c.cfg.BurstBytes - 1) / c.cfg.BurstBytes)
-	req := &request{remaining: nBursts, done: done}
+	req := &request{shares: make([]int32, len(c.channels)), done: done}
 	nCh := int64(len(c.channels))
+	// Shares must be fully counted before any channel starts serving: the
+	// first append below can kick off a virtual run that resolves bursts
+	// immediately.
+	for i := 0; i < nBursts; i++ {
+		page := (base + int64(i)*c.cfg.BurstBytes) / c.cfg.PageBytes
+		req.shares[page%nCh]++
+	}
+	for _, s := range req.shares {
+		if s > 0 {
+			req.outstanding++
+		}
+	}
 	for i := 0; i < nBursts; i++ {
 		addr := base + int64(i)*c.cfg.BurstBytes
 		page := addr / c.cfg.PageBytes
 		chIdx := page % nCh
 		pageInCh := page / nCh
-		b := &burst{
+		ch := c.channels[chIdx]
+		ch.queue = append(ch.queue, burst{
 			bank: pageInCh % int64(c.cfg.Banks),
 			row:  pageInCh / int64(c.cfg.Banks),
-			seq:  c.cursor + int64(i), // monotone arrival order
 			req:  req,
-		}
-		ch := c.channels[chIdx]
-		ch.queue = append(ch.queue, b)
+		})
 		if !ch.serving {
 			ch.serving = true
 			ch.busySince = c.k.Now()
@@ -285,48 +342,96 @@ func (c *Controller) pick(ch *channel) int {
 	return ch.head
 }
 
+// serve runs the channel's scheduling loop. Rather than paying one event
+// per burst, it resolves a run of consecutive scheduling decisions in a
+// single virtual pass: the clock variable vnow advances burst by burst for
+// as long as the pick outcome provably cannot be altered by requests that
+// arrive while the run is in flight. Under FCFS the head of the queue is
+// immune to arrivals; under FR-FCFS a row hit among already-queued bursts
+// always outranks later arrivals, because arrivals append at higher
+// indices and the window scan proceeds in index order. The run ends at the
+// first request completion (its done callback can enqueue new work) or at
+// the first pick an arrival could win (an FR-FCFS fallback-to-oldest, or a
+// drained queue); a single event then materializes the run's outcome.
 func (c *Controller) serve(ch *channel) {
-	i := c.pick(ch)
-	if i < 0 {
-		ch.serving = false
-		ch.busyAcc += c.k.Now() - ch.busySince
-		return
-	}
-	b := ch.take(i)
-	cost := c.cfg.TBurst + c.cfg.TGap
-	// Refresh: when traffic crosses a tREFI boundary, the channel stalls
-	// for tRFC and every row closes. Idle periods advance the schedule
-	// without cost (rows would be cold anyway).
-	if c.cfg.TREFI > 0 {
-		now := c.k.Now()
-		for ch.nextRefresh <= now {
-			ch.nextRefresh += c.cfg.TREFI
-			cost += c.cfg.TRFC
-			c.Refreshes++
-			for j := range ch.banks {
-				ch.banks[j].valid = false
+	start := c.k.Now()
+	vnow := start
+	lastPick := start
+	ch.fin = nil
+	for {
+		i := c.pick(ch)
+		if i < 0 {
+			if vnow == start {
+				ch.serving = false
+				ch.busyAcc += start - ch.busySince
+				return
+			}
+			// Drained mid-run: arrivals before runEnd are resolved by the
+			// run event's serve call, exactly when the reference would.
+			break
+		}
+		if vnow > start && c.cfg.Policy != FCFS {
+			// A continuation pick is arrival-immune only if it is a row
+			// hit; a fallback-to-oldest could lose to a hit that arrives
+			// mid-run, so the decision must be replayed at real time.
+			b := &ch.queue[i]
+			bk := &ch.banks[b.bank]
+			if !bk.valid || bk.openRow != b.row {
+				break
 			}
 		}
-	}
-	bk := &ch.banks[b.bank]
-	if !bk.valid || bk.openRow != b.row {
-		if bk.valid {
-			cost += c.cfg.TRP // precharge the open row
+		lastPick = vnow
+		b := ch.take(i)
+		cost := c.cfg.TBurst + c.cfg.TGap
+		// Refresh: when traffic crosses a tREFI boundary, the channel
+		// stalls for tRFC and every row closes. Idle periods advance the
+		// schedule without cost (rows would be cold anyway). As in the
+		// reference, the boundary check happens after the pick, so an
+		// overdue refresh can turn a picked "hit" into a charged miss.
+		if c.cfg.TREFI > 0 {
+			for ch.nextRefresh <= vnow {
+				ch.nextRefresh += c.cfg.TREFI
+				cost += c.cfg.TRFC
+				c.Refreshes++
+				for j := range ch.banks {
+					ch.banks[j].valid = false
+				}
+			}
 		}
-		cost += c.cfg.TRCD // activate the new row
-		bk.openRow = b.row
-		bk.valid = true
-		c.RowMisses++
+		bk := &ch.banks[b.bank]
+		if !bk.valid || bk.openRow != b.row {
+			if bk.valid {
+				cost += c.cfg.TRP // precharge the open row
+			}
+			cost += c.cfg.TRCD // activate the new row
+			bk.openRow = b.row
+			bk.valid = true
+			c.RowMisses++
+		} else {
+			c.RowHits++
+		}
+		vnow += cost
+		b.req.shares[ch.idx]--
+		if b.req.shares[ch.idx] == 0 {
+			ch.fin = b.req
+			break
+		}
+		if !burstRuns {
+			break
+		}
+	}
+	ch.runEnd = vnow
+	if lastPick == start {
+		// Single-burst run: the event is created at the same time and in
+		// the same call position as the reference's completion event.
+		c.k.At(vnow, ch.runDone)
 	} else {
-		c.RowHits++
+		// Multi-burst run: the reference creates the final completion
+		// event at the last burst's pick time. Hop there first so the
+		// materializing event's born time — and with it the same-tick
+		// dispatch order against foreign events — matches bit-for-bit.
+		c.k.At(lastPick, ch.hop)
 	}
-	c.k.Schedule(cost, func() {
-		b.req.remaining--
-		if b.req.remaining == 0 {
-			b.req.done()
-		}
-		c.serve(ch)
-	})
 }
 
 func (c *Controller) String() string {

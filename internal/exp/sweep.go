@@ -2,10 +2,10 @@ package exp
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 
 	"relief/internal/workload"
@@ -18,6 +18,7 @@ type Sweep struct {
 	mu       sync.Mutex
 	results  map[string]*Result
 	inFlight map[string]*sync.WaitGroup
+	err      error // first simulation error seen by Warm/Get
 }
 
 // NewSweep returns an empty result cache.
@@ -28,15 +29,45 @@ func NewSweep() *Sweep {
 	}
 }
 
+// key builds the cache key. Every field is rendered through an explicit,
+// delimiter-separated encoder (no reflective %v formatting): fields cannot
+// collide because each is length-delimited by a terminator that cannot
+// appear inside it, and adding a field extends the tail.
 func (s *Sweep) key(sc Scenario) string {
-	return fmt.Sprintf("%v|%v|%s|%v|%s|%v|fwd=%v|wb=%v|parts=%d|dram=%v,%v",
-		sc.Mix, sc.Contention, sc.Policy, sc.Topology, sc.BWPredictor,
-		sc.DM, sc.DisableForwarding, sc.AlwaysWriteBack, sc.OutputPartitions,
-		sc.DetailedDRAM, sc.DRAMFCFS)
+	var b []byte
+	for _, a := range sc.Mix {
+		b = append(b, a.Sym()...)
+	}
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(sc.Contention), 10)
+	b = append(b, '|')
+	b = append(b, sc.Policy...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(sc.Topology), 10)
+	b = append(b, '|')
+	b = append(b, sc.BWPredictor...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(sc.DM), 10)
+	b = append(b, '|')
+	b = appendBool(b, sc.DisableForwarding)
+	b = appendBool(b, sc.AlwaysWriteBack)
+	b = strconv.AppendInt(b, int64(sc.OutputPartitions), 10)
+	b = append(b, '|')
+	b = appendBool(b, sc.DetailedDRAM)
+	b = appendBool(b, sc.DRAMFCFS)
+	return string(b)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
 }
 
 // Warm runs the given scenarios concurrently (workers goroutines) so later
-// Get calls hit the cache. Errors surface on the subsequent Get.
+// Get calls hit the cache. The first error is recorded and reported by
+// Err (and again by the per-scenario Get).
 func (s *Sweep) Warm(scenarios []Scenario, workers int) {
 	if workers < 1 {
 		workers = 1
@@ -57,6 +88,31 @@ func (s *Sweep) Warm(scenarios []Scenario, workers int) {
 	}
 	close(ch)
 	wg.Wait()
+}
+
+// Err returns the first simulation error encountered by Warm or Get, or
+// nil. Callers that prefetch with Warm should check it before trusting the
+// cache to be complete.
+func (s *Sweep) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// CostTotals sums the simulator-cost counters over every cached result:
+// scenarios simulated, kernel events dispatched, and Event structs
+// heap-allocated. The benchmark harness samples it before and after each
+// experiment, so a scenario's cost is attributed to the experiment that
+// first simulated it (cache hits cost nothing).
+func (s *Sweep) CostTotals() (scenarios int, events, allocs uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.results {
+		scenarios++
+		events += r.Stats.EventsFired
+		allocs += r.Stats.EventAllocs
+	}
+	return scenarios, events, allocs
 }
 
 // MainGrid enumerates the (contention, mix, policy) scenarios behind the
@@ -96,6 +152,8 @@ func (s *Sweep) Get(sc Scenario) (*Result, error) {
 		s.mu.Lock()
 		if err == nil {
 			s.results[k] = r
+		} else if s.err == nil {
+			s.err = err
 		}
 		delete(s.inFlight, k)
 		s.mu.Unlock()

@@ -114,7 +114,9 @@ func (m *Manager) launch(n *graph.Node, inst *Instance) {
 	inst.Busy = true
 	n.State = graph.Running
 	n.StartAt = m.k.Now()
-	m.cfg.Trace.Begin(trace.TaskInput, n.String(), inst.Lane(), n.StartAt, nil)
+	if m.cfg.Trace.Enabled() {
+		m.cfg.Trace.Begin(trace.TaskInput, n.String(), inst.Lane(), n.StartAt, nil)
+	}
 	ns := m.state(n)
 	ns.pendingInputs = 1 // sentinel, released after all gates are set up
 
@@ -178,7 +180,9 @@ func (m *Manager) fetchEdge(n *graph.Node, inst *Instance, part int, p *graph.No
 		path := m.ic.Path(ps.inst.Index, inst.Index)
 		inst.enqueueDMA(path, bytes, func(res mem.TransferResult) {
 			pbuf.endRead()
-			m.cfg.Trace.Span(trace.Forward, p.String()+"->"+n.String(), inst.Lane(), res.Start, res.End, nil)
+			if m.cfg.Trace.Enabled() {
+				m.cfg.Trace.Span(trace.Forward, p.String()+"->"+n.String(), inst.Lane(), res.Start, res.End, nil)
+			}
 			m.st.SpadXferBytes += bytes
 			m.noteSpadBytes(2 * bytes) // producer read + consumer write
 			ns.actualMemTime += res.End - res.Start
@@ -234,10 +238,12 @@ func (m *Manager) inputDone(n *graph.Node, inst *Instance, part int) {
 	// The partition is now being overwritten: invalidate the previous
 	// occupant so late consumers fall back to main memory.
 	inst.Parts[part].Node = nil
-	m.cfg.Trace.End(trace.TaskInput, n.String(), inst.Lane(), m.k.Now())
 	dur := m.jitteredCompute(n)
 	inst.ComputeBusy += dur
-	m.cfg.Trace.Span(trace.TaskCompute, n.String(), inst.Lane(), m.k.Now(), m.k.Now()+dur, nil)
+	if m.cfg.Trace.Enabled() {
+		m.cfg.Trace.End(trace.TaskInput, n.String(), inst.Lane(), m.k.Now())
+		m.cfg.Trace.Span(trace.TaskCompute, n.String(), inst.Lane(), m.k.Now(), m.k.Now()+dur, nil)
+	}
 	m.k.Schedule(dur, func() { m.complete(n, inst, part, dur) })
 }
 
@@ -370,7 +376,9 @@ func (m *Manager) startWriteback(n *graph.Node, inst *Instance, done func()) {
 	ns.wbInFlight = true
 	path := m.ic.Path(inst.Index, xbar.EndpointDRAM)
 	inst.enqueueDMA(path, n.OutputBytes, func(res mem.TransferResult) {
-		m.cfg.Trace.Span(trace.Writeback, n.String(), inst.Lane(), res.Start, res.End, nil)
+		if m.cfg.Trace.Enabled() {
+			m.cfg.Trace.Span(trace.Writeback, n.String(), inst.Lane(), res.Start, res.End, nil)
+		}
 		ns.wbInFlight = false
 		ns.wbDone = true
 		m.st.DRAMWriteBytes += n.OutputBytes
@@ -443,6 +451,8 @@ func (m *Manager) Run() sim.Time {
 	}
 	m.st.ComputeBusy = m.totalComputeBusy()
 	m.st.InterconnectOccupancy = m.ic.Occupancy()
+	m.st.EventsFired = m.k.Fired()
+	m.st.EventAllocs = m.k.EventAllocs()
 	return m.k.Now()
 }
 
@@ -454,6 +464,8 @@ func (m *Manager) RunContinuous(horizon sim.Time) sim.Time {
 	m.st.Makespan = horizon
 	m.st.ComputeBusy = m.totalComputeBusy()
 	m.st.InterconnectOccupancy = m.ic.Occupancy()
+	m.st.EventsFired = m.k.Fired()
+	m.st.EventAllocs = m.k.EventAllocs()
 	return m.k.Now()
 }
 

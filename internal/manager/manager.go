@@ -285,7 +285,9 @@ func (m *Manager) SubmitPeriodic(build func() *graph.DAG, period, until sim.Time
 
 func (m *Manager) release(d *graph.DAG) {
 	d.Release = m.k.Now()
-	m.cfg.Trace.Instant(trace.Release, fmt.Sprintf("%s#%d", d.App, d.Iteration), "manager", d.Release, nil)
+	if m.cfg.Trace.Enabled() {
+		m.cfg.Trace.Instant(trace.Release, fmt.Sprintf("%s#%d", d.App, d.Iteration), "manager", d.Release, nil)
+	}
 	for _, n := range d.Nodes {
 		n.Deadline = d.Release + n.RelDeadline
 	}

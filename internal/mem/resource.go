@@ -5,7 +5,10 @@
 // A Resource is a FIFO bandwidth server. Transfers are decomposed into
 // chunks before they are offered to a resource, so concurrent DMA streams
 // interleave at chunk granularity, approximating the fair bandwidth sharing
-// of a real memory controller without per-cycle simulation.
+// of a real memory controller without per-cycle simulation. When a transfer
+// is the sole occupant of every resource on its path, the chunk loop is
+// replaced by a closed-form claim (see coalesce.go) that yields identical
+// timing with two events instead of two per chunk.
 package mem
 
 import (
@@ -39,15 +42,21 @@ type Resource struct {
 	name      string
 	psPerByte float64
 
-	queue   []request
+	q       []request // waiting requests, q[head:] live
+	head    int
+	cur     request // request in service (cur.done != nil)
 	busy    bool
 	busyAcc sim.Time // accumulated busy time
 	busyAt  sim.Time // start of current busy period
 	bytes   int64    // total bytes served
 
+	servedFn func() // cached bound method, so serving never allocates
+	occ      *Occupancy
+	claim    *claim // active analytic claim holding this resource, if any
+
 	// OnBusyChange, if non-nil, fires whenever the resource transitions
-	// between idle and busy. Used by the interconnect to compute union
-	// occupancy across ports.
+	// between idle and busy. Resources with a callback are never claimed
+	// analytically, since a claim fires no per-chunk transitions.
 	OnBusyChange func(busy bool)
 }
 
@@ -62,11 +71,13 @@ func NewResource(k *sim.Kernel, name string, bytesPerSec float64) *Resource {
 	if bytesPerSec <= 0 {
 		panic(fmt.Sprintf("mem: resource %s: non-positive bandwidth", name))
 	}
-	return &Resource{
+	r := &Resource{
 		k:         k,
 		name:      name,
 		psPerByte: float64(sim.Second) / bytesPerSec,
 	}
+	r.servedFn = r.served
+	return r
 }
 
 // Name returns the resource's name.
@@ -74,6 +85,11 @@ func (r *Resource) Name() string { return r.name }
 
 // Bandwidth returns the service bandwidth in bytes per second.
 func (r *Resource) Bandwidth() float64 { return float64(sim.Second) / r.psPerByte }
+
+// SetOccupancy attaches the resource to a union-occupancy tracker. Busy
+// transitions are reported to the tracker, and analytic claims over this
+// resource coordinate through it.
+func (r *Resource) SetOccupancy(o *Occupancy) { r.occ = o }
 
 // ServiceTime returns how long serving n bytes takes at full bandwidth.
 func (r *Resource) ServiceTime(n int64) sim.Time {
@@ -94,25 +110,60 @@ func (r *Resource) Enqueue(n int64, done func()) {
 		r.k.Schedule(0, done)
 		return
 	}
-	r.queue = append(r.queue, request{bytes: n, done: done})
+	if r.claim != nil {
+		// A second stream wants the resource: fold the analytic claim back
+		// to chunk-wise state so FIFO interleaving resumes exactly.
+		r.claim.materialize()
+	}
+	r.push(request{bytes: n, done: done})
 	if !r.busy {
 		r.setBusy(true)
-		r.serve()
+		r.serveNext()
 	}
 }
 
-func (r *Resource) serve() {
-	if len(r.queue) == 0 {
+func (r *Resource) push(req request) {
+	r.q = append(r.q, req)
+}
+
+func (r *Resource) popFront() request {
+	req := r.q[r.head]
+	r.q[r.head] = request{}
+	r.head++
+	if r.head == len(r.q) {
+		r.q = r.q[:0]
+		r.head = 0
+	} else if r.head > 64 && r.head*2 > len(r.q) {
+		// Compact once the dead prefix dominates, to bound memory.
+		n := copy(r.q, r.q[r.head:])
+		for i := n; i < len(r.q); i++ {
+			r.q[i] = request{}
+		}
+		r.q = r.q[:n]
+		r.head = 0
+	}
+	return req
+}
+
+func (r *Resource) serveNext() {
+	if r.head == len(r.q) {
+		r.cur = request{}
 		r.setBusy(false)
 		return
 	}
-	req := r.queue[0]
-	r.queue = r.queue[1:]
-	r.k.Schedule(r.ServiceTime(req.bytes), func() {
-		r.bytes += req.bytes
-		req.done()
-		r.serve()
-	})
+	r.cur = r.popFront()
+	r.k.Schedule(r.ServiceTime(r.cur.bytes), r.servedFn)
+}
+
+// served completes the request in service: credit bytes, notify, serve the
+// next waiting request (in that order, matching FIFO enqueue-during-done
+// semantics).
+func (r *Resource) served() {
+	req := r.cur
+	r.cur = request{}
+	r.bytes += req.bytes
+	req.done()
+	r.serveNext()
 }
 
 func (r *Resource) setBusy(b bool) {
@@ -125,6 +176,9 @@ func (r *Resource) setBusy(b bool) {
 	} else {
 		r.busyAcc += r.k.Now() - r.busyAt
 	}
+	if r.occ != nil {
+		r.occ.linkBusy(b)
+	}
 	if r.OnBusyChange != nil {
 		r.OnBusyChange(b)
 	}
@@ -133,6 +187,9 @@ func (r *Resource) setBusy(b bool) {
 // BusyTime returns the total time the resource has spent serving requests,
 // including the current busy period if one is in progress.
 func (r *Resource) BusyTime() sim.Time {
+	if r.claim != nil {
+		return r.busyAcc + r.claim.stageBusyUpTo(r, r.k.Now())
+	}
 	if r.busy {
 		return r.busyAcc + (r.k.Now() - r.busyAt)
 	}
@@ -140,8 +197,18 @@ func (r *Resource) BusyTime() sim.Time {
 }
 
 // BytesServed returns the total bytes drained through the resource.
-func (r *Resource) BytesServed() int64 { return r.bytes }
+func (r *Resource) BytesServed() int64 {
+	if r.claim != nil {
+		return r.bytes + r.claim.stageBytesDone(r, r.k.Now())
+	}
+	return r.bytes
+}
 
 // QueueLen reports the number of waiting requests (not counting the one in
 // service).
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int {
+	if r.claim != nil {
+		return r.claim.stageQueueLen(r, r.k.Now())
+	}
+	return len(r.q) - r.head
+}

@@ -25,6 +25,48 @@ func (t TransferResult) AchievedBandwidth() float64 {
 	return float64(t.Bytes) / d.Seconds()
 }
 
+// transfer is the chunk-wise pipelining state of one in-flight transfer.
+// Completions at every resource are FIFO, so each stage needs only a
+// counter of processed chunks and a single reusable done closure, not one
+// closure per chunk.
+type transfer struct {
+	k       *sim.Kernel
+	path    []Server
+	n       int64
+	nChunks int
+	start   sim.Time
+	done    func(TransferResult)
+
+	next      []int    // per stage: index of the chunk whose completion fires next
+	stageDone []func() // per stage: the chunk-completion callback
+}
+
+func (t *transfer) chunkSize(i int) int64 {
+	if i == t.nChunks-1 {
+		return t.n - int64(i)*DefaultChunkBytes
+	}
+	return DefaultChunkBytes
+}
+
+// advance moves the next chunk out of stage s. When the last chunk leaves
+// the last stage the transfer is complete.
+func (t *transfer) advance(s int) {
+	i := t.next[s]
+	t.next[s]++
+	if s+1 < len(t.path) {
+		t.path[s+1].Enqueue(t.chunkSize(i), t.stageDone[s+1])
+	} else if i == t.nChunks-1 {
+		t.finish()
+	}
+	if s == 0 && i+1 < t.nChunks {
+		t.path[0].Enqueue(t.chunkSize(i+1), t.stageDone[0])
+	}
+}
+
+func (t *transfer) finish() {
+	t.done(TransferResult{Bytes: t.n, Start: t.start, End: t.k.Now()})
+}
+
 // StartTransfer moves n bytes through the ordered resource path, chunk by
 // chunk, with store-and-forward pipelining: chunk i enters stage s+1 as soon
 // as stage s finishes serving it, and chunk i+1 enters stage s at the same
@@ -32,38 +74,40 @@ func (t TransferResult) AchievedBandwidth() float64 {
 // routing) charged once before the first chunk. done receives the transfer's
 // timing when the final chunk drains from the last stage.
 //
+// If every stage on the path is idle when the first chunk would issue, the
+// chunk loop is replaced by an analytic claim (coalesce.go) that computes
+// the identical pipeline schedule in closed form and fires a single
+// completion event; the claim reverts to chunk-wise service the moment any
+// other stream touches the path.
+//
 // A transfer over an empty path (pure SPAD-local access) completes after
 // setup alone.
 func StartTransfer(k *sim.Kernel, path []Server, n int64, setup sim.Time, done func(TransferResult)) {
 	start := k.Now()
-	finish := func() {
-		done(TransferResult{Bytes: n, Start: start, End: k.Now()})
-	}
 	if n <= 0 || len(path) == 0 {
-		k.Schedule(setup, finish)
+		k.Schedule(setup, func() {
+			done(TransferResult{Bytes: n, Start: start, End: k.Now()})
+		})
 		return
 	}
-	nChunks := int((n + DefaultChunkBytes - 1) / DefaultChunkBytes)
-	chunkSize := func(i int) int64 {
-		if i == nChunks-1 {
-			return n - int64(i)*DefaultChunkBytes
-		}
-		return DefaultChunkBytes
+	t := &transfer{
+		k:       k,
+		path:    path,
+		n:       n,
+		nChunks: int((n + DefaultChunkBytes - 1) / DefaultChunkBytes),
+		start:   start,
+		done:    done,
+		next:    make([]int, len(path)),
 	}
-	// advance moves chunk i out of stage s. When the last chunk leaves the
-	// last stage the transfer is complete.
-	var advance func(i, s int)
-	advance = func(i, s int) {
-		if s+1 < len(path) {
-			path[s+1].Enqueue(chunkSize(i), func() { advance(i, s+1) })
-		} else if i == nChunks-1 {
-			finish()
-		}
-		if s == 0 && i+1 < nChunks {
-			path[0].Enqueue(chunkSize(i+1), func() { advance(i+1, 0) })
-		}
+	t.stageDone = make([]func(), len(path))
+	for s := range t.stageDone {
+		s := s
+		t.stageDone[s] = func() { t.advance(s) }
 	}
 	k.Schedule(setup, func() {
-		path[0].Enqueue(chunkSize(0), func() { advance(0, 0) })
+		if tryClaim(t) {
+			return
+		}
+		t.path[0].Enqueue(t.chunkSize(0), t.stageDone[0])
 	})
 }

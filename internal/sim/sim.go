@@ -4,12 +4,14 @@
 // bus beats can be represented exactly. Events scheduled for the same tick
 // fire in the order they were scheduled, which makes every simulation run
 // bit-for-bit reproducible.
+//
+// The kernel is built for throughput: the ready queue is an inlined 4-ary
+// min-heap specialised to *Event (no container/heap interface boxing), and
+// fired events are recycled through a free list, so steady-state
+// Schedule/dispatch cycles perform no heap allocation.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a simulation timestamp or duration in picoseconds.
 type Time int64
@@ -45,13 +47,17 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a handle for a scheduled callback. It can be cancelled before it
-// fires.
+// Event is a handle for a scheduled callback. It can be cancelled any time
+// before it fires. Once the event has fired the kernel recycles the handle
+// for a later Schedule/At call, so a handle must not be retained (or
+// cancelled) after its callback has run.
 type Event struct {
 	at        Time
+	born      Time // clock value when the event was scheduled
 	seq       uint64
 	fn        func()
-	index     int // heap index, -1 when not queued
+	next      *Event // free-list link while recycled
+	queued    bool
 	cancelled bool
 }
 
@@ -61,11 +67,15 @@ func (e *Event) At() Time { return e.at }
 // Kernel is an event-driven simulation engine. The zero value is not usable;
 // call NewKernel.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	halted bool
+	now     Time
+	curBorn Time // born time of the event currently dispatching
+	seq     uint64
+	queue   []*Event // 4-ary min-heap ordered by (at, seq)
+	live    int      // queued events that are not cancelled
+	free    *Event   // recycled Event free list
+	fired   uint64
+	allocs  uint64 // Event allocations (free-list misses)
+	halted  bool
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -76,8 +86,23 @@ func NewKernel() *Kernel {
 // Now returns the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
+// CurrentBorn returns the time at which the currently dispatching event was
+// scheduled. Because sequence numbers grow monotonically with the clock, an
+// event scheduled strictly before CurrentBorn and firing at the current
+// tick is guaranteed to have already fired. Analytic models use this to
+// replay same-tick event orderings exactly (see internal/mem's claims).
+func (k *Kernel) CurrentBorn() Time { return k.curBorn }
+
 // Fired reports how many events have been dispatched so far.
 func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Scheduled reports how many events have ever been scheduled.
+func (k *Kernel) Scheduled() uint64 { return k.seq }
+
+// EventAllocs reports how many Event structs were heap-allocated, i.e. how
+// often Schedule/At missed the free list. In steady state this stops
+// growing: the ratio Scheduled/EventAllocs is the pool's reuse factor.
+func (k *Kernel) EventAllocs() uint64 { return k.allocs }
 
 // Schedule arranges for fn to run delay picoseconds from now. A negative
 // delay is treated as zero. The returned event may be cancelled.
@@ -96,30 +121,47 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	if t < k.now {
 		t = k.now
 	}
-	e := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	e := k.free
+	if e != nil {
+		k.free = e.next
+		e.next = nil
+		e.cancelled = false
+	} else {
+		e = &Event{}
+		k.allocs++
+	}
+	e.at = t
+	e.born = k.now
+	e.seq = k.seq
+	e.fn = fn
+	e.queued = true
 	k.seq++
-	heap.Push(&k.queue, e)
+	k.live++
+	k.push(e)
 	return e
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// Cancel removes a pending event. Cancelling an already-cancelled event is
+// a no-op; a fired event's handle must not be passed here (handles are
+// recycled after dispatch).
 func (k *Kernel) Cancel(e *Event) {
-	if e == nil || e.cancelled || e.index < 0 {
-		if e != nil {
-			e.cancelled = true
-		}
+	if e == nil || e.cancelled {
 		return
 	}
 	e.cancelled = true
-	heap.Remove(&k.queue, e.index)
+	if e.queued {
+		// Removal is lazy: the event stays queued and is discarded when it
+		// reaches the top of the heap.
+		e.fn = nil
+		k.live--
+	}
 }
 
 // Halt stops the current Run/RunUntil loop after the in-flight event returns.
 func (k *Kernel) Halt() { k.halted = true }
 
-// Pending reports how many events are queued.
-func (k *Kernel) Pending() int { return len(k.queue) }
+// Pending reports how many non-cancelled events are queued.
+func (k *Kernel) Pending() int { return k.live }
 
 // Run dispatches events until the queue is empty or Halt is called.
 // It returns the final simulation time.
@@ -139,13 +181,19 @@ func (k *Kernel) RunUntil(limit Time) Time {
 			k.now = limit
 			return k.now
 		}
-		heap.Pop(&k.queue)
+		k.pop()
+		next.queued = false
 		if next.cancelled {
+			k.recycle(next)
 			continue
 		}
+		k.live--
 		k.now = next.at
+		k.curBorn = next.born
 		k.fired++
-		next.fn()
+		fn := next.fn
+		fn()
+		k.recycle(next)
 	}
 	if limit >= 0 && k.now < limit && !k.halted {
 		k.now = limit
@@ -153,36 +201,70 @@ func (k *Kernel) RunUntil(limit Time) Time {
 	return k.now
 }
 
-// eventHeap orders events by (time, sequence) for deterministic dispatch.
-type eventHeap []*Event
+// recycle returns a dispatched or discarded event to the free list.
+func (k *Kernel) recycle(e *Event) {
+	e.fn = nil
+	e.next = k.free
+	k.free = e
+}
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// less orders events by (time, sequence) for deterministic dispatch. The
+// order is total (seq is unique), so dispatch order is independent of heap
+// shape.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// push inserts e into the 4-ary heap.
+func (k *Kernel) push(e *Event) {
+	q := append(k.queue, e)
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(e, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = e
+	k.queue = q
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+// pop removes the minimum event from the 4-ary heap.
+func (k *Kernel) pop() {
+	q := k.queue
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if less(q[j], q[m]) {
+					m = j
+				}
+			}
+			if !less(q[m], last) {
+				break
+			}
+			q[i] = q[m]
+			i = m
+		}
+		q[i] = last
+	}
+	k.queue = q
 }

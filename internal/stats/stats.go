@@ -99,6 +99,13 @@ type Stats struct {
 	// Interconnect occupancy at end of run (0..1).
 	InterconnectOccupancy float64
 
+	// Simulator cost counters (not simulation results): events the kernel
+	// dispatched for this run and Event structs it heap-allocated. These
+	// feed the benchmark harness and deliberately stay out of the golden
+	// result digest.
+	EventsFired uint64
+	EventAllocs uint64
+
 	// Scheduler latency samples (modeled microcontroller cost per
 	// ready-queue operation).
 	SchedCosts []sim.Time

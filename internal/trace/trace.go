@@ -74,6 +74,12 @@ func NewRecorder() *Recorder {
 	return &Recorder{open: make(map[openKey]int)}
 }
 
+// Enabled reports whether events are being recorded. Every method is a
+// no-op on a nil receiver, but callers should still gate recording calls
+// whose arguments are themselves costly to build (formatted labels) so a
+// traceless run pays nothing on the hot path.
+func (r *Recorder) Enabled() bool { return r != nil }
+
 // Instant records a zero-length event.
 func (r *Recorder) Instant(kind Kind, name, lane string, at sim.Time, meta map[string]string) {
 	if r == nil {

@@ -46,9 +46,7 @@ type Interconnect struct {
 
 	k *sim.Kernel
 	// union-occupancy tracking across interconnect resources (not DRAM)
-	activeLinks int
-	busySince   sim.Time
-	busyAcc     sim.Time
+	occ *mem.Occupancy
 }
 
 // Config sets the interconnect's bandwidth parameters.
@@ -84,12 +82,13 @@ func New(k *sim.Kernel, cfg Config) *Interconnect {
 		topo: cfg.Topology,
 		dram: cfg.DRAMServer,
 		k:    k,
+		occ:  mem.NewOccupancy(k),
 	}
 	if ic.dram == nil {
 		ic.dram = mem.NewResource(k, "dram", cfg.DRAMBandwidth)
 	}
 	watch := func(r *mem.Resource) {
-		r.OnBusyChange = func(busy bool) { ic.linkBusy(busy) }
+		r.SetOccupancy(ic.occ)
 	}
 	switch cfg.Topology {
 	case Bus:
@@ -106,20 +105,6 @@ func New(k *sim.Kernel, cfg Config) *Interconnect {
 		panic("xbar: unknown topology")
 	}
 	return ic
-}
-
-func (ic *Interconnect) linkBusy(busy bool) {
-	if busy {
-		if ic.activeLinks == 0 {
-			ic.busySince = ic.k.Now()
-		}
-		ic.activeLinks++
-	} else {
-		ic.activeLinks--
-		if ic.activeLinks == 0 {
-			ic.busyAcc += ic.k.Now() - ic.busySince
-		}
-	}
 }
 
 // Topology returns the configured topology.
@@ -165,9 +150,5 @@ func (ic *Interconnect) Occupancy() float64 {
 	if now == 0 {
 		return 0
 	}
-	busy := ic.busyAcc
-	if ic.activeLinks > 0 {
-		busy += now - ic.busySince
-	}
-	return float64(busy) / float64(now)
+	return float64(ic.occ.Busy()) / float64(now)
 }

@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI gate: build, vet, full test suite (including the golden main-grid
+# determinism digest), then a one-iteration benchmark smoke run so
+# simulator-throughput regressions surface in the log.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build"
+go build ./...
+
+echo "== vet"
+go vet ./...
+
+echo "== test"
+go test ./...
+
+echo "== bench smoke"
+go test -run '^$' -bench 'BenchmarkFig4$' -benchtime=1x -benchmem .
