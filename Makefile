@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench bench-smoke ci clean
+.PHONY: all build test vet race bench bench-smoke ci clean
 
 all: build
 
@@ -12,6 +12,11 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Race-detector pass over the short suite (the golden digests and long
+# sweeps are skipped; the parallel sweep harness is the code under test).
+race:
+	$(GO) test -race -short ./...
 
 # Full benchmark sweep (slow): every figure/table benchmark, with
 # allocation stats.

@@ -334,7 +334,7 @@ func BenchmarkDesignSweep(b *testing.B) {
 // BenchmarkEncodeDAG measures host-interface serialisation of the largest
 // benchmark DAG.
 func BenchmarkEncodeDAG(b *testing.B) {
-	d := workload.Build(workload.LSTM)
+	d := workload.MustBuild(workload.LSTM)
 	for i := 0; i < b.N; i++ {
 		if _, _, err := hostif.EncodeDAG(d); err != nil {
 			b.Fatal(err)
@@ -343,7 +343,7 @@ func BenchmarkEncodeDAG(b *testing.B) {
 }
 
 func BenchmarkDecodeDAG(b *testing.B) {
-	img, _, err := hostif.EncodeDAG(workload.Build(workload.LSTM))
+	img, _, err := hostif.EncodeDAG(workload.MustBuild(workload.LSTM))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -97,6 +97,7 @@ var experiments = map[string]generator{
 	"ablation": one(exp.Ablation),
 	"dram":     one(exp.DRAMStudy),
 	"energy":   one(exp.EnergyStudy),
+	"faults":   one(exp.FaultStudy),
 	"scaling": func(*exp.Sweep) ([]*exp.Table, error) {
 		t, err := exp.ScalingStudy()
 		if err != nil {
@@ -124,7 +125,7 @@ var experiments = map[string]generator{
 var order = []string{
 	"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"table7", "table8", "fig11", "fig12", "fig13", "ablation", "dram",
-	"periodic", "tiled", "energy", "scaling",
+	"periodic", "tiled", "energy", "scaling", "faults",
 }
 
 // benchEntry is one experiment's row in the -benchjson report.
@@ -195,6 +196,10 @@ func main() {
 	}
 	if _, ok := experiments[*expFlag]; !ok && *expFlag != "all" {
 		fmt.Fprintf(os.Stderr, "relief-bench: unknown experiment %q (use -list)\n", *expFlag)
+		os.Exit(2)
+	}
+	if *format != "text" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "relief-bench: unknown format %q (want text or csv)\n", *format)
 		os.Exit(2)
 	}
 	if err := run(*expFlag, *format, *jsonOut, *benchJSON, *cpuProfile, *memProfile, *traceOut, jobs); err != nil {

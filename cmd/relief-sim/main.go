@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"relief/internal/exp"
+	"relief/internal/fault"
 	"relief/internal/predict"
 	"relief/internal/trace"
 	"relief/internal/workload"
@@ -31,11 +32,19 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
 	statsOut := flag.String("stats-out", "", "write gem5-style statistics to this file")
 	platformFile := flag.String("platform", "", "JSON platform spec (overrides -topology/-bw/-no-forwarding)")
+	faultRate := flag.Float64("faults", 0, "fault-injection rate in [0,1] (0 = off); see docs/FAULTS.md")
+	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
 	flag.Parse()
 
 	apps, err := workload.ParseMix(*mix)
 	if err != nil {
 		fatal(err)
+	}
+	if len(apps) < 1 || len(apps) > 3 {
+		fatal(fmt.Errorf("mix %q has %d applications, want 1-3", *mix, len(apps)))
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fatal(fmt.Errorf("fault rate %v outside [0,1]", *faultRate))
 	}
 	sc := exp.Scenario{
 		Mix:               apps,
@@ -43,6 +52,9 @@ func main() {
 		Policy:            *policy,
 		BWPredictor:       *bw,
 		DisableForwarding: *noFwd,
+	}
+	if *faultRate > 0 {
+		sc.Faults = fault.Profile(*faultRate, *faultSeed)
 	}
 	if *continuous {
 		sc.Contention = workload.Continuous
@@ -99,6 +111,16 @@ func main() {
 	fmt.Printf("accel occupancy:     %.2f\n", st.Occupancy())
 	fmt.Printf("interconnect occ.:   %.1f%%\n", 100*st.InterconnectOccupancy)
 	fmt.Printf("scheduler latency:   avg %v, tail %v\n", avg, tail)
+	if st.Faults.Any() {
+		fs := st.Faults
+		fmt.Printf("faults injected:     hangs=%d slow=%d fails=%d deaths=%d dma-stalls=%d crc=%d dram-errs=%d\n",
+			fs.Hangs, fs.Slowdowns, fs.TransientFails, fs.InstanceDeaths,
+			fs.DMAStalls, fs.DMACorruptions, fs.DRAMErrors)
+		fmt.Printf("recovery:            watchdog=%d retries=%d invalidated-fwd=%d aborted-dags=%d\n",
+			fs.WatchdogFires, fs.Retries, fs.InvalidatedForwards, fs.DAGsAborted)
+		fmt.Printf("recovery traffic:    %.2f MB, MTTR %v\n",
+			float64(fs.RecoveryDRAMBytes+fs.RetriedDMABytes)/1e6, fs.MTTR())
+	}
 
 	names := make([]string, 0, len(st.Apps))
 	for n := range st.Apps {
@@ -107,8 +129,12 @@ func main() {
 	sort.Strings(names)
 	for _, n := range names {
 		a := st.Apps[n]
-		fmt.Printf("  %-7s iterations=%d deadlinesMet=%d slowdown=%.2f\n",
+		line := fmt.Sprintf("  %-7s iterations=%d deadlinesMet=%d slowdown=%.2f",
 			n, a.Iterations, a.DeadlinesMet, a.Slowdown())
+		if a.Aborted > 0 {
+			line += fmt.Sprintf(" aborted=%d", a.Aborted)
+		}
+		fmt.Println(line)
 	}
 
 	if *statsOut != "" {

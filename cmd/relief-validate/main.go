@@ -47,7 +47,7 @@ func main() {
 			worst := 0.0
 			for a, us := range want {
 				var total float64
-				for _, n := range workload.Build(a).Nodes {
+				for _, n := range workload.MustBuild(a).Nodes {
 					total += n.Compute.Microseconds()
 				}
 				err := math.Abs(total-us) / us

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	// Host side: build Canny and write it into "shared memory".
-	d := workload.Build(workload.Canny)
+	d := workload.MustBuild(workload.Canny)
 	err := graph.AssignDeadlines(d, graph.DeadlineCPM,
 		func(n *graph.Node) relief.Time { return n.Compute })
 	if err != nil {

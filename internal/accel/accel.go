@@ -101,3 +101,26 @@ var SPADBytes = [NumKinds]int64{
 	HarrisNonMax: 196608,
 	EdgeTracking: 98432,
 }
+
+// Health describes an accelerator instance's operational state as seen by
+// the manager's recovery machinery (internal/fault). A Dead instance is
+// permanently removed from scheduling; Degraded marks a live device whose
+// tasks have faulted (retained for diagnostics).
+type Health uint8
+
+// Instance health states.
+const (
+	Healthy Health = iota
+	Degraded
+	Dead
+)
+
+func (h Health) String() string {
+	switch h {
+	case Degraded:
+		return "degraded"
+	case Dead:
+		return "dead"
+	}
+	return "healthy"
+}

@@ -97,6 +97,9 @@ type Controller struct {
 	channels []*channel
 	cursor   int64 // synthetic address allocator for incoming requests
 
+	// fault, if set, returns an injected error stall per request.
+	fault func(n int64) sim.Time
+
 	bytes int64
 
 	// Stats.
@@ -170,6 +173,11 @@ type bank struct {
 type burst struct {
 	bank, row int64
 	req       *request
+	// extra is an injected transient-error stall (fault injection),
+	// carried on the request's first burst. It is part of the queued
+	// burst's own service cost, so virtual runs price it identically
+	// whether the burst resolves ahead of time or at real time.
+	extra sim.Time
 }
 
 // request tracks one Enqueue across the channels its bursts interleave
@@ -273,6 +281,11 @@ func (c *Controller) RowHitRate() float64 {
 	return float64(c.RowHits) / float64(total)
 }
 
+// SetFault installs a fault hook consulted once per Enqueue (in request
+// arrival order, so a seeded injector stays deterministic); a returned
+// stall is charged to the request's first burst. Pass nil to remove.
+func (c *Controller) SetFault(fn func(n int64) sim.Time) { c.fault = fn }
+
 // Enqueue implements mem.Server: the request is laid out at the next
 // contiguous synthetic addresses (each DMA chunk is a contiguous buffer
 // slice) and decomposed into bursts.
@@ -283,6 +296,10 @@ func (c *Controller) Enqueue(n int64, done func()) {
 	}
 	base := c.cursor
 	c.cursor += n
+	var extra sim.Time
+	if c.fault != nil {
+		extra = c.fault(n)
+	}
 	nBursts := int((n + c.cfg.BurstBytes - 1) / c.cfg.BurstBytes)
 	req := &request{shares: make([]int32, len(c.channels)), done: done}
 	nCh := int64(len(c.channels))
@@ -304,11 +321,15 @@ func (c *Controller) Enqueue(n int64, done func()) {
 		chIdx := page % nCh
 		pageInCh := page / nCh
 		ch := c.channels[chIdx]
-		ch.queue = append(ch.queue, burst{
+		b := burst{
 			bank: pageInCh % int64(c.cfg.Banks),
 			row:  pageInCh / int64(c.cfg.Banks),
 			req:  req,
-		})
+		}
+		if i == 0 {
+			b.extra = extra
+		}
+		ch.queue = append(ch.queue, b)
 		if !ch.serving {
 			ch.serving = true
 			ch.busySince = c.k.Now()
@@ -382,7 +403,7 @@ func (c *Controller) serve(ch *channel) {
 		}
 		lastPick = vnow
 		b := ch.take(i)
-		cost := c.cfg.TBurst + c.cfg.TGap
+		cost := c.cfg.TBurst + c.cfg.TGap + b.extra
 		// Refresh: when traffic crosses a tREFI boundary, the channel
 		// stalls for tRFC and every row closes. Idle periods advance the
 		// schedule without cost (rows would be cold anyway). As in the

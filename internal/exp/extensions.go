@@ -115,7 +115,7 @@ func runPeriodic(policyName string, mix []workload.App) (*stats.Stats, error) {
 	m := manager.New(k, manager.DefaultConfig(policy), st)
 	for _, app := range mix {
 		app := app
-		if err := m.SubmitPeriodic(func() *graph.DAG { return workload.Build(app) },
+		if err := m.SubmitPeriodic(func() *graph.DAG { return workload.MustBuild(app) },
 			app.Deadline(), workload.ContinuousHorizon); err != nil {
 			return nil, err
 		}
@@ -173,7 +173,11 @@ func runTiled(mix []workload.App, topo xbar.Topology) (*stats.Stats, float64, er
 	cfg.Interconnect.Topology = topo
 	m := manager.New(k, cfg, st)
 	for _, app := range mix {
-		if err := m.Submit(workload.BuildTiled(app, 2, 4), 0, nil); err != nil {
+		d, err := workload.BuildTiled(app, 2, 4)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := m.Submit(d, 0, nil); err != nil {
 			return nil, 0, err
 		}
 	}
@@ -212,7 +216,7 @@ func EnergyStudy(s *Sweep) (*Table, error) {
 		// Datapath energy: node counts per kind are policy-invariant.
 		var accelE float64
 		for _, app := range mix {
-			for _, n := range workload.Build(app).Nodes {
+			for _, n := range workload.MustBuild(app).Nodes {
 				e := taskEnergy[int(n.Kind)]
 				// Scale for non-5x5 convolutions like the timing model.
 				if n.FilterSize > 0 && n.FilterSize != 5 {
@@ -269,7 +273,7 @@ func ScalingStudy() (*Table, error) {
 			cfg.Interconnect = xbar.DefaultConfig(total)
 			m := manager.New(k, cfg, st)
 			for _, app := range mix {
-				if err := m.Submit(workload.Build(app), 0, nil); err != nil {
+				if err := m.Submit(workload.MustBuild(app), 0, nil); err != nil {
 					return nil, err
 				}
 			}

@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"relief/internal/fault"
+	"relief/internal/workload"
+)
+
+// goldenFaultDigest locks one faulty scenario (CGL / RELIEF / rate 0.05 /
+// seed 7) bit-for-bit: same plan, same seed, same results — forever. If
+// this fails, fault materialisation or recovery changed behaviour.
+const goldenFaultDigest = "7d57b73981917ceb67115863695dd9cbfbded6fbff6aa28829bae3ae8b68502f"
+
+func faultScenario() Scenario {
+	mix, err := workload.ParseMix("CGL")
+	if err != nil {
+		panic(err)
+	}
+	return Scenario{
+		Mix:        mix,
+		Contention: workload.High,
+		Policy:     "RELIEF",
+		Faults:     fault.Profile(0.05, 7),
+	}
+}
+
+// faultDigestLine extends the golden digest line with every recovery
+// counter, so the lock covers the fault machinery too.
+func faultDigestLine(sc Scenario, r *Result) string {
+	fs := r.Stats.Faults
+	return scenarioDigestLine(sc, r) + fmt.Sprintf(
+		"faults h=%d s=%d f=%d d=%d ds=%d cc=%d de=%d wd=%d rt=%d inv=%d ab=%d rdb=%d rcb=%d rec=%d rtime=%d\n",
+		fs.Hangs, fs.Slowdowns, fs.TransientFails, fs.InstanceDeaths,
+		fs.DMAStalls, fs.DMACorruptions, fs.DRAMErrors,
+		fs.WatchdogFires, fs.Retries, fs.InvalidatedForwards, fs.DAGsAborted,
+		fs.RetriedDMABytes, fs.RecoveryDRAMBytes, fs.Recoveries, int64(fs.RecoveryTime))
+}
+
+// TestFaultDeterminism runs the same faulty scenario twice through fresh
+// simulations (no cache) and locks the digest against the golden value.
+func TestFaultDeterminism(t *testing.T) {
+	sc := faultScenario()
+	r1, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l2 := faultDigestLine(sc, r1), faultDigestLine(sc, r2)
+	if l1 != l2 {
+		t.Fatalf("same plan, different results:\n%s\n%s", l1, l2)
+	}
+	h := sha256.Sum256([]byte(l1))
+	if got := hex.EncodeToString(h[:]); got != goldenFaultDigest {
+		t.Fatalf("fault digest = %s, want %s\nline: %s", got, goldenFaultDigest, l1)
+	}
+	if !r1.Stats.Faults.Any() {
+		t.Fatal("no faults materialised at rate 0.05")
+	}
+}
+
+// TestZeroRatePlanNeutral checks the injection hooks are timing-neutral:
+// installing a plan whose rates are all zero must reproduce the fault-free
+// results bit-for-bit (the watchdogs arm but never perturb anything, and
+// the injector draws nothing).
+func TestZeroRatePlanNeutral(t *testing.T) {
+	mix, err := workload.ParseMix("CDG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range []string{"RELIEF", "LAX"} {
+		base := Scenario{Mix: mix, Contention: workload.High, Policy: policy}
+		withPlan := base
+		withPlan.Faults = &fault.Plan{Seed: 99}
+		r1, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(withPlan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1 := scenarioDigestLine(base, r1)
+		l2 := scenarioDigestLine(base, r2) // same scenario label: compare results only
+		if l1 != l2 {
+			t.Fatalf("%s: zero-rate plan changed results:\n%s\n%s", policy, l1, l2)
+		}
+		if r2.Stats.Faults.Any() {
+			t.Fatalf("%s: zero-rate plan materialised faults", policy)
+		}
+	}
+}
+
+// TestFaultStudyKeyDistinct checks fault plans partition the sweep cache
+// (rate/seed changes re-simulate; a nil plan shares the fault-free cache).
+func TestFaultStudyKeyDistinct(t *testing.T) {
+	s := NewSweep()
+	mix, _ := workload.ParseMix("C")
+	base := Scenario{Mix: mix, Contention: workload.Low, Policy: "FCFS"}
+	planned := base
+	planned.Faults = fault.Profile(0.05, 7)
+	reseeded := base
+	reseeded.Faults = fault.Profile(0.05, 8)
+	keys := map[string]bool{
+		s.key(base):     true,
+		s.key(planned):  true,
+		s.key(reseeded): true,
+	}
+	if len(keys) != 3 {
+		t.Fatalf("fault plans must partition the sweep cache, got %d distinct keys", len(keys))
+	}
+	if s.key(base) != s.key(Scenario{Mix: mix, Contention: workload.Low, Policy: "FCFS", Faults: nil}) {
+		t.Fatal("nil plan key must equal absent plan key")
+	}
+}
+
+// TestSweepErrOnFailingScenario checks the harness surfaces simulation
+// errors instead of silently caching nothing.
+func TestSweepErrOnFailingScenario(t *testing.T) {
+	s := NewSweep()
+	mix, _ := workload.ParseMix("C")
+	bad := Scenario{Mix: mix, Contention: workload.Low, Policy: "bogus"}
+	s.Warm([]Scenario{bad}, 2)
+	if s.Err() == nil {
+		t.Fatal("Sweep.Err nil after failing scenario")
+	}
+	if _, err := s.Get(bad); err == nil {
+		t.Fatal("Get on failing scenario returned no error")
+	}
+}

@@ -30,7 +30,7 @@ func Table2() (*Table, error) {
 		Cols:  []string{"app", "compute", "mem(no fwd)", "mem(ideal)"},
 	}
 	for a := workload.App(0); a < workload.NumApps; a++ {
-		d := workload.Build(a)
+		d := workload.MustBuild(a)
 		if err := graph.AssignDeadlines(d, graph.DeadlineCPM, func(n *graph.Node) sim.Time {
 			return n.Compute + sim.Time(dramT(n.TotalInputBytes()+n.OutputBytes)*float64(sim.Microsecond))
 		}); err != nil {

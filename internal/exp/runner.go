@@ -8,6 +8,7 @@ import (
 
 	"relief/internal/core"
 	"relief/internal/dram"
+	"relief/internal/fault"
 	"relief/internal/graph"
 	"relief/internal/manager"
 	"relief/internal/predict"
@@ -77,6 +78,10 @@ type Scenario struct {
 	// its scheduler from FR-FCFS to FCFS (extension study).
 	DetailedDRAM bool
 	DRAMFCFS     bool
+	// Faults, if non-nil, installs deterministic fault injection and the
+	// recovery machinery (resilience study). A zero-rate plan is
+	// timing-neutral: results are bit-identical to no plan.
+	Faults *fault.Plan
 	// Platform, if non-nil, fully determines the platform configuration
 	// (instances, interconnect, memory, predictors); the scenario's other
 	// platform toggles are ignored.
@@ -127,6 +132,7 @@ func Run(sc Scenario) (*Result, error) {
 		}
 		cfg.BW = bw
 	}
+	cfg.Fault = sc.Faults
 	cfg.Trace = sc.Trace
 	m := manager.New(k, cfg, st)
 
@@ -135,9 +141,9 @@ func Run(sc Scenario) (*Result, error) {
 		app := app
 		var rebuild func() *graph.DAG
 		if continuous {
-			rebuild = func() *graph.DAG { return workload.Build(app) }
+			rebuild = func() *graph.DAG { return workload.MustBuild(app) }
 		}
-		if err := m.Submit(workload.Build(app), 0, rebuild); err != nil {
+		if err := m.Submit(workload.MustBuild(app), 0, rebuild); err != nil {
 			return nil, err
 		}
 	}

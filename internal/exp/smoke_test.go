@@ -22,7 +22,7 @@ func TestSmokeSingleApp(t *testing.T) {
 				t.Fatalf("%s/%s: %v", policy, app, err)
 			}
 			st := res.Stats
-			want := len(workload.Build(app).Nodes)
+			want := len(workload.MustBuild(app).Nodes)
 			if st.NodesDone != want {
 				t.Errorf("%s/%s: finished %d of %d nodes", policy, app, st.NodesDone, want)
 			}

@@ -55,6 +55,8 @@ func (s *Sweep) key(sc Scenario) string {
 	b = append(b, '|')
 	b = appendBool(b, sc.DetailedDRAM)
 	b = appendBool(b, sc.DRAMFCFS)
+	b = append(b, '|')
+	b = sc.Faults.AppendKey(b)
 	return string(b)
 }
 

@@ -1,0 +1,257 @@
+// Package fault implements deterministic, seeded fault injection for the
+// simulated SoC. A Plan is a pure-data specification — a PRNG seed, a set
+// of per-event fault rates, and optional scheduled instance deaths — that
+// can be carried by value, hashed into sweep cache keys, and shared across
+// goroutines. Each simulation run materialises its own Injector from the
+// plan; because the simulation kernel is single-threaded and
+// deterministic, the injector's draw sequence (and therefore every
+// injected fault) is fully reproducible for a given plan.
+//
+// Draws are gated on their rate being non-zero, so a zero-rate plan
+// consumes no randomness and perturbs nothing: installing it is
+// bit-identical to running with no plan at all (verified by tests in
+// internal/exp).
+package fault
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"relief/internal/sim"
+)
+
+// Rates sets the per-event probabilities of each fault class. All rates
+// are in [0, 1]; a zero rate disables the class entirely (no PRNG draw).
+type Rates struct {
+	// TaskHang is the per-launch probability that the task never signals
+	// completion (detected only by the watchdog).
+	TaskHang float64
+	// TaskSlow is the per-launch probability that compute time is
+	// multiplied by SlowFactor (a degraded, but live, device).
+	TaskSlow   float64
+	SlowFactor float64 // compute multiplier for slow tasks (default 4)
+	// TaskFail is the per-launch probability of a transient failure:
+	// the task runs to completion but its result is unusable (detected at
+	// the completion interrupt, e.g. by an output CRC).
+	TaskFail float64
+	// InstanceDeath is the per-launch probability that the accelerator
+	// instance dies permanently when the task starts computing.
+	InstanceDeath float64
+	// DMAStall is the per-transfer probability of an extra front-end
+	// stall of DMAStallTime (bus retraining, descriptor refetch).
+	DMAStall     float64
+	DMAStallTime sim.Time // default 20 µs
+	// DMACorrupt is the per-transfer probability that the payload arrives
+	// corrupted (CRC failure); the DMA engine re-runs the transfer.
+	DMACorrupt float64
+	// DRAMError is the per-request probability of a transient error burst
+	// in the memory controller costing DRAMErrorTime (ECC scrub, retry).
+	DRAMError     float64
+	DRAMErrorTime sim.Time // default 2 µs
+}
+
+// Plan is a reproducible fault-injection specification. The zero value is
+// a valid plan that injects nothing (useful to verify the hooks are
+// timing-neutral when idle).
+type Plan struct {
+	// Seed initialises the injection PRNG.
+	Seed int64
+	// Rates are the per-event fault probabilities.
+	Rates Rates
+	// DieAt schedules deterministic permanent deaths independent of the
+	// PRNG: accelerator instance index → absolute simulation time. Used
+	// by targeted resilience tests.
+	DieAt map[int]sim.Time
+}
+
+// Active reports whether the plan can inject anything at all.
+func (p *Plan) Active() bool {
+	if p == nil {
+		return false
+	}
+	r := p.Rates
+	return r.TaskHang > 0 || r.TaskSlow > 0 || r.TaskFail > 0 ||
+		r.InstanceDeath > 0 || r.DMAStall > 0 || r.DMACorrupt > 0 ||
+		r.DRAMError > 0 || len(p.DieAt) > 0
+}
+
+// AppendKey appends a canonical encoding of the plan to b, for use in
+// scenario cache keys. Every field participates; float rates are encoded
+// via their IEEE bit patterns so distinct plans cannot collide.
+func (p *Plan) AppendKey(b []byte) []byte {
+	if p == nil {
+		return append(b, "nofault"...)
+	}
+	b = strconv.AppendInt(b, p.Seed, 10)
+	for _, f := range []float64{
+		p.Rates.TaskHang, p.Rates.TaskSlow, p.Rates.SlowFactor,
+		p.Rates.TaskFail, p.Rates.InstanceDeath,
+		p.Rates.DMAStall, p.Rates.DMACorrupt, p.Rates.DRAMError,
+	} {
+		b = append(b, ',')
+		b = strconv.AppendUint(b, math.Float64bits(f), 16)
+	}
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.Rates.DMAStallTime), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.Rates.DRAMErrorTime), 10)
+	idxs := make([]int, 0, len(p.DieAt))
+	for i := range p.DieAt {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(i), 10)
+		b = append(b, '@')
+		b = strconv.AppendInt(b, int64(p.DieAt[i]), 10)
+	}
+	return b
+}
+
+// Profile returns the canonical mixed fault profile used by the
+// resilience study (relief-bench -exp faults) and the relief-sim -faults
+// flag: every fault class scaled by a single rate r. Instance deaths are
+// kept two orders rarer than transient faults so a sweep exercises both
+// retry and abort paths.
+func Profile(r float64, seed int64) *Plan {
+	return &Plan{
+		Seed: seed,
+		Rates: Rates{
+			TaskHang:      r / 2,
+			TaskSlow:      r,
+			SlowFactor:    4,
+			TaskFail:      r,
+			InstanceDeath: r / 25,
+			DMAStall:      r,
+			DMAStallTime:  20 * sim.Microsecond,
+			DMACorrupt:    r / 2,
+			DRAMError:     r,
+			DRAMErrorTime: 2 * sim.Microsecond,
+		},
+	}
+}
+
+// Verdict is the fault outcome drawn for one task launch.
+type Verdict uint8
+
+// Task-launch verdicts, in draw priority order.
+const (
+	VerdictNone Verdict = iota // task executes normally
+	VerdictDie                 // the instance dies when compute starts
+	VerdictHang                // the task never completes
+	VerdictFail                // transient failure detected at completion
+	VerdictSlow                // compute time multiplied by SlowFactor
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictDie:
+		return "die"
+	case VerdictHang:
+		return "hang"
+	case VerdictFail:
+		return "fail"
+	case VerdictSlow:
+		return "slow"
+	}
+	return "none"
+}
+
+// Counts tallies the faults an injector has actually drawn at the DMA and
+// DRAM layers (task-level faults are counted by the manager at their
+// application point, since an aborted DAG can discard a drawn verdict).
+type Counts struct {
+	DMAStalls      int
+	DMACorruptions int
+	DRAMErrors     int
+}
+
+// Injector is the per-run runtime of a Plan: a seeded PRNG plus counters.
+// It must only be used from the simulation goroutine. All methods are
+// nil-receiver safe and inject nothing on nil.
+type Injector struct {
+	rng *rand.Rand
+	r   Rates
+	c   Counts
+}
+
+// NewInjector materialises the runtime injector for one simulation run.
+// Returns nil for a nil plan.
+func (p *Plan) NewInjector() *Injector {
+	if p == nil {
+		return nil
+	}
+	r := p.Rates
+	if r.SlowFactor <= 1 {
+		r.SlowFactor = 4
+	}
+	if r.DMAStallTime <= 0 {
+		r.DMAStallTime = 20 * sim.Microsecond
+	}
+	if r.DRAMErrorTime <= 0 {
+		r.DRAMErrorTime = 2 * sim.Microsecond
+	}
+	return &Injector{rng: rand.New(rand.NewSource(p.Seed)), r: r}
+}
+
+// Task draws the fault verdict for one task launch.
+func (in *Injector) Task() Verdict {
+	if in == nil {
+		return VerdictNone
+	}
+	switch {
+	case in.r.InstanceDeath > 0 && in.rng.Float64() < in.r.InstanceDeath:
+		return VerdictDie
+	case in.r.TaskHang > 0 && in.rng.Float64() < in.r.TaskHang:
+		return VerdictHang
+	case in.r.TaskFail > 0 && in.rng.Float64() < in.r.TaskFail:
+		return VerdictFail
+	case in.r.TaskSlow > 0 && in.rng.Float64() < in.r.TaskSlow:
+		return VerdictSlow
+	}
+	return VerdictNone
+}
+
+// SlowFactor returns the compute multiplier applied to VerdictSlow tasks.
+func (in *Injector) SlowFactor() float64 { return in.r.SlowFactor }
+
+// Transfer draws the DMA faults for one transfer: an extra front-end
+// stall and whether the payload arrives corrupted. Implements
+// mem.FaultInjector.
+func (in *Injector) Transfer(bytes int64) (stall sim.Time, corrupt bool) {
+	if in == nil {
+		return 0, false
+	}
+	if in.r.DMAStall > 0 && in.rng.Float64() < in.r.DMAStall {
+		stall = in.r.DMAStallTime
+		in.c.DMAStalls++
+	}
+	if in.r.DMACorrupt > 0 && in.rng.Float64() < in.r.DMACorrupt {
+		corrupt = true
+		in.c.DMACorruptions++
+	}
+	return stall, corrupt
+}
+
+// DRAM draws the transient-error stall for one main-memory request.
+func (in *Injector) DRAM(bytes int64) sim.Time {
+	if in == nil || in.r.DRAMError <= 0 {
+		return 0
+	}
+	if in.rng.Float64() < in.r.DRAMError {
+		in.c.DRAMErrors++
+		return in.r.DRAMErrorTime
+	}
+	return 0
+}
+
+// Counts returns the faults drawn so far at the DMA/DRAM layers.
+func (in *Injector) Counts() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	return in.c
+}

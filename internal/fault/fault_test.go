@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"testing"
+
+	"relief/internal/sim"
+)
+
+// drawSequence exercises every draw path of an injector and records the
+// outcomes, so two injectors can be compared draw-for-draw.
+func drawSequence(in *Injector, n int) []int {
+	seq := make([]int, 0, 3*n)
+	for i := 0; i < n; i++ {
+		seq = append(seq, int(in.Task()))
+		stall, corrupt := in.Transfer(65536)
+		c := 0
+		if corrupt {
+			c = 1
+		}
+		seq = append(seq, int(stall), c, int(in.DRAM(4096)))
+	}
+	return seq
+}
+
+func TestSameSeedSameDraws(t *testing.T) {
+	p := Profile(0.2, 42)
+	a := drawSequence(p.NewInjector(), 500)
+	b := drawSequence(p.NewInjector(), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if q := Profile(0.2, 43); drawSeqEqual(a, drawSequence(q.NewInjector(), 500)) {
+		t.Fatal("different seeds produced identical draw sequences")
+	}
+}
+
+func drawSeqEqual(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestZeroRateConsumesNoDraws is the heart of the zero-rate neutrality
+// guarantee: a disabled fault class must not advance the PRNG, so mixing
+// zero-rate calls between live draws changes nothing.
+func TestZeroRateConsumesNoDraws(t *testing.T) {
+	p := &Plan{Seed: 7} // all rates zero
+	in := p.NewInjector()
+	for i := 0; i < 100; i++ {
+		if v := in.Task(); v != VerdictNone {
+			t.Fatalf("zero-rate Task drew %v", v)
+		}
+		if stall, corrupt := in.Transfer(1 << 20); stall != 0 || corrupt {
+			t.Fatal("zero-rate Transfer injected")
+		}
+		if d := in.DRAM(64); d != 0 {
+			t.Fatal("zero-rate DRAM injected")
+		}
+	}
+	if c := in.Counts(); c != (Counts{}) {
+		t.Fatalf("zero-rate counts non-zero: %+v", c)
+	}
+
+	// Only the DRAM class enabled: interleaving the (disabled) task and
+	// transfer draws must not perturb the DRAM sequence.
+	dramOnly := &Plan{Seed: 9, Rates: Rates{DRAMError: 0.5}}
+	solo := dramOnly.NewInjector()
+	mixed := dramOnly.NewInjector()
+	for i := 0; i < 200; i++ {
+		want := solo.DRAM(64)
+		mixed.Task()
+		mixed.Transfer(65536)
+		if got := mixed.DRAM(64); got != want {
+			t.Fatalf("draw %d: disabled classes consumed randomness (%d vs %d)", i, got, want)
+		}
+	}
+}
+
+func TestNilInjectorInert(t *testing.T) {
+	var in *Injector
+	if in.Task() != VerdictNone {
+		t.Fatal("nil Task")
+	}
+	if s, c := in.Transfer(1); s != 0 || c {
+		t.Fatal("nil Transfer")
+	}
+	if in.DRAM(1) != 0 {
+		t.Fatal("nil DRAM")
+	}
+	if in.Counts() != (Counts{}) {
+		t.Fatal("nil Counts")
+	}
+	var p *Plan
+	if p.Active() {
+		t.Fatal("nil plan active")
+	}
+	if p.NewInjector() != nil {
+		t.Fatal("nil plan materialised an injector")
+	}
+}
+
+func TestAppendKeyDistinct(t *testing.T) {
+	keys := map[string]*Plan{}
+	for _, p := range []*Plan{
+		nil,
+		{},
+		{Seed: 1},
+		{Seed: 1, Rates: Rates{TaskHang: 0.1}},
+		{Seed: 1, Rates: Rates{TaskSlow: 0.1}},
+		{Seed: 1, Rates: Rates{TaskHang: 0.1, SlowFactor: 2}},
+		Profile(0.05, 1),
+		Profile(0.05, 2),
+		Profile(0.10, 1),
+		{Seed: 1, DieAt: map[int]sim.Time{0: sim.Microsecond}},
+		{Seed: 1, DieAt: map[int]sim.Time{1: sim.Microsecond}},
+		{Seed: 1, DieAt: map[int]sim.Time{0: 2 * sim.Microsecond}},
+	} {
+		k := string(p.AppendKey(nil))
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("plans %+v and %+v collide on key %q", prev, p, k)
+		}
+		keys[k] = p
+	}
+	// Map iteration order must not leak into the key.
+	a := &Plan{DieAt: map[int]sim.Time{3: 1, 1: 2, 2: 3}}
+	b := &Plan{DieAt: map[int]sim.Time{2: 3, 3: 1, 1: 2}}
+	if string(a.AppendKey(nil)) != string(b.AppendKey(nil)) {
+		t.Fatal("DieAt encoding depends on map iteration order")
+	}
+}
+
+func TestProfileSanity(t *testing.T) {
+	p := Profile(0.1, 5)
+	if !p.Active() {
+		t.Fatal("profile inactive")
+	}
+	r := p.Rates
+	if r.TaskHang != 0.05 || r.TaskFail != 0.1 || r.InstanceDeath != 0.004 {
+		t.Fatalf("unexpected profile scaling: %+v", r)
+	}
+	if r.SlowFactor != 4 || r.DMAStallTime != 20*sim.Microsecond || r.DRAMErrorTime != 2*sim.Microsecond {
+		t.Fatalf("profile defaults wrong: %+v", r)
+	}
+	if (&Plan{Seed: 3}).Active() {
+		t.Fatal("zero-rate plan reported active")
+	}
+	if !(&Plan{DieAt: map[int]sim.Time{0: 1}}).Active() {
+		t.Fatal("DieAt-only plan reported inactive")
+	}
+}
+
+// TestInjectorDefaults checks NewInjector fills the documented defaults
+// for plans that enable a class but leave its magnitude zero.
+func TestInjectorDefaults(t *testing.T) {
+	p := &Plan{Seed: 1, Rates: Rates{DMAStall: 1, DMACorrupt: 0, DRAMError: 1, TaskSlow: 1}}
+	in := p.NewInjector()
+	if in.SlowFactor() != 4 {
+		t.Fatalf("SlowFactor default = %v, want 4", in.SlowFactor())
+	}
+	stall, _ := in.Transfer(1)
+	if stall != 20*sim.Microsecond {
+		t.Fatalf("DMA stall default = %v, want 20us", stall)
+	}
+	if d := in.DRAM(1); d != 2*sim.Microsecond {
+		t.Fatalf("DRAM error default = %v, want 2us", d)
+	}
+	if c := in.Counts(); c.DMAStalls != 1 || c.DRAMErrors != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}

@@ -113,6 +113,12 @@ type DAG struct {
 	// Iteration distinguishes re-submissions under continuous contention.
 	Iteration int
 
+	// Aborted marks a DAG cancelled by the manager's recovery machinery
+	// (retries exhausted or a required accelerator kind permanently dead);
+	// AbortReason says why.
+	Aborted     bool
+	AbortReason string
+
 	doneCount int
 }
 

@@ -1,0 +1,117 @@
+package hostif
+
+import (
+	"testing"
+
+	"relief/internal/accel"
+	"relief/internal/graph"
+	"relief/internal/sim"
+)
+
+// FuzzAccStateRoundTrip checks Table IV metadata blocks survive
+// encode→decode for arbitrary field values, and that the encoding stays
+// at the paper's exact 32 bytes.
+func FuzzAccStateRoundTrip(f *testing.F) {
+	f.Add(uint32(0x40000000), uint32(0x40001000), uint32(0x50000000), uint32(0x10000),
+		uint32(0x1000), uint32(0), uint32(0x2000), uint8(2), uint8(1), uint8(0), uint8(3))
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0),
+		uint32(0), uint32(0), uint32(0), uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(^uint32(0), ^uint32(0), ^uint32(0), ^uint32(0),
+		^uint32(0), ^uint32(0), ^uint32(0), ^uint8(0), ^uint8(0), ^uint8(0), ^uint8(0))
+	f.Fuzz(func(t *testing.T, acc, dma, base, stride, o0, o1, o2 uint32, status, r0, r1, r2 uint8) {
+		in := AccState{
+			AccMMR: acc, DMAMMR: dma, SPMBase: base, SPMStride: stride,
+			Output: [NumSPMPartitions]Pointer{o0, o1, o2},
+			Status: status, OngoingReads: [NumSPMPartitions]uint8{r0, r1, r2},
+		}
+		enc := in.Encode()
+		if len(enc) != AccStateBytes {
+			t.Fatalf("encoded %d bytes, want %d", len(enc), AccStateBytes)
+		}
+		out, err := DecodeAccState(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+		}
+	})
+}
+
+// FuzzNodeRoundTrip builds a small two-level DAG from fuzzed sizes and fan
+// counts, encodes it into the Table III shared-memory image, and checks
+// the decode reproduces the structure with the paper's size arithmetic
+// intact (72-byte base, +12 per extra parent, +4 per extra child).
+func FuzzNodeRoundTrip(f *testing.F) {
+	f.Add(uint32(65536), uint32(65536), uint8(1), uint8(1), uint8(3), uint16(200))
+	f.Add(uint32(1), uint32(1<<20), uint8(5), uint8(7), uint8(0), uint16(0))
+	f.Add(uint32(0), uint32(0), uint8(64), uint8(64), uint8(255), uint16(65535))
+	f.Fuzz(func(t *testing.T, outBytes, extraBytes uint32, nParents, nChildren, filter uint8, deadlineUS uint16) {
+		// The decoder (like the hardware manager) rejects fan > 64; keep
+		// the generator inside the architectural bound.
+		nP := int(nParents)%8 + 1
+		nC := int(nChildren) % 8
+		d := graph.New("fuzz", "F", sim.Millisecond)
+		parents := make([]*graph.Node, nP)
+		for i := range parents {
+			parents[i] = d.AddNode("p", accel.Kind(i%int(accel.NumKinds)), accel.OpDefault, int64(outBytes))
+		}
+		mid := d.AddNode("mid", accel.ElemMatrix, accel.OpSigmoid, int64(outBytes), parents...)
+		mid.ExtraInputBytes = int64(extraBytes)
+		mid.FilterSize = int(filter)
+		mid.RelDeadline = sim.Time(deadlineUS) * sim.Microsecond
+		for i := 0; i < nC; i++ {
+			d.AddNode("c", accel.Convolution, accel.OpDefault, int64(outBytes), mid)
+		}
+
+		img, addrs, err := EncodeDAG(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes, err := DecodeDAG(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(nodes) != len(d.Nodes) {
+			t.Fatalf("decoded %d nodes, want %d", len(nodes), len(d.Nodes))
+		}
+		// The image length must equal the sum of the paper's node sizes.
+		total := 0
+		for _, n := range d.Nodes {
+			total += NodeSize(len(n.Parents), len(n.Children))
+		}
+		if len(img) != total {
+			t.Fatalf("image is %d bytes, size formula says %d", len(img), total)
+		}
+		midIdx := nP // parents were added first
+		dec := nodes[midIdx]
+		if dec.Addr != addrs[midIdx] {
+			t.Fatalf("mid addr %#x, want %#x", dec.Addr, addrs[midIdx])
+		}
+		if dec.OutputBytes != outBytes || dec.ExtraBytes != extraBytes {
+			t.Fatalf("sizes: got %d/%d, want %d/%d", dec.OutputBytes, dec.ExtraBytes, outBytes, extraBytes)
+		}
+		if dec.FilterSize != filter {
+			t.Fatalf("filter: got %d, want %d", dec.FilterSize, filter)
+		}
+		if dec.DeadlineUS != uint32(deadlineUS) {
+			t.Fatalf("deadline: got %d, want %d", dec.DeadlineUS, deadlineUS)
+		}
+		if len(dec.Parents) != nP || len(dec.Children) != nC {
+			t.Fatalf("fan: got %d/%d, want %d/%d", len(dec.Parents), len(dec.Children), nP, nC)
+		}
+		for i, pa := range dec.Parents {
+			if pa != addrs[i] {
+				t.Fatalf("parent %d points at %#x, want %#x", i, pa, addrs[i])
+			}
+			if dec.EdgeBytes[i] != outBytes {
+				t.Fatalf("edge %d carries %d bytes, want %d", i, dec.EdgeBytes[i], outBytes)
+			}
+		}
+		for i, ch := range dec.Children {
+			if ch != addrs[midIdx+1+i] {
+				t.Fatalf("child %d points at %#x, want %#x", i, ch, addrs[midIdx+1+i])
+			}
+		}
+	})
+}

@@ -33,7 +33,7 @@ func TestNodeSizeMatchesPaper(t *testing.T) {
 func TestLargestBenchmarkNode(t *testing.T) {
 	largest := 0
 	for a := workload.App(0); a < workload.NumApps; a++ {
-		for _, n := range workload.Build(a).Nodes {
+		for _, n := range workload.MustBuild(a).Nodes {
 			if s := NodeSize(len(n.Parents), len(n.Children)); s > largest {
 				largest = s
 			}
@@ -109,7 +109,7 @@ func TestDefaultPlatformMetadata(t *testing.T) {
 // and decodes back with identical structure.
 func TestDAGRoundTrip(t *testing.T) {
 	for a := workload.App(0); a < workload.NumApps; a++ {
-		d := workload.Build(a)
+		d := workload.MustBuild(a)
 		err := graph.AssignDeadlines(d, graph.DeadlineCPM,
 			func(n *graph.Node) sim.Time { return n.Compute })
 		if err != nil {
@@ -173,7 +173,7 @@ func TestEncodeEmptyDAG(t *testing.T) {
 }
 
 func TestDecodeTruncated(t *testing.T) {
-	d := workload.Build(workload.Canny)
+	d := workload.MustBuild(workload.Canny)
 	img, _, err := EncodeDAG(d)
 	if err != nil {
 		t.Fatal(err)

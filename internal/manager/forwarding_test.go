@@ -47,7 +47,7 @@ func TestLeafAlwaysWrittenBack(t *testing.T) {
 		m := New(k, DefaultConfig(p), st)
 		var leafBytes int64
 		for _, app := range []workload.App{workload.Canny, workload.Harris} {
-			d := workload.Build(app)
+			d := workload.MustBuild(app)
 			for _, n := range d.Leaves() {
 				leafBytes += n.OutputBytes
 			}
@@ -132,8 +132,8 @@ func TestStaggeredRelease(t *testing.T) {
 	k := sim.NewKernel()
 	st := stats.New()
 	m := New(k, DefaultConfig(core.New()), st)
-	early := workload.Build(workload.Canny)
-	late := workload.Build(workload.Harris)
+	early := workload.MustBuild(workload.Canny)
+	late := workload.MustBuild(workload.Harris)
 	if err := m.Submit(early, 0, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestInstanceComputeBusyConservation(t *testing.T) {
 	k := sim.NewKernel()
 	st := stats.New()
 	m := New(k, DefaultConfig(core.New()), st)
-	d := workload.Build(workload.GRU)
+	d := workload.MustBuild(workload.GRU)
 	if err := m.Submit(d, 0, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestBusyInstanceNeverDoubleLaunched(t *testing.T) {
 	cfg.Trace = rec
 	m := New(k, cfg, st)
 	for _, app := range []workload.App{workload.Canny, workload.Deblur, workload.Harris} {
-		if err := m.Submit(workload.Build(app), 0, nil); err != nil {
+		if err := m.Submit(workload.MustBuild(app), 0, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relief/internal/accel"
+	"relief/internal/fault"
 	"relief/internal/graph"
 	"relief/internal/mem"
 	"relief/internal/sim"
@@ -27,6 +28,13 @@ type Instance struct {
 	NextPart int
 	// ComputeBusy accumulates pure compute time for occupancy (Fig. 7).
 	ComputeBusy sim.Time
+	// Health tracks the instance through fault injection; a Dead instance
+	// is permanently unschedulable.
+	Health accel.Health
+
+	// curNode is the node currently launched on the instance (nil when
+	// idle), tracked so instance death can strand it for the watchdog.
+	curNode *graph.Node
 
 	dmaQueue []dmaJob
 	dmaBusy  bool
@@ -46,7 +54,10 @@ type OutBuf struct {
 type dmaJob struct {
 	path  []mem.Server
 	bytes int64
-	done  func(mem.TransferResult)
+	// dram marks a main-memory transfer (eligible for injected DRAM error
+	// stalls when the fixed-bandwidth memory model is in use).
+	dram bool
+	done func(mem.TransferResult)
 }
 
 func newInstance(m *Manager, index int, kind accel.Kind, partitions int) *Instance {
@@ -63,13 +74,18 @@ func (inst *Instance) Lane() string {
 }
 
 // enqueueDMA serialises a transfer on the instance's single DMA engine.
-func (inst *Instance) enqueueDMA(path []mem.Server, bytes int64, done func(mem.TransferResult)) {
-	inst.dmaQueue = append(inst.dmaQueue, dmaJob{path: path, bytes: bytes, done: done})
+// dram marks main-memory transfers for DRAM-error injection.
+func (inst *Instance) enqueueDMA(path []mem.Server, bytes int64, dram bool, done func(mem.TransferResult)) {
+	inst.dmaQueue = append(inst.dmaQueue, dmaJob{path: path, bytes: bytes, dram: dram, done: done})
 	if !inst.dmaBusy {
 		inst.dmaBusy = true
 		inst.nextDMA()
 	}
 }
+
+// maxDMARetries bounds corruption-triggered re-transfers per job so a
+// pathological corruption rate cannot loop forever.
+const maxDMARetries = 8
 
 func (inst *Instance) nextDMA() {
 	if len(inst.dmaQueue) == 0 {
@@ -78,7 +94,34 @@ func (inst *Instance) nextDMA() {
 	}
 	job := inst.dmaQueue[0]
 	inst.dmaQueue = inst.dmaQueue[1:]
-	mem.StartTransfer(inst.m.k, job.path, job.bytes, inst.m.cfg.DMASetup, func(res mem.TransferResult) {
+	inst.startDMA(job, 0)
+}
+
+// startDMA runs one DMA job, re-running it on injected CRC failures (the
+// engine detects the corruption at transfer end and retries, charging the
+// repeat traffic to recovery stats).
+func (inst *Instance) startDMA(job dmaJob, attempt int) {
+	m := inst.m
+	var fi mem.FaultInjector
+	setup := m.cfg.DMASetup
+	if m.inj != nil {
+		fi = m.inj
+		if job.dram && m.dram == nil {
+			// Fixed-bandwidth memory model: charge injected DRAM error
+			// bursts as front-end stall (the detailed controller injects
+			// them itself via SetFault).
+			setup += m.inj.DRAM(job.bytes)
+		}
+	}
+	mem.StartTransferFI(m.k, job.path, job.bytes, setup, fi, func(res mem.TransferResult) {
+		if res.Corrupt && attempt < maxDMARetries {
+			m.st.Faults.RetriedDMABytes += job.bytes
+			if m.cfg.Trace.Enabled() {
+				m.cfg.Trace.Instant(trace.Fault, "dma-crc", inst.Lane(), res.End, nil)
+			}
+			inst.startDMA(job, attempt+1)
+			return
+		}
 		job.done(res)
 		inst.nextDMA()
 	})
@@ -112,6 +155,7 @@ func (b *OutBuf) endRead() {
 // the computation.
 func (m *Manager) launch(n *graph.Node, inst *Instance) {
 	inst.Busy = true
+	inst.curNode = n
 	n.State = graph.Running
 	n.StartAt = m.k.Now()
 	if m.cfg.Trace.Enabled() {
@@ -119,6 +163,14 @@ func (m *Manager) launch(n *graph.Node, inst *Instance) {
 	}
 	ns := m.state(n)
 	ns.pendingInputs = 1 // sentinel, released after all gates are set up
+	ns.gateFired = false
+	ns.hung = false
+	ns.attempt++
+	att := ns.attempt
+	if m.inj != nil {
+		ns.verdict = m.inj.Task()
+		m.armWatchdog(n, inst, att)
+	}
 
 	// Output partition reclaim.
 	part := inst.NextPart
@@ -134,11 +186,11 @@ func (m *Manager) launch(n *graph.Node, inst *Instance) {
 		}
 		if os.wbInFlight {
 			ns.pendingInputs++
-			os.wbWaiters = append(os.wbWaiters, func() { m.inputDone(n, inst, part) })
+			os.wbWaiters = append(os.wbWaiters, func() { m.inputDone(n, inst, part, att) })
 		}
 		if buf.OngoingReads > 0 {
 			ns.pendingInputs++
-			buf.readDrained(func() { m.inputDone(n, inst, part) })
+			buf.readDrained(func() { m.inputDone(n, inst, part, att) })
 		}
 	}
 
@@ -147,19 +199,19 @@ func (m *Manager) launch(n *graph.Node, inst *Instance) {
 	app := m.st.App(n.DAG.App, n.DAG.Sym, n.DAG.Deadline)
 	for i, p := range n.Parents {
 		bytes := n.EdgeInBytes[i]
-		m.fetchEdge(n, inst, part, p, bytes, app)
+		m.fetchEdge(n, inst, part, p, bytes, app, att)
 	}
 	if n.ExtraInputBytes > 0 {
 		ns.pendingInputs++
-		m.dramRead(n, inst, part, n.ExtraInputBytes)
+		m.dramRead(n, inst, part, n.ExtraInputBytes, att)
 	}
 
-	m.inputDone(n, inst, part) // release the sentinel
+	m.inputDone(n, inst, part, att) // release the sentinel
 }
 
 // fetchEdge classifies one producer edge (colocation / forward / main
 // memory) and programs the consumer-side DMA accordingly.
-func (m *Manager) fetchEdge(n *graph.Node, inst *Instance, part int, p *graph.Node, bytes int64, app *stats.AppStats) {
+func (m *Manager) fetchEdge(n *graph.Node, inst *Instance, part int, p *graph.Node, bytes int64, app *stats.AppStats, att int) {
 	ns := m.state(n)
 	ps := m.state(p)
 	live := !m.cfg.DisableForwarding && m.outputLive(p)
@@ -178,7 +230,7 @@ func (m *Manager) fetchEdge(n *graph.Node, inst *Instance, part int, p *graph.No
 		pbuf.OngoingReads++
 		ns.pendingInputs++
 		path := m.ic.Path(ps.inst.Index, inst.Index)
-		inst.enqueueDMA(path, bytes, func(res mem.TransferResult) {
+		inst.enqueueDMA(path, bytes, false, func(res mem.TransferResult) {
 			pbuf.endRead()
 			if m.cfg.Trace.Enabled() {
 				m.cfg.Trace.Span(trace.Forward, p.String()+"->"+n.String(), inst.Lane(), res.Start, res.End, nil)
@@ -187,7 +239,7 @@ func (m *Manager) fetchEdge(n *graph.Node, inst *Instance, part int, p *graph.No
 			m.noteSpadBytes(2 * bytes) // producer read + consumer write
 			ns.actualMemTime += res.End - res.Start
 			ns.actualBytes += bytes
-			m.inputDone(n, inst, part)
+			m.inputDone(n, inst, part, att)
 		})
 	default:
 		// The producer's result lives only in main memory. If its
@@ -197,24 +249,24 @@ func (m *Manager) fetchEdge(n *graph.Node, inst *Instance, part int, p *graph.No
 		ns.pendingInputs++
 		if ps.wbInFlight {
 			m.state(p).wbWaiters = append(ps.wbWaiters, func() {
-				m.dramReadStarted(n, inst, part, bytes)
+				m.dramReadStarted(n, inst, part, bytes, att)
 			})
 		} else {
-			m.dramReadStarted(n, inst, part, bytes)
+			m.dramReadStarted(n, inst, part, bytes, att)
 		}
 	}
 }
 
 // dramRead issues a main-memory read that was already counted in
 // pendingInputs.
-func (m *Manager) dramRead(n *graph.Node, inst *Instance, part int, bytes int64) {
-	m.dramReadStarted(n, inst, part, bytes)
+func (m *Manager) dramRead(n *graph.Node, inst *Instance, part int, bytes int64, att int) {
+	m.dramReadStarted(n, inst, part, bytes, att)
 }
 
-func (m *Manager) dramReadStarted(n *graph.Node, inst *Instance, part int, bytes int64) {
+func (m *Manager) dramReadStarted(n *graph.Node, inst *Instance, part int, bytes int64, att int) {
 	ns := m.state(n)
 	path := m.ic.Path(xbar.EndpointDRAM, inst.Index)
-	inst.enqueueDMA(path, bytes, func(res mem.TransferResult) {
+	inst.enqueueDMA(path, bytes, true, func(res mem.TransferResult) {
 		m.st.DRAMReadBytes += bytes
 		m.noteSpadBytes(bytes) // consumer scratchpad write
 		m.observeDRAMTransfer(res)
@@ -222,14 +274,20 @@ func (m *Manager) dramReadStarted(n *graph.Node, inst *Instance, part int, bytes
 		ns.actualBytes += bytes
 		ns.dramBytes += bytes
 		ns.dramTime += res.End - res.Start
-		m.inputDone(n, inst, part)
+		m.inputDone(n, inst, part, att)
 	})
 }
 
 // inputDone decrements the launch gate; when it reaches zero the
-// computation starts.
-func (m *Manager) inputDone(n *graph.Node, inst *Instance, part int) {
+// computation starts. att is the launch attempt the callback belongs to:
+// transfers programmed for a superseded attempt (recovered by the
+// watchdog while their data was still in flight) complete their physical
+// bookkeeping but no longer gate anything.
+func (m *Manager) inputDone(n *graph.Node, inst *Instance, part int, att int) {
 	ns := m.state(n)
+	if att != ns.attempt {
+		return
+	}
 	ns.pendingInputs--
 	if ns.pendingInputs > 0 || ns.gateFired {
 		return
@@ -238,13 +296,39 @@ func (m *Manager) inputDone(n *graph.Node, inst *Instance, part int) {
 	// The partition is now being overwritten: invalidate the previous
 	// occupant so late consumers fall back to main memory.
 	inst.Parts[part].Node = nil
+	if n.DAG.Aborted {
+		// The DAG was cancelled while inputs streamed in: release the
+		// accelerator, run nothing.
+		m.isr(func() sim.Time {
+			inst.Busy = false
+			inst.curNode = nil
+			return 0
+		})
+		return
+	}
+	if ns.hung || inst.Health == accel.Dead {
+		// The instance died during the input phase; the watchdog will
+		// recover the task.
+		ns.hung = true
+		return
+	}
+	if m.inj != nil && m.computeFault(n, inst) {
+		return
+	}
 	dur := m.jitteredCompute(n)
+	if ns.verdict == fault.VerdictSlow {
+		dur = sim.Time(float64(dur) * m.inj.SlowFactor())
+		m.st.Faults.Slowdowns++
+		if m.cfg.Trace.Enabled() {
+			m.cfg.Trace.Instant(trace.Fault, "slow:"+n.String(), inst.Lane(), m.k.Now(), nil)
+		}
+	}
 	inst.ComputeBusy += dur
 	if m.cfg.Trace.Enabled() {
 		m.cfg.Trace.End(trace.TaskInput, n.String(), inst.Lane(), m.k.Now())
 		m.cfg.Trace.Span(trace.TaskCompute, n.String(), inst.Lane(), m.k.Now(), m.k.Now()+dur, nil)
 	}
-	m.k.Schedule(dur, func() { m.complete(n, inst, part, dur) })
+	ns.compEv = m.k.Schedule(dur, func() { m.complete(n, inst, part, dur) })
 }
 
 // jitteredCompute applies the deterministic per-task compute-time variation.
@@ -280,6 +364,26 @@ func hashString(s string) uint64 {
 // write-back decision, and free the accelerator.
 func (m *Manager) complete(n *graph.Node, inst *Instance, part int, computeDur sim.Time) {
 	ns := m.state(n)
+	ns.compEv = nil
+	m.disarmWatchdog(ns)
+	inst.curNode = nil
+	if n.DAG.Aborted {
+		m.isr(func() sim.Time {
+			inst.Busy = false
+			return 0
+		})
+		return
+	}
+	if ns.verdict == fault.VerdictFail {
+		// The task ran to the end but its result failed validation
+		// (transient fault): discard and retry.
+		m.st.Faults.TransientFails++
+		if m.cfg.Trace.Enabled() {
+			m.cfg.Trace.Instant(trace.Fault, "fail:"+n.String(), inst.Lane(), m.k.Now(), nil)
+		}
+		m.recover(n, inst, "transient failure")
+		return
+	}
 	ns.inst = inst
 	ns.part = part
 	inst.Parts[part].Node = n
@@ -375,7 +479,7 @@ func (m *Manager) startWriteback(n *graph.Node, inst *Instance, done func()) {
 	}
 	ns.wbInFlight = true
 	path := m.ic.Path(inst.Index, xbar.EndpointDRAM)
-	inst.enqueueDMA(path, n.OutputBytes, func(res mem.TransferResult) {
+	inst.enqueueDMA(path, n.OutputBytes, true, func(res mem.TransferResult) {
 		if m.cfg.Trace.Enabled() {
 			m.cfg.Trace.Span(trace.Writeback, n.String(), inst.Lane(), res.Start, res.End, nil)
 		}
@@ -419,8 +523,15 @@ func (m *Manager) finishNode(n *graph.Node) {
 		achieved := float64(ns.dramBytes) / ns.dramTime.Seconds()
 		m.st.PredErr.ObserveBW(ns.predBW, achieved)
 	}
+	if ns.failAt > 0 {
+		// The node recovered from at least one fault: time from first
+		// failure to completion is its repair time (MTTR numerator).
+		m.st.Faults.RecoveryTime += now - ns.failAt
+		m.st.Faults.Recoveries++
+	}
 
 	if n.DAG.NodeDone(now) {
+		m.dropActive(n.DAG)
 		app.Iterations++
 		app.Runtimes = append(app.Runtimes, n.DAG.Runtime())
 		if n.DAG.MetDeadline() {
@@ -431,10 +542,13 @@ func (m *Manager) finishNode(n *graph.Node) {
 		}
 		if m.horizon > 0 && now < m.horizon {
 			if rb := m.rebuild[n.DAG.App]; rb != nil {
-				next := rb()
-				next.Iteration = n.DAG.Iteration + 1
-				if err := m.Submit(next, now, rb); err != nil {
-					panic(err)
+				if next := rb(); next != nil {
+					next.Iteration = n.DAG.Iteration + 1
+					if err := m.Submit(next, now, rb); err != nil && m.err == nil {
+						m.err = err
+					}
+				} else if m.err == nil {
+					m.err = fmt.Errorf("manager: rebuild of %s returned nil DAG", n.DAG.App)
 				}
 			}
 		}
@@ -453,6 +567,7 @@ func (m *Manager) Run() sim.Time {
 	m.st.InterconnectOccupancy = m.ic.Occupancy()
 	m.st.EventsFired = m.k.Fired()
 	m.st.EventAllocs = m.k.EventAllocs()
+	m.mergeFaultCounts()
 	return m.k.Now()
 }
 
@@ -466,7 +581,20 @@ func (m *Manager) RunContinuous(horizon sim.Time) sim.Time {
 	m.st.InterconnectOccupancy = m.ic.Occupancy()
 	m.st.EventsFired = m.k.Fired()
 	m.st.EventAllocs = m.k.EventAllocs()
+	m.mergeFaultCounts()
 	return m.k.Now()
+}
+
+// mergeFaultCounts copies the injector's low-level event counters into the
+// run's stats at end of simulation.
+func (m *Manager) mergeFaultCounts() {
+	if m.inj == nil {
+		return
+	}
+	c := m.inj.Counts()
+	m.st.Faults.DMAStalls = c.DMAStalls
+	m.st.Faults.DMACorruptions = c.DMACorruptions
+	m.st.Faults.DRAMErrors = c.DRAMErrors
 }
 
 func (m *Manager) totalComputeBusy() sim.Time {

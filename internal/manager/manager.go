@@ -12,6 +12,7 @@ import (
 
 	"relief/internal/accel"
 	"relief/internal/dram"
+	"relief/internal/fault"
 	"relief/internal/graph"
 	"relief/internal/mem"
 	"relief/internal/predict"
@@ -70,6 +71,21 @@ type Config struct {
 	// DRAMChannels overrides the detailed controller's channel count
 	// (0 = the paper's single channel).
 	DRAMChannels int
+	// Fault, if non-nil, installs deterministic fault injection and the
+	// recovery machinery (watchdogs, retries, DAG abort). A zero-rate
+	// plan is timing-neutral: results are bit-identical to no plan.
+	Fault *fault.Plan
+	// WatchdogMult scales the per-task watchdog deadline: predicted
+	// runtime x WatchdogMult (0 = default 8). A watchdog that expires on
+	// a live, progressing task re-arms with a doubled interval, so
+	// legitimately slow tasks are never falsely recovered.
+	WatchdogMult float64
+	// MaxRetries bounds re-dispatch attempts per node before the DAG is
+	// aborted (0 = default 3).
+	MaxRetries int
+	// RetryBackoff is the base re-dispatch delay, doubled per retry
+	// (0 = default 2 µs).
+	RetryBackoff sim.Time
 }
 
 // DefaultConfig mirrors the paper's simulated platform (Table VI): one
@@ -118,6 +134,12 @@ type Manager struct {
 	rebuild  map[string]func() *graph.DAG
 	horizon  sim.Time // continuous-contention cutoff (0 = run to completion)
 	lastDone sim.Time // completion time of the last finished DAG
+	err      error    // first runtime error (e.g. a failing rebuild)
+
+	// Fault injection and recovery state (nil/empty without cfg.Fault).
+	inj    *fault.Injector
+	active []*graph.DAG // released, unfinished, unaborted DAGs
+	deaths int          // permanently dead instances
 }
 
 // nodeState is per-node forwarding bookkeeping (paper Table III/IV fields).
@@ -140,6 +162,31 @@ type nodeState struct {
 	dramTime      sim.Time // wall time of those transfers
 	pendingInputs int
 	gateFired     bool
+
+	// ---- recovery state (used only under fault injection) ----
+	// attempt numbers launches; callbacks from a superseded attempt are
+	// discarded by comparing their captured attempt against it.
+	attempt int
+	retries int
+	verdict fault.Verdict
+	// hung marks a task that will never signal completion (hang fault or
+	// instance death); only the watchdog can recover it.
+	hung bool
+	// lost marks an output that died with its instance before write-back:
+	// consumers that need it can only abort.
+	lost bool
+	// failAt is the node's first failure time (MTTR accounting).
+	failAt sim.Time
+	// avoid is the instance the node last failed on; re-dispatch prefers
+	// a sibling.
+	avoid    *Instance
+	watchdog *sim.Event
+	// wdInterval tracks the armed watchdog interval for re-arming.
+	wdInterval sim.Time
+	retryEv    *sim.Event
+	// compEv is the pending completion event, cancelled if the instance
+	// dies mid-compute.
+	compEv *sim.Event
 }
 
 // New builds a manager on the given kernel, collecting metrics into st.
@@ -187,7 +234,10 @@ func New(k *sim.Kernel, cfg Config, st *stats.Stats) *Manager {
 		BW:           cfg.BW,
 		DM:           cfg.DM,
 		BusBandwidth: cfg.Interconnect.BusBandwidth,
-		InstancesOf:  func(kind int) int { return cfg.Instances[kind] },
+		// Feasibility and max-forwards bookkeeping see the live instance
+		// count, so permanently dead instances leave every policy's
+		// feasibility set.
+		InstancesOf: func(kind int) int { return m.liveCount(kind) },
 	}
 	idx := 0
 	for kind := accel.Kind(0); kind < accel.NumKinds; kind++ {
@@ -201,8 +251,19 @@ func New(k *sim.Kernel, cfg Config, st *stats.Stats) *Manager {
 	for kind := range m.queues {
 		m.qptrs = append(m.qptrs, &m.queues[kind])
 	}
+	if cfg.Fault != nil {
+		m.inj = cfg.Fault.NewInjector()
+		if dc != nil {
+			dc.SetFault(m.inj.DRAM)
+		}
+		m.scheduleDeaths(cfg.Fault)
+	}
 	return m
 }
+
+// Err returns the first runtime error the manager recorded (a failing
+// continuous-contention rebuild), or nil.
+func (m *Manager) Err() error { return m.err }
 
 // Interconnect exposes the interconnect for occupancy reporting.
 func (m *Manager) Interconnect() *xbar.Interconnect { return m.ic }
@@ -225,11 +286,22 @@ func (m *Manager) state(n *graph.Node) *nodeState {
 	return s
 }
 
-// idleCount reports the number of idle instances of a kind.
+// idleCount reports the number of idle (and live) instances of a kind.
 func (m *Manager) idleCount(kind int) int {
 	c := 0
 	for _, inst := range m.byKind[kind] {
-		if !inst.Busy {
+		if !inst.Busy && inst.Health != accel.Dead {
+			c++
+		}
+	}
+	return c
+}
+
+// liveCount reports the number of instances of a kind that have not died.
+func (m *Manager) liveCount(kind int) int {
+	c := 0
+	for _, inst := range m.byKind[kind] {
+		if inst.Health != accel.Dead {
 			c++
 		}
 	}
@@ -274,6 +346,9 @@ func (m *Manager) SubmitPeriodic(build func() *graph.DAG, period, until sim.Time
 	iter := 0
 	for t := sim.Time(0); t < until; t += period {
 		d := build()
+		if d == nil {
+			return fmt.Errorf("manager: periodic build returned nil DAG")
+		}
 		d.Iteration = iter
 		iter++
 		if err := m.Submit(d, t, nil); err != nil {
@@ -290,6 +365,15 @@ func (m *Manager) release(d *graph.DAG) {
 	}
 	for _, n := range d.Nodes {
 		n.Deadline = d.Release + n.RelDeadline
+	}
+	if m.inj != nil {
+		m.active = append(m.active, d)
+		if m.deaths > 0 {
+			if kind, ok := m.missingKind(d); ok {
+				m.abortDAG(d, "no live "+kind.String()+" instance")
+				return
+			}
+		}
 	}
 	roots := d.Roots()
 	m.isr(func() sim.Time {
@@ -364,9 +448,20 @@ func (m *Manager) launchPass() {
 // whose previously executed node is a parent of n with live output — the
 // colocation opportunity the scheduler tracks (paper §III-B).
 func (m *Manager) pickInstance(kind int, n *graph.Node) *Instance {
-	var fallback *Instance
+	var fallback, avoided *Instance
+	var avoid *Instance
+	if m.inj != nil {
+		if ns, ok := m.ns[n]; ok {
+			avoid = ns.avoid
+		}
+	}
 	for _, inst := range m.byKind[kind] {
-		if inst.Busy {
+		if inst.Busy || inst.Health == accel.Dead {
+			continue
+		}
+		if inst == avoid {
+			// The node already failed here; prefer any sibling.
+			avoided = inst
 			continue
 		}
 		if fallback == nil {
@@ -379,6 +474,9 @@ func (m *Manager) pickInstance(kind int, n *graph.Node) *Instance {
 				}
 			}
 		}
+	}
+	if fallback == nil {
+		fallback = avoided // lone survivor: retry in place
 	}
 	return fallback
 }

@@ -134,7 +134,7 @@ func TestEdgeConservation(t *testing.T) {
 			m := New(k, DefaultConfig(p), st)
 			wantNodes, wantEdges := 0, 0
 			for _, app := range mix {
-				d := workload.Build(app)
+				d := workload.MustBuild(app)
 				wantNodes += len(d.Nodes)
 				wantEdges += d.NumEdges()
 				if err := m.Submit(d, 0, nil); err != nil {
@@ -170,7 +170,7 @@ func TestDeterminism(t *testing.T) {
 		st := stats.New()
 		m := New(k, DefaultConfig(core.New()), st)
 		for _, app := range []workload.App{workload.Canny, workload.GRU, workload.LSTM} {
-			if err := m.Submit(workload.Build(app), 0, nil); err != nil {
+			if err := m.Submit(workload.MustBuild(app), 0, nil); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -259,7 +259,7 @@ func TestNodeTimesPopulated(t *testing.T) {
 	k := sim.NewKernel()
 	st := stats.New()
 	m := New(k, DefaultConfig(core.New()), st)
-	d := workload.Build(workload.Canny)
+	d := workload.MustBuild(workload.Canny)
 	if err := m.Submit(d, 0, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestComputeJitterBounded(t *testing.T) {
 	cfg := DefaultConfig(core.New())
 	k := sim.NewKernel()
 	m := New(k, cfg, stats.New())
-	d := workload.Build(workload.GRU)
+	d := workload.MustBuild(workload.GRU)
 	for _, n := range d.Nodes {
 		j1 := m.jitteredCompute(n)
 		j2 := m.jitteredCompute(n)

@@ -17,7 +17,7 @@ func TestSubmitPeriodic(t *testing.T) {
 	m := New(k, DefaultConfig(core.New()), st)
 	period := 7 * sim.Millisecond
 	horizon := 50 * sim.Millisecond
-	err := m.SubmitPeriodic(func() *graph.DAG { return workload.Build(workload.GRU) }, period, horizon)
+	err := m.SubmitPeriodic(func() *graph.DAG { return workload.MustBuild(workload.GRU) }, period, horizon)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestSubmitPeriodicOverlap(t *testing.T) {
 	period := 2 * sim.Millisecond
 	var dags []*graph.DAG
 	err := m.SubmitPeriodic(func() *graph.DAG {
-		d := workload.Build(workload.GRU)
+		d := workload.MustBuild(workload.GRU)
 		dags = append(dags, d)
 		return d
 	}, period, 10*sim.Millisecond)
@@ -68,7 +68,7 @@ func TestSubmitPeriodicOverlap(t *testing.T) {
 
 func TestSubmitPeriodicInvalidPeriod(t *testing.T) {
 	m := New(sim.NewKernel(), DefaultConfig(core.New()), stats.New())
-	if err := m.SubmitPeriodic(func() *graph.DAG { return workload.Build(workload.GRU) }, 0, sim.Millisecond); err == nil {
+	if err := m.SubmitPeriodic(func() *graph.DAG { return workload.MustBuild(workload.GRU) }, 0, sim.Millisecond); err == nil {
 		t.Fatal("zero period accepted")
 	}
 }
@@ -82,7 +82,7 @@ func TestTraceRecordsRun(t *testing.T) {
 	rec := trace.NewRecorder()
 	cfg.Trace = rec
 	m := New(k, cfg, st)
-	if err := m.Submit(workload.Build(workload.Canny), 0, nil); err != nil {
+	if err := m.Submit(workload.MustBuild(workload.Canny), 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	m.Run()
@@ -117,7 +117,7 @@ func TestDetailedDRAMRuns(t *testing.T) {
 		cfg.DetailedDRAM = detailed
 		m := New(k, cfg, st)
 		for _, app := range []workload.App{workload.Canny, workload.GRU} {
-			if err := m.Submit(workload.Build(app), 0, nil); err != nil {
+			if err := m.Submit(workload.MustBuild(app), 0, nil); err != nil {
 				t.Fatal(err)
 			}
 		}

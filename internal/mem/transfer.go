@@ -13,6 +13,9 @@ type TransferResult struct {
 	Bytes int64
 	Start sim.Time
 	End   sim.Time
+	// Corrupt marks a payload that arrived with a CRC failure (fault
+	// injection); the DMA engine is expected to re-run the transfer.
+	Corrupt bool
 }
 
 // AchievedBandwidth returns the end-to-end bandwidth of the transfer in
@@ -65,6 +68,34 @@ func (t *transfer) advance(s int) {
 
 func (t *transfer) finish() {
 	t.done(TransferResult{Bytes: t.n, Start: t.start, End: t.k.Now()})
+}
+
+// FaultInjector perturbs transfers at the DMA front end. Implemented by
+// fault.Injector; the interface keeps mem free of a fault dependency.
+type FaultInjector interface {
+	// Transfer returns an extra front-end stall and whether the payload
+	// arrives corrupted for a transfer of n bytes.
+	Transfer(n int64) (stall sim.Time, corrupt bool)
+}
+
+// StartTransferFI is StartTransfer with optional fault injection: the
+// injected stall extends the front-end setup latency (so downstream claim
+// coalescing and pipelining see a plain, later-starting transfer), and a
+// corruption verdict is delivered through TransferResult.Corrupt. A nil
+// injector is exactly StartTransfer.
+func StartTransferFI(k *sim.Kernel, path []Server, n int64, setup sim.Time, fi FaultInjector, done func(TransferResult)) {
+	if fi != nil {
+		stall, corrupt := fi.Transfer(n)
+		setup += stall
+		if corrupt {
+			inner := done
+			done = func(res TransferResult) {
+				res.Corrupt = true
+				inner(res)
+			}
+		}
+	}
+	StartTransfer(k, path, n, setup, done)
 }
 
 // StartTransfer moves n bytes through the ordered resource path, chunk by

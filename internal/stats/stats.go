@@ -48,6 +48,10 @@ type AppStats struct {
 	Edges       int
 	Forwards    int
 	Colocations int
+
+	// Aborted counts DAG instances cancelled by the recovery machinery
+	// (fault injection only; see Stats.Faults).
+	Aborted int
 }
 
 // Slowdown is the ratio of the application's runtime to its deadline
@@ -112,6 +116,52 @@ type Stats struct {
 
 	// Predictor error accounting.
 	PredErr PredErr
+
+	// Fault injection and recovery accounting (all zero unless a
+	// fault.Plan is installed; see docs/FAULTS.md). These fields stay out
+	// of the golden result digest.
+	Faults FaultStats
+}
+
+// FaultStats tallies injected faults and the recovery work they caused.
+type FaultStats struct {
+	// Injected faults, by class.
+	Hangs          int // tasks that never signalled completion
+	Slowdowns      int // tasks with degraded compute time
+	TransientFails int // tasks whose result failed its completion check
+	InstanceDeaths int // accelerator instances permanently lost
+	DMAStalls      int // transfers hit by a front-end stall
+	DMACorruptions int // transfers delivered with a CRC failure
+	DRAMErrors     int // main-memory requests hit by an error burst
+
+	// Recovery work.
+	WatchdogFires       int   // watchdog expirations that triggered recovery
+	Retries             int   // task re-dispatch attempts
+	InvalidatedForwards int   // forwarded/colocated inputs forced back to DRAM
+	DAGsAborted         int   // DAG instances cancelled
+	RetriedDMABytes     int64 // bytes re-transferred after corruption
+	RecoveryDRAMBytes   int64 // extra write-back traffic to preserve inputs for retries
+
+	// MTTR accounting: RecoveryTime sums first-failure-to-completion
+	// latency over the Recoveries nodes that eventually succeeded.
+	RecoveryTime sim.Time
+	Recoveries   int
+}
+
+// Any reports whether any fault was injected.
+func (f *FaultStats) Any() bool {
+	return f.Hangs > 0 || f.Slowdowns > 0 || f.TransientFails > 0 ||
+		f.InstanceDeaths > 0 || f.DMAStalls > 0 || f.DMACorruptions > 0 ||
+		f.DRAMErrors > 0
+}
+
+// MTTR returns the mean time from a node's first failure to its eventual
+// successful completion (0 if nothing recovered).
+func (f *FaultStats) MTTR() sim.Time {
+	if f.Recoveries == 0 {
+		return 0
+	}
+	return f.RecoveryTime / sim.Time(f.Recoveries)
 }
 
 // PredErr accumulates signed relative errors for Table VIII.

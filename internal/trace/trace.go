@@ -27,6 +27,10 @@ const (
 	Schedule                // manager scheduling work (ISR)
 	Release                 // DAG released
 	Deadline                // instantaneous deadline marker
+	Fault                   // injected fault materialised (hang, death, corruption)
+	Watchdog                // watchdog expiry that triggered recovery
+	Retry                   // task re-dispatch backoff window
+	Abort                   // DAG cancelled by the recovery machinery
 )
 
 var kindNames = [...]string{
@@ -37,6 +41,10 @@ var kindNames = [...]string{
 	Schedule:    "schedule",
 	Release:     "release",
 	Deadline:    "deadline",
+	Fault:       "fault",
+	Watchdog:    "watchdog",
+	Retry:       "retry",
+	Abort:       "abort",
 }
 
 func (k Kind) String() string {

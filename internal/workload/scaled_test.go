@@ -7,8 +7,11 @@ import (
 )
 
 func TestBuildScaled(t *testing.T) {
-	base := Build(Canny)
-	big := BuildScaled(Canny, 2)
+	base := MustBuild(Canny)
+	big, err := BuildScaled(Canny, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(big.Nodes) != len(base.Nodes) {
 		t.Fatal("scaling must not change node count")
 	}
@@ -25,23 +28,27 @@ func TestBuildScaled(t *testing.T) {
 			t.Fatalf("node %s compute %v, want %v", n.Name, n.Compute, 4*b.Compute)
 		}
 	}
-	if BuildScaled(Canny, 1).Nodes[0].Pixels != base.Nodes[0].Pixels {
+	one, err := BuildScaled(Canny, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Nodes[0].Pixels != base.Nodes[0].Pixels {
 		t.Fatal("scale 1 must be identity")
 	}
 }
 
 func TestBuildScaledInvalid(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("scale 0 accepted")
-		}
-	}()
-	BuildScaled(Canny, 0)
+	if _, err := BuildScaled(Canny, 0); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
 }
 
 func TestBuildTiled(t *testing.T) {
-	base := Build(Harris)
-	tiled := BuildTiled(Harris, 2, 4)
+	base := MustBuild(Harris)
+	tiled, err := BuildTiled(Harris, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tiled.Nodes) != 4*len(base.Nodes) {
 		t.Fatalf("tiled nodes = %d, want %d", len(tiled.Nodes), 4*len(base.Nodes))
 	}

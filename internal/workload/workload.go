@@ -82,9 +82,22 @@ const (
 
 // Build constructs a fresh instance of the application's DAG, finalized and
 // ready for submission.
-func Build(a App) *graph.DAG {
-	d := buildRaw(a)
+func Build(a App) (*graph.DAG, error) {
+	d, err := buildRaw(a)
+	if err != nil {
+		return nil, err
+	}
 	if err := d.Finalize(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustBuild is Build for statically known-valid applications; it panics on
+// error (tests, examples, internal harnesses).
+func MustBuild(a App) *graph.DAG {
+	d, err := Build(a)
+	if err != nil {
 		panic(err)
 	}
 	return d
@@ -95,11 +108,14 @@ func Build(a App) *graph.DAG {
 // scale^2, compute times scale with them. Used by the input-size
 // sensitivity study (paper §V-H expects larger inputs to benefit more from
 // complex interconnects).
-func BuildScaled(a App, scale int) *graph.DAG {
+func BuildScaled(a App, scale int) (*graph.DAG, error) {
 	if scale <= 0 {
-		panic(fmt.Sprintf("workload: invalid scale %d", scale))
+		return nil, fmt.Errorf("workload: invalid scale %d", scale)
 	}
-	d := buildRaw(a)
+	d, err := buildRaw(a)
+	if err != nil {
+		return nil, err
+	}
 	f := int64(scale) * int64(scale)
 	for _, n := range d.Nodes {
 		n.Pixels *= scale * scale
@@ -110,41 +126,44 @@ func BuildScaled(a App, scale int) *graph.DAG {
 		}
 	}
 	if err := d.Finalize(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return d
+	return d, nil
 }
 
 // BuildTiled builds the application at the given scale and splits every
 // node into tiles sub-tasks (GAM+-style accelerator composition, paper
 // §IV-B), so oversize inputs fit the 128x128 scratchpads and expose
 // tile-level parallelism.
-func BuildTiled(a App, scale, tiles int) *graph.DAG {
-	d := BuildScaled(a, scale)
+func BuildTiled(a App, scale, tiles int) (*graph.DAG, error) {
+	d, err := BuildScaled(a, scale)
+	if err != nil {
+		return nil, err
+	}
 	td, err := graph.Tile(d, tiles)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	if err := td.Finalize(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return td
+	return td, nil
 }
 
-func buildRaw(a App) *graph.DAG {
+func buildRaw(a App) (*graph.DAG, error) {
 	switch a {
 	case Canny:
-		return buildCanny()
+		return buildCanny(), nil
 	case Deblur:
-		return buildDeblur(5)
+		return buildDeblur(5), nil
 	case GRU:
-		return buildGRU(8)
+		return buildGRU(8), nil
 	case Harris:
-		return buildHarris()
+		return buildHarris(), nil
 	case LSTM:
-		return buildLSTM(8)
+		return buildLSTM(8), nil
 	}
-	panic(fmt.Sprintf("workload: unknown app %d", a))
+	return nil, fmt.Errorf("workload: unknown app %d", a)
 }
 
 // BuildDeblur builds Richardson-Lucy deblur with a custom iteration count

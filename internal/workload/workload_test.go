@@ -43,7 +43,7 @@ func TestAppMetadata(t *testing.T) {
 func TestNodeCounts(t *testing.T) {
 	want := map[App]int{Canny: 13, Deblur: 22, GRU: 114, Harris: 22, LSTM: 134}
 	for a, n := range want {
-		d := Build(a)
+		d := MustBuild(a)
 		if len(d.Nodes) != n {
 			t.Errorf("%v has %d nodes, want %d", a, len(d.Nodes), n)
 		}
@@ -61,7 +61,7 @@ func TestComputeTotalsMatchPaper(t *testing.T) {
 		LSTM:   1470.02,
 	}
 	for a, wantUS := range want {
-		d := Build(a)
+		d := MustBuild(a)
 		var total float64
 		for _, n := range d.Nodes {
 			total += n.Compute.Microseconds()
@@ -78,7 +78,7 @@ func TestComputeTotalsMatchPaper(t *testing.T) {
 // forwards materialise as colocations.
 func TestRNNsUseOnlyElemMatrix(t *testing.T) {
 	for _, a := range []App{GRU, LSTM} {
-		for _, n := range Build(a).Nodes {
+		for _, n := range MustBuild(a).Nodes {
 			if n.Kind != accel.ElemMatrix {
 				t.Fatalf("%v node %s uses %v", a, n.Name, n.Kind)
 			}
@@ -90,7 +90,7 @@ func TestRNNsUseOnlyElemMatrix(t *testing.T) {
 // grayscale (paper §II-A).
 func TestVisionStartsWithISP(t *testing.T) {
 	for _, a := range []App{Canny, Deblur, Harris} {
-		d := Build(a)
+		d := MustBuild(a)
 		roots := d.Roots()
 		if len(roots) != 1 || roots[0].Kind != accel.ISP {
 			t.Fatalf("%v must have a single ISP root", a)
@@ -106,7 +106,7 @@ func TestVisionStartsWithISP(t *testing.T) {
 
 func TestDAGsAreValid(t *testing.T) {
 	for a := App(0); a < NumApps; a++ {
-		d := Build(a)
+		d := MustBuild(a)
 		if _, err := d.TopoOrder(); err != nil {
 			t.Fatalf("%v: %v", a, err)
 		}
@@ -130,8 +130,8 @@ func TestDAGsAreValid(t *testing.T) {
 // TestBuildReturnsFreshInstances: continuous contention resubmits via
 // Build, which must never share node state.
 func TestBuildReturnsFreshInstances(t *testing.T) {
-	a := Build(GRU)
-	b := Build(GRU)
+	a := MustBuild(GRU)
+	b := MustBuild(GRU)
 	if a == b || a.Nodes[0] == b.Nodes[0] {
 		t.Fatal("Build must return independent DAG instances")
 	}
@@ -147,7 +147,7 @@ func TestBuildReturnsFreshInstances(t *testing.T) {
 // forwarding.
 func TestRNNDependencyDepth(t *testing.T) {
 	for _, a := range []App{GRU, LSTM} {
-		d := Build(a)
+		d := MustBuild(a)
 		if depth := dagDepth(d); depth < 9*4 {
 			t.Fatalf("%v dependency depth = %d, want >= 36 (chained timesteps)", a, depth)
 		}
@@ -224,7 +224,7 @@ func TestContentionString(t *testing.T) {
 // unless explicitly overridden.
 func TestEdgeBytesConsistency(t *testing.T) {
 	for a := App(0); a < NumApps; a++ {
-		for _, n := range Build(a).Nodes {
+		for _, n := range MustBuild(a).Nodes {
 			for i, p := range n.Parents {
 				if n.EdgeInBytes[i] != p.OutputBytes {
 					t.Fatalf("%v edge %s->%s carries %d bytes, producer outputs %d",

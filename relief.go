@@ -28,6 +28,7 @@ import (
 
 	"relief/internal/accel"
 	"relief/internal/core"
+	"relief/internal/fault"
 	"relief/internal/graph"
 	"relief/internal/manager"
 	"relief/internal/predict"
@@ -147,7 +148,7 @@ func NewDAG(app, sym string, deadline Time) *DAG {
 func BuildWorkload(name string) (*DAG, error) {
 	for a := workload.App(0); a < workload.NumApps; a++ {
 		if a.Name() == name {
-			return workload.Build(a), nil
+			return workload.Build(a)
 		}
 	}
 	return nil, fmt.Errorf("relief: unknown workload %q", name)
@@ -189,17 +190,64 @@ type TraceRecorder = trace.Recorder
 // NewTraceRecorder returns an empty timeline recorder to pass in Config.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
+// FaultPlan is a deterministic fault-injection specification (see
+// docs/FAULTS.md); FaultRateSet holds its per-event probabilities. A
+// zero-rate plan is timing-neutral: results are bit-identical to no plan.
+type (
+	FaultPlan    = fault.Plan
+	FaultRateSet = fault.Rates
+)
+
+// FaultProfile builds a plan whose individual rates scale with a single
+// headline fault rate (the profile used by the resilience study).
+func FaultProfile(rate float64, seed int64) *FaultPlan { return fault.Profile(rate, seed) }
+
+// Option customises a System beyond the Config struct.
+type Option struct {
+	apply func(*manager.Config)
+}
+
+// WithFaultPlan installs deterministic fault injection plus the recovery
+// machinery (per-task watchdogs, bounded retry with backoff, DAG abort).
+func WithFaultPlan(p *FaultPlan) Option {
+	return Option{func(c *manager.Config) { c.Fault = p }}
+}
+
+// WithWatchdogMult scales the per-task watchdog deadline (predicted
+// runtime x mult; 0 = default 8).
+func WithWatchdogMult(mult float64) Option {
+	return Option{func(c *manager.Config) { c.WatchdogMult = mult }}
+}
+
+// WithMaxRetries bounds per-node re-dispatch attempts before the DAG is
+// aborted (0 = default 3).
+func WithMaxRetries(n int) Option {
+	return Option{func(c *manager.Config) { c.MaxRetries = n }}
+}
+
+// WithRetryBackoff sets the base re-dispatch delay, doubled per retry
+// (0 = default 2 µs).
+func WithRetryBackoff(d Time) Option {
+	return Option{func(c *manager.Config) { c.RetryBackoff = d }}
+}
+
 // System is a configured SoC simulation accepting DAG submissions.
 type System struct {
 	kernel *sim.Kernel
 	mgr    *manager.Manager
 	st     *stats.Stats
 	ran    bool
+	err    error
 }
 
-// NewSystem builds a simulation from cfg. It panics on an invalid policy
-// name; use PolicyByName first to validate externally supplied names.
-func NewSystem(cfg Config) *System {
+// NewSystem builds a simulation from cfg plus options. Configuration
+// errors (an invalid policy or predictor name) do not panic: they are
+// reported by Err and by every subsequent Submit call, so externally
+// supplied names can be validated after construction.
+func NewSystem(cfg Config, opts ...Option) *System {
+	k := sim.NewKernel()
+	st := stats.New()
+	s := &System{kernel: k, st: st}
 	policy := cfg.Custom
 	if policy == nil {
 		name := cfg.Policy
@@ -208,7 +256,8 @@ func NewSystem(cfg Config) *System {
 		}
 		p, err := PolicyByName(name)
 		if err != nil {
-			panic(err)
+			s.err = err
+			return s
 		}
 		policy = p
 	}
@@ -227,7 +276,8 @@ func NewSystem(cfg Config) *System {
 	if cfg.BandwidthPredictor != "" {
 		bw, err := predict.NewBW(cfg.BandwidthPredictor, mcfg.Interconnect.DRAMBandwidth)
 		if err != nil {
-			panic(err)
+			s.err = err
+			return s
 		}
 		mcfg.BW = bw
 	}
@@ -236,14 +286,32 @@ func NewSystem(cfg Config) *System {
 	}
 	mcfg.DisableForwarding = cfg.DisableForwarding
 	mcfg.Trace = cfg.Trace
-	k := sim.NewKernel()
-	st := stats.New()
-	return &System{kernel: k, mgr: manager.New(k, mcfg, st), st: st}
+	for _, o := range opts {
+		o.apply(&mcfg)
+	}
+	s.mgr = manager.New(k, mcfg, st)
+	return s
+}
+
+// Err returns the first error the system recorded: a construction error
+// (invalid policy or predictor name) or a runtime error such as a failing
+// SubmitLoop rebuild. Nil means the system is healthy.
+func (s *System) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.mgr != nil {
+		return s.mgr.Err()
+	}
+	return nil
 }
 
 // Submit registers a DAG for release at the given time. The DAG is
 // finalized (compute times filled, acyclicity checked) if it has not been.
 func (s *System) Submit(d *DAG, release Time) error {
+	if s.err != nil {
+		return s.err
+	}
 	if err := d.Finalize(); err != nil {
 		return err
 	}
@@ -252,16 +320,29 @@ func (s *System) Submit(d *DAG, release Time) error {
 
 // SubmitLoop registers an application that re-submits itself whenever an
 // instance finishes (continuous contention). build must return a fresh DAG
-// each call.
+// each call; a failing rebuild mid-run stops the loop and is reported by
+// Err.
 func (s *System) SubmitLoop(build func() *DAG, release Time) error {
+	if s.err != nil {
+		return s.err
+	}
 	first := build()
+	if first == nil {
+		return fmt.Errorf("relief: SubmitLoop build returned nil DAG")
+	}
 	if err := first.Finalize(); err != nil {
 		return err
 	}
 	return s.mgr.Submit(first, release, func() *DAG {
 		d := build()
+		if d == nil {
+			return nil // the manager records the error and stops the loop
+		}
 		if err := d.Finalize(); err != nil {
-			panic(err)
+			if s.err == nil {
+				s.err = err
+			}
+			return nil
 		}
 		return d
 	})
@@ -271,20 +352,35 @@ func (s *System) SubmitLoop(build func() *DAG, release Time) error {
 // until the horizon — frame-queue arrivals, e.g. a 60 FPS camera pipeline.
 // Run the system with RunFor(horizon).
 func (s *System) SubmitPeriodic(build func() *DAG, period, horizon Time) error {
-	return s.mgr.SubmitPeriodic(func() *DAG {
+	if s.err != nil {
+		return s.err
+	}
+	var buildErr error
+	err := s.mgr.SubmitPeriodic(func() *DAG {
 		d := build()
+		if d == nil {
+			buildErr = fmt.Errorf("relief: SubmitPeriodic build returned nil DAG")
+			return nil
+		}
 		if err := d.Finalize(); err != nil {
-			panic(err)
+			buildErr = err
+			return nil
 		}
 		return d
 	}, period, horizon)
+	if buildErr != nil {
+		return buildErr
+	}
+	return err
 }
 
 // Run executes the simulation until every submitted DAG completes and
 // returns the report. A System can only run once.
 func (s *System) Run() *Report {
 	s.mustRunOnce()
-	s.mgr.Run()
+	if s.mgr != nil {
+		s.mgr.Run()
+	}
 	return newReport(s.st)
 }
 
@@ -292,7 +388,9 @@ func (s *System) Run() *Report {
 // workloads) and returns the report over finished work.
 func (s *System) RunFor(horizon Time) *Report {
 	s.mustRunOnce()
-	s.mgr.RunContinuous(horizon)
+	if s.mgr != nil {
+		s.mgr.RunContinuous(horizon)
+	}
 	return newReport(s.st)
 }
 
@@ -326,6 +424,16 @@ type Report struct {
 	NodesMetDeadline int
 	// Timing.
 	Makespan Time
+	// Resilience (all zero unless a fault plan was installed).
+	AbortedDAGs         int
+	Retries             int
+	WatchdogFires       int
+	InstanceDeaths      int
+	InvalidatedForwards int
+	RecoveryDRAMBytes   int64
+	// MTTR is the mean time from a node's first failure to its eventual
+	// completion.
+	MTTR Time
 	// Per-application results, keyed by app name.
 	Apps map[string]AppReport
 
@@ -336,8 +444,10 @@ type Report struct {
 type AppReport struct {
 	Iterations   int
 	DeadlinesMet int
-	Slowdown     float64
-	Runtimes     []Time
+	// Aborted counts DAG instances cancelled by the recovery machinery.
+	Aborted  int
+	Slowdown float64
+	Runtimes []Time
 }
 
 func newReport(st *stats.Stats) *Report {
@@ -353,13 +463,23 @@ func newReport(st *stats.Stats) *Report {
 		NodesDone:        st.NodesDone,
 		NodesMetDeadline: st.NodesMetDeadline,
 		Makespan:         st.Makespan,
-		Apps:             make(map[string]AppReport),
-		st:               st,
+
+		AbortedDAGs:         st.Faults.DAGsAborted,
+		Retries:             st.Faults.Retries,
+		WatchdogFires:       st.Faults.WatchdogFires,
+		InstanceDeaths:      st.Faults.InstanceDeaths,
+		InvalidatedForwards: st.Faults.InvalidatedForwards,
+		RecoveryDRAMBytes:   st.Faults.RecoveryDRAMBytes,
+		MTTR:                st.Faults.MTTR(),
+
+		Apps: make(map[string]AppReport),
+		st:   st,
 	}
 	for name, a := range st.Apps {
 		r.Apps[name] = AppReport{
 			Iterations:   a.Iterations,
 			DeadlinesMet: a.DeadlinesMet,
+			Aborted:      a.Aborted,
 			Slowdown:     a.Slowdown(),
 			Runtimes:     append([]Time(nil), a.Runtimes...),
 		}

@@ -102,13 +102,18 @@ func TestSystemRunTwicePanics(t *testing.T) {
 	sys.Run()
 }
 
-func TestSystemInvalidPolicyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("invalid policy name did not panic")
-		}
-	}()
-	relief.NewSystem(relief.Config{Policy: "nope"})
+func TestSystemInvalidPolicyErr(t *testing.T) {
+	sys := relief.NewSystem(relief.Config{Policy: "nope"})
+	if sys.Err() == nil {
+		t.Fatal("invalid policy name not reported by Err")
+	}
+	d, _ := relief.BuildWorkload("canny")
+	if err := sys.Submit(d, 0); err == nil {
+		t.Fatal("Submit on broken system did not fail")
+	}
+	if r := sys.Run(); r == nil || r.NodesDone != 0 {
+		t.Fatal("broken system must return an empty report")
+	}
 }
 
 func TestSubmitLoopAndRunFor(t *testing.T) {

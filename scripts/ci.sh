@@ -14,5 +14,8 @@ go vet ./...
 echo "== test"
 go test ./...
 
+echo "== race (short)"
+go test -race -short ./...
+
 echo "== bench smoke"
 go test -run '^$' -bench 'BenchmarkFig4$' -benchtime=1x -benchmem .
