@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"relief/internal/exp"
+	"relief/internal/metrics"
 	"relief/internal/workload"
 )
 
@@ -119,13 +121,53 @@ var experiments = map[string]generator{
 		}
 		return []*exp.Table{t}, nil
 	},
+	"attribution": func(*exp.Sweep) ([]*exp.Table, error) {
+		t, regs, err := exp.AttributionStudy("CGL", exp.PolicyNames, 0)
+		if err != nil {
+			return nil, err
+		}
+		if metricsPrefix != "" {
+			if err := exportRegistries(regs, metricsPrefix); err != nil {
+				return nil, err
+			}
+		}
+		return []*exp.Table{t}, nil
+	},
+}
+
+// metricsPrefix is the -metrics flag value; when set, the attribution
+// experiment writes each policy's registry as <prefix>-<policy>.{csv,json,prom}.
+var metricsPrefix string
+
+func exportRegistries(regs map[string]*metrics.Registry, prefix string) error {
+	for policy, reg := range regs {
+		base := prefix + "-" + policy
+		for suffix, fn := range map[string]func(io.Writer) error{
+			".csv":  reg.WriteCSV,
+			".json": reg.WriteJSON,
+			".prom": reg.WritePrometheus,
+		} {
+			f, err := os.Create(base + suffix)
+			if err != nil {
+				return err
+			}
+			if err := fn(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // order fixes a presentation order for -exp all.
 var order = []string{
 	"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"table7", "table8", "fig11", "fig12", "fig13", "ablation", "dram",
-	"periodic", "tiled", "energy", "scaling", "faults",
+	"periodic", "tiled", "energy", "scaling", "faults", "attribution",
 }
 
 // benchEntry is one experiment's row in the -benchjson report.
@@ -183,6 +225,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.StringVar(&metricsPrefix, "metrics", "",
+		"with the attribution experiment: write per-policy telemetry as <prefix>-<policy>.{csv,json,prom}")
 	flag.Parse()
 
 	if *list {

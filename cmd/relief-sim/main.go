@@ -15,7 +15,9 @@ import (
 
 	"relief/internal/exp"
 	"relief/internal/fault"
+	"relief/internal/metrics"
 	"relief/internal/predict"
+	"relief/internal/sim"
 	"relief/internal/trace"
 	"relief/internal/workload"
 	"relief/internal/xbar"
@@ -34,6 +36,8 @@ func main() {
 	platformFile := flag.String("platform", "", "JSON platform spec (overrides -topology/-bw/-no-forwarding)")
 	faultRate := flag.Float64("faults", 0, "fault-injection rate in [0,1] (0 = off); see docs/FAULTS.md")
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
+	metricsOut := flag.String("metrics", "", "collect telemetry and write <prefix>.csv, <prefix>.json, <prefix>.prom")
+	metricsInterval := flag.Duration("metrics-interval", 0, "probe sampling period in simulated time (0 = 50us default)")
 	flag.Parse()
 
 	apps, err := workload.ParseMix(*mix)
@@ -66,6 +70,12 @@ func main() {
 	if *traceOut != "" {
 		rec = trace.NewRecorder()
 		sc.Trace = rec
+	}
+	var reg *metrics.Registry
+	if *metricsOut != "" {
+		reg = metrics.NewRegistry()
+		sc.Metrics = reg
+		sc.MetricsInterval = sim.Time(metricsInterval.Nanoseconds()) * sim.Nanosecond
 	}
 	if *platformFile != "" {
 		f, err := os.Open(*platformFile)
@@ -160,6 +170,61 @@ func main() {
 		}
 		fmt.Printf("trace:               %d events written to %s\n", rec.Len(), *traceOut)
 	}
+
+	if reg != nil {
+		printAttribution(reg)
+		exportMetrics(reg, *metricsOut)
+	}
+}
+
+// printAttribution renders the per-app latency decomposition collected by
+// the metrics registry.
+func printAttribution(reg *metrics.Registry) {
+	a := reg.Attribution()
+	fmt.Println()
+	fmt.Println("latency attribution (% of summed node latency, ready to finish):")
+	fmt.Printf("  %-8s %6s %7s %7s %7s %7s %7s\n",
+		"app", "nodes", "wait%", "dma%", "stall%", "comp%", "wb%")
+	row := func(name string, b *metrics.AttrBucket) {
+		wait, pure, stall, comp, wb := b.Shares()
+		fmt.Printf("  %-8s %6d %7.1f %7.1f %7.1f %7.1f %7.1f\n",
+			name, b.Nodes, wait, pure, stall, comp, wb)
+	}
+	names := make([]string, 0, len(a.Apps))
+	for n := range a.Apps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		row(n, a.Apps[n])
+	}
+	row("TOTAL", &a.Total)
+	if h := reg.FindHistogram("relief_node_latency_us"); h != nil && h.Count() > 0 {
+		fmt.Printf("  node latency us: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+			h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max())
+	}
+}
+
+// exportMetrics writes the three export formats under the given prefix.
+func exportMetrics(reg *metrics.Registry, prefix string) {
+	write := func(suffix string, fn func(w *os.File) error) {
+		f, err := os.Create(prefix + suffix)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	write(".csv", func(f *os.File) error { return reg.WriteCSV(f) })
+	write(".json", func(f *os.File) error { return reg.WriteJSON(f) })
+	write(".prom", func(f *os.File) error { return reg.WritePrometheus(f) })
+	fmt.Printf("metrics:             %d probe samples written to %s.{csv,json,prom}\n",
+		reg.Samples(), prefix)
 }
 
 func fatal(err error) {

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"relief"
+	"relief/internal/trace"
 )
 
 // chains builds three four-node elem-matrix chains with staggered
@@ -44,8 +46,8 @@ func chains() []*relief.DAG {
 	}
 }
 
-func run(policy string) (*relief.Report, []*relief.DAG) {
-	sys := relief.NewSystem(relief.Config{Policy: policy})
+func run(policy string, rec *relief.TraceRecorder) (*relief.Report, []*relief.DAG) {
+	sys := relief.NewSystem(relief.Config{Policy: policy, Trace: rec})
 	ds := chains()
 	for _, d := range ds {
 		if err := sys.Submit(d, 0); err != nil {
@@ -58,13 +60,16 @@ func run(policy string) (*relief.Report, []*relief.DAG) {
 
 func main() {
 	tracePolicy := flag.String("trace", "RELIEF", "policy whose schedule to print")
+	out := flag.String("o", "", "also record a full event timeline for the traced policy and write it here (.json = Chrome trace-event format, else text)")
+	kinds := flag.String("kinds", "", "comma-separated event kinds to keep in -o output (e.g. compute,forward); empty = all")
+	maxEvents := flag.Int("max-events", 0, "cap recorded trace events (0 = unbounded); dropped events are counted and reported")
 	flag.Parse()
 
 	fmt.Println("Motivating example: three 4-node chains on one elem-matrix accelerator")
 	fmt.Println()
 	fmt.Printf("%-10s %8s %8s %8s %8s\n", "policy", "fwd", "coloc", "nodeDL%", "dagDL%")
 	for _, p := range []string{"FCFS", "GEDF-D", "GEDF-N", "LL", "LAX", "HetSched", "RELIEF"} {
-		rep, _ := run(p)
+		rep, _ := run(p, nil)
 		dagMet := 0
 		for _, a := range rep.Apps {
 			dagMet += a.DeadlinesMet
@@ -74,7 +79,14 @@ func main() {
 	}
 
 	fmt.Printf("\nSchedule under %s:\n", *tracePolicy)
-	_, ds := run(*tracePolicy)
+	var rec *relief.TraceRecorder
+	if *out != "" {
+		rec = relief.NewTraceRecorder()
+		if *maxEvents > 0 {
+			rec.SetMaxEvents(*maxEvents)
+		}
+	}
+	_, ds := run(*tracePolicy, rec)
 	var nodes []*relief.Node
 	for _, d := range ds {
 		nodes = append(nodes, d.Nodes...)
@@ -88,4 +100,43 @@ func main() {
 		}
 		fmt.Printf("%-4s %12v %12v %12v  %s\n", n.Name, n.StartAt, n.FinishAt, n.Deadline, met)
 	}
+
+	if rec != nil {
+		if err := writeTimeline(rec, *out, *kinds); err != nil {
+			fmt.Fprintf(os.Stderr, "relief-trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTimeline exports the recorded timeline to path, optionally filtered
+// to a kind subset, as Chrome trace-event JSON (.json) or text.
+func writeTimeline(rec *relief.TraceRecorder, path, kindsCSV string) error {
+	events := rec.Events()
+	if kindsCSV != "" {
+		ks, err := trace.ParseKinds(kindsCSV)
+		if err != nil {
+			return err
+		}
+		events = trace.Filter(events, ks...)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		err = trace.WriteChromeEvents(f, events)
+	} else {
+		err = trace.WriteTextEvents(f, events)
+	}
+	if err != nil {
+		return err
+	}
+	msg := fmt.Sprintf("\ntimeline: %d events written to %s", len(events), path)
+	if d := rec.Dropped(); d > 0 {
+		msg += fmt.Sprintf(" (%d dropped at the recorder cap)", d)
+	}
+	fmt.Println(msg)
+	return nil
 }

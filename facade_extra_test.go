@@ -66,3 +66,28 @@ func TestWriteGem5StatsFacade(t *testing.T) {
 		t.Fatalf("gem5 stats incomplete:\n%s", out[:200])
 	}
 }
+
+func TestMetricsThroughFacade(t *testing.T) {
+	reg := relief.NewMetricsRegistry()
+	sys := relief.NewSystem(relief.Config{Policy: "RELIEF"},
+		relief.WithMetrics(reg), relief.WithMetricsInterval(20*relief.Microsecond))
+	d, _ := relief.BuildWorkload("canny")
+	if err := sys.Submit(d, 0); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run()
+	if reg.Samples() == 0 {
+		t.Fatal("probes collected no samples")
+	}
+	at := reg.Attribution()
+	if at == nil || at.Total.Nodes == 0 {
+		t.Fatal("attribution recorded no nodes")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema": "relief-metrics/1"`) {
+		t.Fatal("JSON summary missing schema header")
+	}
+}

@@ -272,6 +272,24 @@ func (c *Controller) QueueLen() int {
 	return n
 }
 
+// Channels returns the configured channel count.
+func (c *Controller) Channels() int { return len(c.channels) }
+
+// ChannelQueueLen reports the bursts queued on channel i.
+func (c *Controller) ChannelQueueLen(i int) int { return c.channels[i].pending() }
+
+// ChannelBusyTime returns channel i's cumulative data-bus busy time,
+// including the open serving period — the numerator of the channel's
+// burst-run utilisation.
+func (c *Controller) ChannelBusyTime(i int) sim.Time {
+	ch := c.channels[i]
+	b := ch.busyAcc
+	if ch.serving {
+		b += c.k.Now() - ch.busySince
+	}
+	return b
+}
+
 // RowHitRate returns the fraction of bursts that hit an open row.
 func (c *Controller) RowHitRate() float64 {
 	total := c.RowHits + c.RowMisses

@@ -11,6 +11,7 @@ import (
 	"relief/internal/fault"
 	"relief/internal/graph"
 	"relief/internal/manager"
+	"relief/internal/metrics"
 	"relief/internal/predict"
 	"relief/internal/sched"
 	"relief/internal/sim"
@@ -74,6 +75,12 @@ type Scenario struct {
 	OutputPartitions int
 	// Trace, if non-nil, records the simulation timeline.
 	Trace *trace.Recorder
+	// Metrics, if non-nil, collects simulated-time telemetry and latency
+	// attribution (internal/metrics). Like Trace, it is excluded from the
+	// sweep cache key: metricised runs must call Run directly, not Sweep.
+	Metrics *metrics.Registry
+	// MetricsInterval overrides the probe period (0 = 50 µs default).
+	MetricsInterval sim.Time
 	// DetailedDRAM uses the bank-level LPDDR5 controller; DRAMFCFS demotes
 	// its scheduler from FR-FCFS to FCFS (extension study).
 	DetailedDRAM bool
@@ -134,6 +141,8 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	cfg.Fault = sc.Faults
 	cfg.Trace = sc.Trace
+	cfg.Metrics = sc.Metrics
+	cfg.MetricsInterval = sc.MetricsInterval
 	m := manager.New(k, cfg, st)
 
 	continuous := sc.Contention == workload.Continuous

@@ -32,7 +32,10 @@ func NewSweep() *Sweep {
 // key builds the cache key. Every field is rendered through an explicit,
 // delimiter-separated encoder (no reflective %v formatting): fields cannot
 // collide because each is length-delimited by a terminator that cannot
-// appear inside it, and adding a field extends the tail.
+// appear inside it, and adding a field extends the tail. Trace and Metrics
+// are deliberately excluded: observers don't change simulation results, and
+// observer-bearing scenarios should call Run directly rather than share
+// cached results.
 func (s *Sweep) key(sc Scenario) string {
 	var b []byte
 	for _, a := range sc.Mix {

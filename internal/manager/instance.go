@@ -165,6 +165,8 @@ func (m *Manager) launch(n *graph.Node, inst *Instance) {
 	ns.pendingInputs = 1 // sentinel, released after all gates are set up
 	ns.gateFired = false
 	ns.hung = false
+	ns.computeStart, ns.computeDur = 0, 0
+	ns.dmaPure, ns.dmaStall = 0, 0
 	ns.attempt++
 	att := ns.attempt
 	if m.inj != nil {
@@ -239,6 +241,9 @@ func (m *Manager) fetchEdge(n *graph.Node, inst *Instance, part int, p *graph.No
 			m.noteSpadBytes(2 * bytes) // producer read + consumer write
 			ns.actualMemTime += res.End - res.Start
 			ns.actualBytes += bytes
+			if m.met != nil {
+				m.noteDMAInput(ns, path, bytes, res)
+			}
 			m.inputDone(n, inst, part, att)
 		})
 	default:
@@ -274,6 +279,9 @@ func (m *Manager) dramReadStarted(n *graph.Node, inst *Instance, part int, bytes
 		ns.actualBytes += bytes
 		ns.dramBytes += bytes
 		ns.dramTime += res.End - res.Start
+		if m.met != nil {
+			m.noteDMAInput(ns, path, bytes, res)
+		}
 		m.inputDone(n, inst, part, att)
 	})
 }
@@ -324,6 +332,8 @@ func (m *Manager) inputDone(n *graph.Node, inst *Instance, part int, att int) {
 		}
 	}
 	inst.ComputeBusy += dur
+	ns.computeStart = m.k.Now()
+	ns.computeDur = dur
 	if m.cfg.Trace.Enabled() {
 		m.cfg.Trace.End(trace.TaskInput, n.String(), inst.Lane(), m.k.Now())
 		m.cfg.Trace.Span(trace.TaskCompute, n.String(), inst.Lane(), m.k.Now(), m.k.Now()+dur, nil)
@@ -417,6 +427,9 @@ func (m *Manager) complete(n *graph.Node, inst *Instance, part int, computeDur s
 			for range newlyReady {
 				c := m.cfg.SchedBase + per
 				m.st.SchedCosts = append(m.st.SchedCosts, c)
+				if m.metSchedCost != nil {
+					m.metSchedCost.Observe(c.Microseconds())
+				}
 				cost += c
 			}
 		} else {
@@ -492,6 +505,9 @@ func (m *Manager) startWriteback(n *graph.Node, inst *Instance, done func()) {
 		ns.actualBytes += n.OutputBytes
 		ns.dramBytes += n.OutputBytes
 		ns.dramTime += res.End - res.Start
+		if m.met != nil {
+			m.noteDMAXfer(path, n.OutputBytes, res)
+		}
 		ws := ns.wbWaiters
 		ns.wbWaiters = nil
 		for _, fn := range ws {
@@ -529,6 +545,9 @@ func (m *Manager) finishNode(n *graph.Node) {
 		m.st.Faults.RecoveryTime += now - ns.failAt
 		m.st.Faults.Recoveries++
 	}
+	if m.met != nil {
+		m.observeAttribution(n, ns, now)
+	}
 
 	if n.DAG.NodeDone(now) {
 		m.dropActive(n.DAG)
@@ -559,6 +578,7 @@ func (m *Manager) finishNode(n *graph.Node) {
 // makespan and interconnect occupancy. Returns the end time.
 func (m *Manager) Run() sim.Time {
 	m.k.Run()
+	m.met.FinalSample(m.k.Now())
 	m.st.Makespan = m.lastDone
 	if m.st.Makespan == 0 {
 		m.st.Makespan = m.k.Now()
@@ -576,6 +596,7 @@ func (m *Manager) Run() sim.Time {
 func (m *Manager) RunContinuous(horizon sim.Time) sim.Time {
 	m.horizon = horizon
 	m.k.RunUntil(horizon)
+	m.met.FinalSample(m.k.Now())
 	m.st.Makespan = horizon
 	m.st.ComputeBusy = m.totalComputeBusy()
 	m.st.InterconnectOccupancy = m.ic.Occupancy()

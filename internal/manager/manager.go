@@ -15,6 +15,7 @@ import (
 	"relief/internal/fault"
 	"relief/internal/graph"
 	"relief/internal/mem"
+	"relief/internal/metrics"
 	"relief/internal/predict"
 	"relief/internal/sched"
 	"relief/internal/sim"
@@ -63,6 +64,15 @@ type Config struct {
 	// Trace, if non-nil, records task phases, transfers, and scheduler
 	// activity for timeline export.
 	Trace *trace.Recorder
+	// Metrics, if non-nil, collects simulated-time telemetry: probe-sampled
+	// counters and gauges over the manager, interconnect, DRAM, and SPADs,
+	// latency histograms, and per-node latency attribution (see
+	// internal/metrics and docs/OBSERVABILITY.md). A nil registry costs a
+	// pointer test on the hot path, like Trace.
+	Metrics *metrics.Registry
+	// MetricsInterval is the probe sampling period (0 = the metrics
+	// package's 50 µs default).
+	MetricsInterval sim.Time
 	// DetailedDRAM swaps the fixed-bandwidth main-memory model for the
 	// bank-level LPDDR5 controller in internal/dram.
 	DetailedDRAM bool
@@ -140,6 +150,13 @@ type Manager struct {
 	inj    *fault.Injector
 	active []*graph.DAG // released, unfinished, unaborted DAGs
 	deaths int          // permanently dead instances
+
+	// Telemetry (nil without cfg.Metrics). The histogram pointers are
+	// cached so hot-path observations skip the registry map lookups.
+	met          *metrics.Registry
+	metSchedCost *metrics.Histogram
+	metDMAXfer   *metrics.Histogram
+	metDMAStall  *metrics.Histogram
 }
 
 // nodeState is per-node forwarding bookkeeping (paper Table III/IV fields).
@@ -162,6 +179,13 @@ type nodeState struct {
 	dramTime      sim.Time // wall time of those transfers
 	pendingInputs int
 	gateFired     bool
+
+	// ---- latency-attribution bookkeeping (internal/metrics) ----
+	// computeStart/computeDur pin the compute phase inside the node's
+	// lifetime; dmaPure/dmaStall split observed input-DMA time into the
+	// idle-SoC transfer time and the contention remainder.
+	computeStart, computeDur sim.Time
+	dmaPure, dmaStall        sim.Time
 
 	// ---- recovery state (used only under fault injection) ----
 	// attempt numbers launches; callbacks from a superseded attempt are
@@ -257,6 +281,11 @@ func New(k *sim.Kernel, cfg Config, st *stats.Stats) *Manager {
 			dc.SetFault(m.inj.DRAM)
 		}
 		m.scheduleDeaths(cfg.Fault)
+	}
+	if cfg.Metrics.Enabled() {
+		m.met = cfg.Metrics
+		m.registerMetrics()
+		m.met.StartProbes(k, cfg.MetricsInterval)
 	}
 	return m
 }
@@ -396,6 +425,9 @@ func (m *Manager) insertPlain(n *graph.Node) sim.Time {
 	n.State = graph.Ready
 	cost := m.cfg.SchedBase + m.cfg.SchedPerScan*sim.Time(scanned)
 	m.st.SchedCosts = append(m.st.SchedCosts, cost)
+	if m.metSchedCost != nil {
+		m.metSchedCost.Observe(cost.Microseconds())
+	}
 	return cost
 }
 

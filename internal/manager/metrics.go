@@ -1,0 +1,232 @@
+package manager
+
+import (
+	"fmt"
+
+	"relief/internal/graph"
+	"relief/internal/mem"
+	"relief/internal/sim"
+)
+
+// registerMetrics wires the manager's state into the metrics registry.
+// Everything here is func-backed: the periodic probe (and each export)
+// reads live simulator state, so registration costs nothing on the
+// simulation hot path. Called once from New when cfg.Metrics is set.
+func (m *Manager) registerMetrics() {
+	r := m.met
+	r.SetPolicy(m.policy.Name())
+
+	// Cached histograms for hot-path observations.
+	m.metSchedCost = r.Histogram("relief_sched_cost_us",
+		"Modeled manager-microcontroller cost per ready-queue operation, in microseconds.")
+	m.metDMAXfer = r.Histogram("relief_dma_transfer_us",
+		"Idle-SoC (pure) transfer time per DMA, in microseconds.")
+	m.metDMAStall = r.Histogram("relief_dma_stall_us",
+		"Contention stall per DMA (observed duration minus setup and pure transfer), in microseconds.")
+
+	// Manager progress and ready queues.
+	r.CounterFunc("relief_nodes_done_total",
+		"DAG nodes completed.",
+		func() float64 { return float64(m.st.NodesDone) })
+	r.CounterFunc("relief_nodes_deadline_met_total",
+		"Completed nodes that met their deadline.",
+		func() float64 { return float64(m.st.NodesMetDeadline) })
+	r.CounterFunc("relief_edges_forwarded_total",
+		"Edges materialised as SPAD-to-SPAD forwards.",
+		func() float64 { return float64(m.st.Forwards) })
+	r.CounterFunc("relief_edges_colocated_total",
+		"Edges satisfied by colocation (no data movement).",
+		func() float64 { return float64(m.st.Colocations) })
+	for kind := range m.queues {
+		k := kind
+		r.GaugeFunc(fmt.Sprintf("relief_ready_queue_len{kind=%q}", m.byKindName(k)),
+			"Ready-queue length per accelerator kind.",
+			func() float64 { return float64(len(m.queues[k])) })
+	}
+
+	// Accelerator instances and scratchpads.
+	for _, inst := range m.insts {
+		in := inst
+		r.GaugeFunc(fmt.Sprintf("relief_instance_busy{inst=%q}", in.Lane()),
+			"1 while a node occupies the instance, else 0.",
+			func() float64 {
+				if in.Busy {
+					return 1
+				}
+				return 0
+			})
+		r.CounterFunc(fmt.Sprintf("relief_instance_compute_busy_us{inst=%q}", in.Lane()),
+			"Cumulative pure compute time per instance, in microseconds.",
+			func() float64 { return in.ComputeBusy.Microseconds() })
+	}
+	r.GaugeFunc("relief_spad_occupied_frac",
+		"Fraction of output scratchpad partitions holding a live result.",
+		func() float64 {
+			total, occ := 0, 0
+			for _, inst := range m.insts {
+				for _, b := range inst.Parts {
+					total++
+					if b.Node != nil {
+						occ++
+					}
+				}
+			}
+			if total == 0 {
+				return 0
+			}
+			return float64(occ) / float64(total)
+		})
+
+	// Interconnect.
+	r.GaugeFunc("relief_interconnect_busy_frac",
+		"Fraction of elapsed time with at least one interconnect link busy.",
+		func() float64 { return m.ic.Occupancy() })
+	r.CounterFunc("relief_interconnect_claims_total",
+		"Analytic DMA claims installed on interconnect links.",
+		func() float64 { c, _ := m.ic.ClaimStats(); return float64(c) })
+	r.CounterFunc("relief_interconnect_claim_conflicts_total",
+		"Claims folded back to chunk-wise service by a colliding stream.",
+		func() float64 { _, c := m.ic.ClaimStats(); return float64(c) })
+
+	// Main memory (both models satisfy mem.Server; the queue length needs a
+	// narrow assertion because it is not part of the Server contract).
+	dramSrv := m.ic.DRAM()
+	r.CounterFunc("relief_dram_bytes_total",
+		"Bytes drained by the main-memory server.",
+		func() float64 { return float64(dramSrv.BytesServed()) })
+	r.GaugeFunc("relief_dram_busy_frac",
+		"Fraction of elapsed time the main-memory server spent serving.",
+		func() float64 {
+			now := m.k.Now()
+			if now == 0 {
+				return 0
+			}
+			return float64(dramSrv.BusyTime()) / float64(now)
+		})
+	r.GaugeFunc("relief_dram_achieved_gbps",
+		"Average achieved main-memory bandwidth since t=0, in GB/s.",
+		func() float64 {
+			now := m.k.Now()
+			if now == 0 {
+				return 0
+			}
+			return float64(dramSrv.BytesServed()) / now.Seconds() / mem.GB
+		})
+	if ql, ok := dramSrv.(interface{ QueueLen() int }); ok {
+		r.GaugeFunc("relief_dram_queue_len",
+			"Requests waiting at (or being served by) the main-memory server.",
+			func() float64 { return float64(ql.QueueLen()) })
+	}
+	if dc := m.dram; dc != nil {
+		for i := 0; i < dc.Channels(); i++ {
+			ch := i
+			r.GaugeFunc(fmt.Sprintf("relief_dram_channel_queue_len{ch=\"%d\"}", ch),
+				"Per-channel pending request count (detailed DRAM).",
+				func() float64 { return float64(dc.ChannelQueueLen(ch)) })
+			r.GaugeFunc(fmt.Sprintf("relief_dram_channel_busy_frac{ch=\"%d\"}", ch),
+				"Per-channel busy fraction (detailed DRAM).",
+				func() float64 {
+					now := m.k.Now()
+					if now == 0 {
+						return 0
+					}
+					return float64(dc.ChannelBusyTime(ch)) / float64(now)
+				})
+		}
+		r.CounterFunc("relief_dram_row_hits_total",
+			"Bursts that hit an open row (detailed DRAM).",
+			func() float64 { return float64(dc.RowHits) })
+		r.CounterFunc("relief_dram_row_misses_total",
+			"Bursts that required activate (detailed DRAM).",
+			func() float64 { return float64(dc.RowMisses) })
+		r.CounterFunc("relief_dram_refreshes_total",
+			"Refresh windows charged (detailed DRAM).",
+			func() float64 { return float64(dc.Refreshes) })
+	}
+
+	// Fault injection and recovery (all zero without a plan).
+	r.CounterFunc("relief_watchdog_fires_total",
+		"Watchdog expirations that triggered recovery.",
+		func() float64 { return float64(m.st.Faults.WatchdogFires) })
+	r.CounterFunc("relief_task_retries_total",
+		"Task re-dispatch attempts.",
+		func() float64 { return float64(m.st.Faults.Retries) })
+	r.CounterFunc("relief_dags_aborted_total",
+		"DAG instances cancelled by recovery.",
+		func() float64 { return float64(m.st.Faults.DAGsAborted) })
+	r.CounterFunc("relief_instance_deaths_total",
+		"Accelerator instances permanently lost.",
+		func() float64 { return float64(m.st.Faults.InstanceDeaths) })
+}
+
+// byKindName returns the accel kind name for ready-queue labels.
+func (m *Manager) byKindName(kind int) string {
+	if len(m.byKind[kind]) > 0 {
+		return m.byKind[kind][0].Kind.String()
+	}
+	return fmt.Sprintf("kind%d", kind)
+}
+
+// noteDMAInput attributes one completed input transfer: the pure component
+// is the front-end setup plus the idle-SoC pipeline time of the path; the
+// stall is whatever queueing, bandwidth sharing, row misses, refreshes —
+// and, under fault injection, injected stall bursts — added on top. Both
+// are accumulated on the node for attribution and fed to the DMA
+// histograms. Only called when m.met != nil.
+func (m *Manager) noteDMAInput(ns *nodeState, path []mem.Server, bytes int64, res mem.TransferResult) {
+	dur := res.End - res.Start
+	pure := m.cfg.DMASetup + mem.UnloadedTime(path, bytes)
+	if pure > dur {
+		pure = dur
+	}
+	ns.dmaPure += pure
+	ns.dmaStall += dur - pure
+	m.metDMAXfer.Observe(pure.Microseconds())
+	m.metDMAStall.Observe((dur - pure).Microseconds())
+}
+
+// noteDMAXfer feeds the DMA histograms for a transfer that is not part of
+// any node's input phase (write-backs). Only called when m.met != nil.
+func (m *Manager) noteDMAXfer(path []mem.Server, bytes int64, res mem.TransferResult) {
+	dur := res.End - res.Start
+	pure := m.cfg.DMASetup + mem.UnloadedTime(path, bytes)
+	if pure > dur {
+		pure = dur
+	}
+	m.metDMAXfer.Observe(pure.Microseconds())
+	m.metDMAStall.Observe((dur - pure).Microseconds())
+}
+
+// observeAttribution decomposes a finished node's end-to-end latency into
+// scheduling wait, pure DMA transfer, DMA contention stall, compute, and
+// writeback/completion tail, and adds the split to the registry's
+// per-application attribution record. The five components sum exactly to
+// finish-ReadyAt: the input phase (StartAt to compute start) splits into
+// the node's accumulated pure-transfer time and the contention remainder
+// (DMA-engine queueing, shared-link stalls, write-back waits); everything
+// after compute end — deferred write-back of leaves, ISR wait for the
+// completion interrupt — lands in the writeback tail. Only called when
+// m.met != nil.
+func (m *Manager) observeAttribution(n *graph.Node, ns *nodeState, now sim.Time) {
+	wait := n.StartAt - n.ReadyAt
+	if wait < 0 {
+		wait = 0
+	}
+	computeStart := ns.computeStart
+	if computeStart < n.StartAt {
+		computeStart = n.StartAt
+	}
+	inputPhase := computeStart - n.StartAt
+	pure := ns.dmaPure
+	if pure > inputPhase {
+		pure = inputPhase
+	}
+	stall := inputPhase - pure
+	compute := ns.computeDur
+	wb := now - (computeStart + compute)
+	if wb < 0 {
+		wb = 0
+		compute = now - computeStart
+	}
+	m.met.ObserveNodeLatency(n.DAG.App, wait, pure, stall, compute, wb)
+}

@@ -160,6 +160,7 @@ func tryClaim(t *transfer) bool {
 	}
 	if occ != nil {
 		occ.cl = c
+		occ.Claims++
 	}
 	c.ev = c.k.At(c.lastEnd[S-1], c.complete)
 	return true
@@ -411,6 +412,9 @@ func (c *claim) materialize() {
 		return
 	}
 	c.released = true
+	if c.occ != nil {
+		c.occ.Conflicts++
+	}
 	now := c.k.Now()
 	c.k.Cancel(c.ev)
 	for _, r := range c.stages {

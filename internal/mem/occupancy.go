@@ -18,6 +18,12 @@ type Occupancy struct {
 	since  sim.Time // start of the current union busy period
 	acc    sim.Time // accumulated closed union busy periods
 	cl     *claim   // active analytic claim over attached resources, if any
+
+	// Claims counts analytic transfer claims anchored on this tracker;
+	// Conflicts the subset folded back to chunk-wise state early because a
+	// second stream touched the path (a direct measure of DMA path
+	// collisions, exported by the metrics layer).
+	Claims, Conflicts int64
 }
 
 // NewOccupancy returns an empty union tracker.

@@ -1,0 +1,44 @@
+package mem
+
+import "relief/internal/sim"
+
+// UnloadedTime returns the end-to-end pipeline time of an n-byte transfer
+// over the path if every stage were idle: the same closed-form
+// store-and-forward schedule an analytic claim computes (coalesce.go), with
+// the front-end setup excluded. It works for any Server (including the
+// bank-level DRAM controller, whose ServiceTime is its all-row-hit ideal).
+//
+// The metrics layer uses this as the "pure transfer" component of DMA
+// latency attribution: observed duration = setup + UnloadedTime +
+// contention stall, so the stall is whatever queueing, bandwidth sharing,
+// row misses, and refreshes added on top of the idle-SoC schedule.
+func UnloadedTime(path []Server, n int64) sim.Time {
+	if n <= 0 || len(path) == 0 {
+		return 0
+	}
+	C := int((n + DefaultChunkBytes - 1) / DefaultChunkBytes)
+	last := n - int64(C-1)*DefaultChunkBytes
+	U := C - 1 // uniform full-size chunks ahead of the final one
+	var sum, max sim.Time
+	var prevLastEnd sim.Time
+	for s, srv := range path {
+		tau := srv.ServiceTime(DefaultChunkBytes)
+		lam := srv.ServiceTime(last)
+		sum += tau
+		if tau > max {
+			max = tau
+		}
+		// at = service start of the final chunk at this stage: after the
+		// U-th uniform chunk completes here, and after the final chunk
+		// drains from the previous stage.
+		var at sim.Time
+		if U > 0 {
+			at = sum + sim.Time(U-1)*max // endOf(U-1, s)
+		}
+		if s > 0 && prevLastEnd > at {
+			at = prevLastEnd
+		}
+		prevLastEnd = at + lam
+	}
+	return prevLastEnd
+}

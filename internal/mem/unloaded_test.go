@@ -1,0 +1,60 @@
+package mem
+
+import (
+	"fmt"
+	"testing"
+
+	"relief/internal/sim"
+)
+
+// TestUnloadedTimeMatchesIdleTransfer checks the closed form against the
+// event-driven transfer engine on idle resources: with zero setup, an
+// uncontended StartTransfer must finish exactly at UnloadedTime, for both
+// the analytic-claim fast path and the chunk-wise slow path.
+func TestUnloadedTimeMatchesIdleTransfer(t *testing.T) {
+	cases := []struct {
+		stages []float64 // bandwidths in bytes/s
+		bytes  int64
+	}{
+		{[]float64{6.4 * GB}, 4096},
+		{[]float64{6.4 * GB}, 100_000},
+		{[]float64{6.4 * GB, 14.9 * GB}, 262144},
+		{[]float64{14.9 * GB, 6.4 * GB}, 262144},
+		{[]float64{6.4 * GB, 14.9 * GB, 10 * GB}, 1_000_001},
+		{[]float64{6.4 * GB}, 1}, // sub-chunk transfer
+		{[]float64{6.4 * GB, 14.9 * GB}, 4096},
+	}
+	for _, coalesce := range []bool{true, false} {
+		saved := coalesceEnabled
+		coalesceEnabled = coalesce
+		for _, tc := range cases {
+			k := sim.NewKernel()
+			path := make([]Server, len(tc.stages))
+			for i, bw := range tc.stages {
+				path[i] = NewResource(k, fmt.Sprintf("s%d", i), bw)
+			}
+			var got sim.Time
+			StartTransfer(k, path, tc.bytes, 0, func(res TransferResult) {
+				got = res.End - res.Start
+			})
+			k.Run()
+			want := UnloadedTime(path, tc.bytes)
+			if got != want {
+				t.Errorf("coalesce=%v stages=%v bytes=%d: transfer=%v UnloadedTime=%v",
+					coalesce, tc.stages, tc.bytes, got, want)
+			}
+		}
+		coalesceEnabled = saved
+	}
+}
+
+func TestUnloadedTimeDegenerate(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewResource(k, "r", GB)
+	if UnloadedTime([]Server{r}, 0) != 0 {
+		t.Error("zero bytes must cost 0")
+	}
+	if UnloadedTime(nil, 4096) != 0 {
+		t.Error("empty path must cost 0")
+	}
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import "relief/internal/sim"
+
+// AttrBucket sums the latency decomposition of the completed nodes it
+// covers. The five components partition each node's end-to-end latency
+// (ready to finish) exactly:
+//
+//   - SchedWait:  ready-queue wait, node ready until launched
+//   - DMAPure:    the input transfers' unloaded pipeline time plus DMA
+//     setup — what the data movement would cost on an idle SoC
+//   - DMAStall:   the rest of the input phase — DMA-engine queueing,
+//     interconnect/DRAM contention, and write-back drains
+//   - Compute:    accelerator busy time
+//   - Writeback:  completion tail (leaf output write-back to main memory;
+//     for interior nodes only the manager-ISR service wait)
+type AttrBucket struct {
+	Nodes     int
+	SchedWait sim.Time
+	DMAPure   sim.Time
+	DMAStall  sim.Time
+	Compute   sim.Time
+	Writeback sim.Time
+	Total     sim.Time
+}
+
+func (b *AttrBucket) add(wait, pure, stall, compute, wb sim.Time) {
+	b.Nodes++
+	b.SchedWait += wait
+	b.DMAPure += pure
+	b.DMAStall += stall
+	b.Compute += compute
+	b.Writeback += wb
+	b.Total += wait + pure + stall + compute + wb
+}
+
+// share returns component/Total in percent.
+func (b *AttrBucket) share(c sim.Time) float64 {
+	if b.Total <= 0 {
+		return 0
+	}
+	return 100 * float64(c) / float64(b.Total)
+}
+
+// Shares returns the five components as percentages of Total, in
+// (wait, dmaPure, dmaStall, compute, writeback) order.
+func (b *AttrBucket) Shares() (wait, pure, stall, compute, wb float64) {
+	return b.share(b.SchedWait), b.share(b.DMAPure), b.share(b.DMAStall),
+		b.share(b.Compute), b.share(b.Writeback)
+}
+
+// StallShare returns the contention-stall fraction of total latency in
+// percent — the headline "why was this policy slow" number.
+func (b *AttrBucket) StallShare() float64 { return b.share(b.DMAStall) }
+
+// Attribution is the per-policy latency attribution record: one bucket per
+// application plus the run total.
+type Attribution struct {
+	Policy string
+	Apps   map[string]*AttrBucket
+	Total  AttrBucket
+}
+
+func (a *Attribution) bucket(app string) *AttrBucket {
+	if a.Apps == nil {
+		a.Apps = make(map[string]*AttrBucket)
+	}
+	b, ok := a.Apps[app]
+	if !ok {
+		b = &AttrBucket{}
+		a.Apps[app] = b
+	}
+	return b
+}
+
+// ObserveNodeLatency records one completed node's latency decomposition
+// under the given application and feeds the node-latency histograms. All
+// components must be non-negative; their sum is the node's end-to-end
+// latency.
+func (r *Registry) ObserveNodeLatency(app string, wait, dmaPure, dmaStall, compute, writeback sim.Time) {
+	if r == nil {
+		return
+	}
+	r.attr.bucket(app).add(wait, dmaPure, dmaStall, compute, writeback)
+	r.attr.Total.add(wait, dmaPure, dmaStall, compute, writeback)
+	if r.hNodeLatency == nil {
+		r.hNodeLatency = r.Histogram("relief_node_latency_us",
+			"end-to-end node latency, ready to finish (microseconds)")
+		r.hSchedWait = r.Histogram("relief_node_sched_wait_us",
+			"ready-queue wait per node (microseconds)")
+		r.hNodeStall = r.Histogram("relief_node_dma_stall_us",
+			"DMA contention stall per node (microseconds)")
+	}
+	total := wait + dmaPure + dmaStall + compute + writeback
+	r.hNodeLatency.Observe(total.Microseconds())
+	r.hSchedWait.Observe(wait.Microseconds())
+	r.hNodeStall.Observe(dmaStall.Microseconds())
+}
+
+// Attribution returns the collected latency attribution record (nil on a
+// nil registry).
+func (r *Registry) Attribution() *Attribution {
+	if r == nil {
+		return nil
+	}
+	return &r.attr
+}

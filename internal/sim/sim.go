@@ -59,6 +59,7 @@ type Event struct {
 	next      *Event // free-list link while recycled
 	queued    bool
 	cancelled bool
+	weak      bool
 }
 
 // At returns the time the event is scheduled to fire.
@@ -115,6 +116,25 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Event {
 
 // At arranges for fn to run at absolute time t (clamped to now).
 func (k *Kernel) At(t Time, fn func()) *Event {
+	return k.at(t, fn, false)
+}
+
+// ScheduleWeak arranges for fn to run delay picoseconds from now as a weak
+// event. Weak events fire only while ordinary events remain queued: when a
+// weak event reaches the top of the heap with no ordinary event left behind
+// it, the run is over and the event is discarded without firing — and,
+// crucially, without advancing the clock. Weak events are excluded from
+// Pending. They exist for observers (e.g. periodic metrics probes) that must
+// piggyback on a simulation without ever extending it; their callbacks
+// should read state only, not schedule ordinary events.
+func (k *Kernel) ScheduleWeak(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.at(k.now+delay, fn, true)
+}
+
+func (k *Kernel) at(t Time, fn func(), weak bool) *Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
@@ -135,8 +155,11 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	e.seq = k.seq
 	e.fn = fn
 	e.queued = true
+	e.weak = weak
 	k.seq++
-	k.live++
+	if !weak {
+		k.live++
+	}
 	k.push(e)
 	return e
 }
@@ -153,14 +176,17 @@ func (k *Kernel) Cancel(e *Event) {
 		// Removal is lazy: the event stays queued and is discarded when it
 		// reaches the top of the heap.
 		e.fn = nil
-		k.live--
+		if !e.weak {
+			k.live--
+		}
 	}
 }
 
 // Halt stops the current Run/RunUntil loop after the in-flight event returns.
 func (k *Kernel) Halt() { k.halted = true }
 
-// Pending reports how many non-cancelled events are queued.
+// Pending reports how many non-cancelled ordinary (non-weak) events are
+// queued.
 func (k *Kernel) Pending() int { return k.live }
 
 // Run dispatches events until the queue is empty or Halt is called.
@@ -183,11 +209,15 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		}
 		k.pop()
 		next.queued = false
-		if next.cancelled {
+		// Cancelled events and trailing weak events (nothing ordinary left
+		// to outlast them) are discarded without advancing the clock.
+		if next.cancelled || (next.weak && k.live == 0) {
 			k.recycle(next)
 			continue
 		}
-		k.live--
+		if !next.weak {
+			k.live--
+		}
 		k.now = next.at
 		k.curBorn = next.born
 		k.fired++

@@ -244,3 +244,43 @@ func TestQuickNestedScheduling(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWeakEventsFireOnlyAmongOrdinaryWork(t *testing.T) {
+	k := NewKernel()
+	var weakAt []Time
+	var rearm func()
+	rearm = func() {
+		weakAt = append(weakAt, k.Now())
+		k.ScheduleWeak(10, rearm)
+	}
+	k.ScheduleWeak(10, rearm)
+	if k.Pending() != 0 {
+		t.Fatalf("weak events must not count toward Pending, got %d", k.Pending())
+	}
+	k.Schedule(25, func() {})
+	end := k.Run()
+	// Weak ticks at 10 and 20 have the ordinary event at 25 behind them and
+	// fire; the re-armed tick at 30 outlives all ordinary work and must be
+	// discarded without firing or advancing the clock.
+	if want := []Time{10, 20}; len(weakAt) != 2 || weakAt[0] != want[0] || weakAt[1] != want[1] {
+		t.Fatalf("weak ticks fired at %v, want %v", weakAt, want)
+	}
+	if end != 25 {
+		t.Fatalf("trailing weak event advanced the clock: end = %v, want 25", end)
+	}
+}
+
+func TestWeakEventCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	e := k.ScheduleWeak(5, func() { ran = true })
+	k.Schedule(10, func() {})
+	k.Cancel(e)
+	if k.Pending() != 1 {
+		t.Fatalf("cancelling a weak event disturbed Pending: %d", k.Pending())
+	}
+	k.Run()
+	if ran {
+		t.Fatal("cancelled weak event ran")
+	}
+}

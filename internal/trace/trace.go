@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"relief/internal/sim"
 )
@@ -54,6 +55,50 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
+// ParseKinds parses a comma-separated list of kind names ("compute,
+// writeback") into kinds. Names match the String() forms; whitespace
+// around entries is ignored.
+func ParseKinds(csv string) ([]Kind, error) {
+	var out []Kind
+	for _, part := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		found := false
+		for k, kn := range kindNames {
+			if kn == name {
+				out = append(out, Kind(k))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("trace: unknown event kind %q (known: %s)",
+				name, strings.Join(kindNames[:], ", "))
+		}
+	}
+	return out, nil
+}
+
+// Filter returns the subset of events whose kind is in kinds (all events
+// when kinds is empty).
+func Filter(events []Event, kinds ...Kind) []Event {
+	if len(kinds) == 0 {
+		return events
+	}
+	var out []Event
+	for _, e := range events {
+		for _, k := range kinds {
+			if e.Kind == k {
+				out = append(out, e)
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Event is one recorded interval (or instant, when End == Start).
 type Event struct {
 	Kind  Kind
@@ -68,7 +113,14 @@ type Event struct {
 // Recorder accumulates events. The zero value is ready to use.
 type Recorder struct {
 	events []Event
-	open   map[openKey]int // index of in-flight interval per (lane,name,kind)
+	// open holds the in-flight interval indices per (lane,name,kind),
+	// newest last, so same-identity intervals may overlap: End closes the
+	// most recent open Begin (LIFO).
+	open map[openKey][]int
+	// cap bounds len(events); once reached, further events are counted in
+	// dropped instead of stored (0 = unbounded).
+	cap     int
+	dropped uint64
 }
 
 type openKey struct {
@@ -79,7 +131,37 @@ type openKey struct {
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{open: make(map[openKey]int)}
+	return &Recorder{open: make(map[openKey][]int)}
+}
+
+// SetMaxEvents bounds the recorder to n stored events (0 = unbounded).
+// Events recorded past the cap are not stored; their count is reported by
+// Dropped and flagged at export, so million-iteration runs can trace
+// without unbounded memory growth. Begin/End pairing degrades after the
+// cap (a dropped Begin's End may close an older same-identity interval);
+// the dropped counter signals that the tail is incomplete.
+func (r *Recorder) SetMaxEvents(n int) {
+	if r == nil {
+		return
+	}
+	r.cap = n
+}
+
+// Dropped reports the number of events discarded by the SetMaxEvents cap.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// full reports (and counts) a drop when the event cap is reached.
+func (r *Recorder) full() bool {
+	if r.cap > 0 && len(r.events) >= r.cap {
+		r.dropped++
+		return true
+	}
+	return false
 }
 
 // Enabled reports whether events are being recorded. Every method is a
@@ -90,20 +172,26 @@ func (r *Recorder) Enabled() bool { return r != nil }
 
 // Instant records a zero-length event.
 func (r *Recorder) Instant(kind Kind, name, lane string, at sim.Time, meta map[string]string) {
-	if r == nil {
+	if r == nil || r.full() {
 		return
 	}
 	r.events = append(r.events, Event{Kind: kind, Name: name, Lane: lane, Start: at, End: at, Meta: meta})
 }
 
-// Begin opens an interval; End closes it. Unmatched Begins are closed at
-// export time with their start timestamp.
+// Begin opens an interval; End closes it. Same-identity intervals may
+// overlap: each Begin pushes onto a per-identity stack and End pops the
+// most recent. Unmatched Begins are closed at export time with their start
+// timestamp.
 func (r *Recorder) Begin(kind Kind, name, lane string, at sim.Time, meta map[string]string) {
-	if r == nil {
+	if r == nil || r.full() {
 		return
 	}
 	r.events = append(r.events, Event{Kind: kind, Name: name, Lane: lane, Start: at, End: -1, Meta: meta})
-	r.open[openKey{kind, name, lane}] = len(r.events) - 1
+	if r.open == nil {
+		r.open = make(map[openKey][]int)
+	}
+	k := openKey{kind, name, lane}
+	r.open[k] = append(r.open[k], len(r.events)-1)
 }
 
 // End closes the most recent open interval with the same identity.
@@ -112,15 +200,20 @@ func (r *Recorder) End(kind Kind, name, lane string, at sim.Time) {
 		return
 	}
 	k := openKey{kind, name, lane}
-	if i, ok := r.open[k]; ok {
-		r.events[i].End = at
-		delete(r.open, k)
+	st := r.open[k]
+	if n := len(st); n > 0 {
+		r.events[st[n-1]].End = at
+		if n == 1 {
+			delete(r.open, k)
+		} else {
+			r.open[k] = st[:n-1]
+		}
 	}
 }
 
 // Span records a complete interval in one call.
 func (r *Recorder) Span(kind Kind, name, lane string, start, end sim.Time, meta map[string]string) {
-	if r == nil {
+	if r == nil || r.full() {
 		return
 	}
 	r.events = append(r.events, Event{Kind: kind, Name: name, Lane: lane, Start: start, End: end, Meta: meta})
@@ -151,9 +244,24 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// WriteText renders a fixed-width timeline, one line per event.
+// WriteText renders a fixed-width timeline, one line per event, with a
+// trailer noting events lost to the SetMaxEvents cap.
 func (r *Recorder) WriteText(w io.Writer) error {
-	for _, e := range r.Events() {
+	if err := WriteTextEvents(w, r.Events()); err != nil {
+		return err
+	}
+	if d := r.Dropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "... %d events dropped (cap %d)\n", d, r.cap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteTextEvents renders an event slice (e.g. a Filter result) as the
+// fixed-width timeline format of Recorder.WriteText.
+func WriteTextEvents(w io.Writer, events []Event) error {
+	for _, e := range events {
 		var err error
 		if e.Start == e.End {
 			_, err = fmt.Fprintf(w, "%12v  %-10s %-22s %s\n", e.Start, e.Kind, e.Lane, e.Name)
@@ -188,9 +296,19 @@ type chromeMeta struct {
 }
 
 // WriteChromeTrace emits the events as a Chrome/Perfetto trace-event JSON
-// array, one thread row per lane.
+// array, one thread row per lane. Events lost to the SetMaxEvents cap are
+// reported in a trailing metadata record.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	events := r.Events()
+	return writeChrome(w, r.Events(), r.Dropped())
+}
+
+// WriteChromeEvents emits an event slice (e.g. a Filter result) in the
+// Chrome trace-event JSON format of Recorder.WriteChromeTrace.
+func WriteChromeEvents(w io.Writer, events []Event) error {
+	return writeChrome(w, events, 0)
+}
+
+func writeChrome(w io.Writer, events []Event, dropped uint64) error {
 	lanes := map[string]int{}
 	var laneNames []string
 	for _, e := range events {
@@ -222,6 +340,12 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			ce.Dur = 0
 		}
 		out = append(out, ce)
+	}
+	if dropped > 0 {
+		out = append(out, chromeMeta{
+			Name: "trace_dropped_events", Ph: "M", PID: 1, TID: 0,
+			Args: map[string]any{"count": dropped},
+		})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -126,3 +126,145 @@ func TestWriteChromeTrace(t *testing.T) {
 		t.Fatalf("expected 2 lanes, got %d", len(tids))
 	}
 }
+
+func TestOverlappingSameIdentityIntervals(t *testing.T) {
+	// Two Begins with the same (kind,name,lane) before any End: End must
+	// close the most recent open interval (LIFO), not clobber the first.
+	r := NewRecorder()
+	r.Begin(Schedule, "isr", "manager", 10, nil)
+	r.Begin(Schedule, "isr", "manager", 20, nil)
+	r.End(Schedule, "isr", "manager", 25) // closes the 20 interval
+	r.End(Schedule, "isr", "manager", 40) // closes the 10 interval
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Start != 10 || evs[0].End != 40 {
+		t.Errorf("outer interval = [%v,%v], want [10,40]", evs[0].Start, evs[0].End)
+	}
+	if evs[1].Start != 20 || evs[1].End != 25 {
+		t.Errorf("inner interval = [%v,%v], want [20,25]", evs[1].Start, evs[1].End)
+	}
+}
+
+func TestEventCapAndDroppedCounter(t *testing.T) {
+	r := NewRecorder()
+	r.SetMaxEvents(2)
+	r.Span(TaskCompute, "a", "l", 0, 1, nil)
+	r.Instant(Release, "b", "l", 2, nil)
+	r.Span(TaskCompute, "c", "l", 3, 4, nil) // dropped
+	r.Begin(TaskInput, "d", "l", 5, nil)     // dropped
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "2 events dropped (cap 2)") {
+		t.Fatalf("text export missing dropped trailer:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace_dropped_events") {
+		t.Fatalf("chrome export missing dropped metadata:\n%s", buf.String())
+	}
+}
+
+func TestParseKindsAndFilter(t *testing.T) {
+	ks, err := ParseKinds(" compute, writeback ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 || ks[0] != TaskCompute || ks[1] != Writeback {
+		t.Fatalf("ParseKinds = %v", ks)
+	}
+	if _, err := ParseKinds("compute,nope"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	events := []Event{
+		{Kind: TaskCompute, Name: "a"},
+		{Kind: Forward, Name: "b"},
+		{Kind: Writeback, Name: "c"},
+	}
+	got := Filter(events, ks...)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "c" {
+		t.Fatalf("Filter = %+v", got)
+	}
+	if len(Filter(events)) != 3 {
+		t.Fatal("empty kind set must keep everything")
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	r := NewRecorder()
+	r.Span(TaskCompute, "n1", "em#0", sim.Microsecond, 3*sim.Microsecond, nil)
+	r.Instant(Release, "dag", "manager", 0, nil)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if got != chromeGolden {
+		t.Fatalf("chrome trace JSON changed.\ngot:  %s\nwant: %s", got, chromeGolden)
+	}
+}
+
+func TestChromeTraceNonNegativeTsDur(t *testing.T) {
+	// Pseudo-random event soup (fixed seed): whatever the recorder is fed —
+	// including dangling Begins and unmatched Ends — the Chrome export must
+	// only contain non-negative timestamps and durations.
+	r := NewRecorder()
+	x := uint64(12345)
+	next := func(n uint64) uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x % n
+	}
+	names := []string{"a", "b", "c"}
+	lanes := []string{"l0", "l1"}
+	for i := 0; i < 500; i++ {
+		k := Kind(next(8))
+		name := names[next(3)]
+		lane := lanes[next(2)]
+		at := sim.Time(next(1000)) * sim.Microsecond
+		switch next(4) {
+		case 0:
+			r.Begin(k, name, lane, at, nil)
+		case 1:
+			r.End(k, name, lane, at)
+		case 2:
+			r.Span(k, name, lane, at, at+sim.Time(next(100))*sim.Microsecond, nil)
+		default:
+			r.Instant(k, name, lane, at, nil)
+		}
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, rec := range out {
+		if ts, ok := rec["ts"].(float64); ok && ts < 0 {
+			t.Fatalf("negative ts in %v", rec)
+		}
+		if dur, ok := rec["dur"].(float64); ok && dur < 0 {
+			t.Fatalf("negative dur in %v", rec)
+		}
+	}
+}
+
+// chromeGolden locks the Chrome trace-event JSON encoding of a two-event
+// recorder: lane metadata first (in first-seen order of the sorted events),
+// then instants as ph="i" and spans as ph="X" with microsecond ts/dur.
+const chromeGolden = `[{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"manager"}},{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"em#0"}},{"name":"dag","cat":"release","ph":"i","ts":0,"dur":0,"pid":1,"tid":1},{"name":"n1","cat":"compute","ph":"X","ts":1,"dur":2,"pid":1,"tid":2}]
+`

@@ -152,3 +152,11 @@ func (ic *Interconnect) Occupancy() float64 {
 	}
 	return float64(ic.occ.Busy()) / float64(now)
 }
+
+// ClaimStats reports analytic DMA claim activity over the interconnect's
+// links: claims installed, and conflicts — claims folded back to chunk-wise
+// service early because a second stream touched the path. The conflict
+// count is a direct measure of DMA path collisions on the interconnect.
+func (ic *Interconnect) ClaimStats() (claims, conflicts int64) {
+	return ic.occ.Claims, ic.occ.Conflicts
+}

@@ -31,6 +31,7 @@ import (
 	"relief/internal/fault"
 	"relief/internal/graph"
 	"relief/internal/manager"
+	"relief/internal/metrics"
 	"relief/internal/predict"
 	"relief/internal/sched"
 	"relief/internal/sim"
@@ -190,6 +191,15 @@ type TraceRecorder = trace.Recorder
 // NewTraceRecorder returns an empty timeline recorder to pass in Config.
 func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
 
+// MetricsRegistry collects simulated-time telemetry: probe-sampled counters
+// and gauges, latency histograms, and per-task latency attribution (see
+// internal/metrics and docs/OBSERVABILITY.md). Export the collected state
+// with its WriteCSV, WriteJSON, and WritePrometheus methods after Run.
+type MetricsRegistry = metrics.Registry
+
+// NewMetricsRegistry returns an empty registry to pass via WithMetrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
 // FaultPlan is a deterministic fault-injection specification (see
 // docs/FAULTS.md); FaultRateSet holds its per-event probabilities. A
 // zero-rate plan is timing-neutral: results are bit-identical to no plan.
@@ -229,6 +239,17 @@ func WithMaxRetries(n int) Option {
 // (0 = default 2 µs).
 func WithRetryBackoff(d Time) Option {
 	return Option{func(c *manager.Config) { c.RetryBackoff = d }}
+}
+
+// WithMetrics attaches a telemetry registry to the simulation. Probes are
+// read-only: a metricised run produces bit-identical simulation results.
+func WithMetrics(r *MetricsRegistry) Option {
+	return Option{func(c *manager.Config) { c.Metrics = r }}
+}
+
+// WithMetricsInterval sets the probe sampling period (0 = 50 µs default).
+func WithMetricsInterval(d Time) Option {
+	return Option{func(c *manager.Config) { c.MetricsInterval = d }}
 }
 
 // System is a configured SoC simulation accepting DAG submissions.

@@ -19,3 +19,16 @@ go test -race -short ./...
 
 echo "== bench smoke"
 go test -run '^$' -bench 'BenchmarkFig4$' -benchtime=1x -benchmem .
+
+echo "== metrics smoke"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/relief-sim -mix C -policy RELIEF -metrics "$tmp/m" >/dev/null
+grep -q '"schema": "relief-metrics/1"' "$tmp/m.json"
+test -s "$tmp/m.csv"
+grep -q '^# TYPE' "$tmp/m.prom"
+
+echo "== bench report smoke"
+go build -o "$tmp/relief-bench" ./cmd/relief-bench
+(cd "$tmp" && ./relief-bench -exp fig12 -benchjson auto >/dev/null)
+grep -q '"schema": "relief-bench/1"' "$tmp"/BENCH_*.json
