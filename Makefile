@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-smoke ci clean
+.PHONY: all build test vet lint race bench bench-smoke ci clean
 
 all: build
 
@@ -12,6 +12,16 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (determinism / hot-path / API
+# invariants; see docs/LINTING.md), plus staticcheck when installed.
+lint:
+	$(GO) run ./cmd/relief-lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 # Race-detector pass over the short suite (the golden digests and long
 # sweeps are skipped; the parallel sweep harness is the code under test).

@@ -1,0 +1,132 @@
+// relief-lint statically enforces the simulator's determinism, hot-path,
+// and API invariants (see docs/LINTING.md). It runs in two modes:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/relief-lint ./...          # human-readable, exit 1 on findings
+//	go run ./cmd/relief-lint -json ./...    # machine-readable findings array
+//
+// As a vet tool, speaking cmd/go's unitchecker protocol:
+//
+//	go build -o relief-lint ./cmd/relief-lint
+//	go vet -vettool=$PWD/relief-lint ./...
+//
+// Findings are suppressed by a //lint:allow <analyzer> <reason> comment on
+// the offending line or the line directly above.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"relief/internal/lint"
+	"relief/internal/lint/load"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file, line, col, analyzer, message)")
+	vFlag := flag.String("V", "", "if 'full', print the tool version for cmd/go's build cache and exit")
+	flagsFlag := flag.Bool("flags", false, "print the tool's flag definitions as JSON (cmd/go vet handshake) and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	switch {
+	case *vFlag == "full":
+		printVersion()
+		return
+	case *vFlag != "":
+		fmt.Fprintf(os.Stderr, "relief-lint: unsupported flag -V=%s\n", *vFlag)
+		os.Exit(2)
+	case *flagsFlag:
+		printFlagDefs()
+		return
+	}
+
+	// Unitchecker mode: cmd/go vet invokes the tool with a single *.cfg
+	// argument describing one package unit.
+	if flag.NArg() == 1 && strings.HasSuffix(flag.Arg(0), ".cfg") {
+		unitcheck(flag.Arg(0), *jsonOut)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	fset, pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relief-lint:", err)
+		os.Exit(2)
+	}
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		fs, err := lint.RunPackage(fset, pkg.Files, pkg.Types, pkg.TypesInfo, lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relief-lint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	emit(findings, *jsonOut)
+	if len(findings) > 0 && !*jsonOut {
+		os.Exit(1)
+	}
+}
+
+// emit prints findings with file paths relative to the working directory
+// when possible. In -json mode the output is always a well-formed array
+// (possibly empty) so CI can parse it unconditionally.
+func emit(findings []lint.Finding, jsonOut bool) {
+	if cwd, err := os.Getwd(); err == nil {
+		for i := range findings {
+			if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+				findings[i].File = rel
+			}
+		}
+	}
+	if jsonOut {
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "relief-lint:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: relief-lint [-json] [packages...]
+
+Analyzers:
+`)
+	for _, a := range lint.All() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nFlags:\n")
+	flag.PrintDefaults()
+}
+
+// printFlagDefs emits the analysisflags-style JSON flag listing cmd/go
+// vet requests (via `relief-lint -flags`) to validate pass-through flags.
+func printFlagDefs() {
+	type jsonFlag struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	defs := []jsonFlag{{Name: "json", Bool: true, Usage: "emit findings as a JSON array"}}
+	data, _ := json.Marshal(defs)
+	os.Stdout.Write(data)
+	fmt.Println()
+}

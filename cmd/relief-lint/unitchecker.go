@@ -1,0 +1,140 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"relief/internal/lint"
+	"relief/internal/lint/load"
+)
+
+// unitConfig mirrors the JSON configuration cmd/go vet writes for each
+// package unit when driving a -vettool (the x/tools unitchecker wire
+// format). Fields the relief analyzers do not need (facts, vetx files of
+// dependencies) are accepted and ignored.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package unit described by cfgFile and exits.
+// Diagnostics go to stderr as file:line:col lines (exit 2), or to stdout
+// as a JSON array with -json (exit 0), mirroring unitchecker conventions.
+func unitcheck(cfgFile string, jsonOut bool) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgFile, err)
+	}
+	// The driver has no cross-package facts, but cmd/go expects the
+	// output file to exist for every unit, including VetxOnly ones.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var names []string
+	for _, f := range cfg.GoFiles {
+		names = append(names, filepath.Base(f))
+	}
+	dir := cfg.Dir
+	if dir == "" && len(cfg.GoFiles) > 0 {
+		dir = filepath.Dir(cfg.GoFiles[0])
+	}
+	files, err := load.ParseDir(fset, dir, names)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("parsing %s: %v", cfg.ImportPath, err)
+	}
+	// Imports resolve through the export files cmd/go supplies: the
+	// import path is first run through ImportMap, then looked up.
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	imp := &mappedImporter{base: load.ExportImporter(fset, exports), importMap: cfg.ImportMap}
+	pkg, info, err := load.Check(fset, imp, cfg.ImportPath, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("%v", err)
+	}
+	findings, err := lint.RunPackage(fset, files, pkg, info, lint.All())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if jsonOut {
+		emit(findings, true)
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// mappedImporter applies cmd/go's ImportMap (vendor and module version
+// mapping) before delegating to the export-data importer.
+type mappedImporter struct {
+	base      types.Importer
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if real, ok := m.importMap[path]; ok {
+		path = real
+	}
+	return m.base.Import(path)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "relief-lint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// printVersion implements the -V=full handshake cmd/go uses to compute a
+// tool ID for its build cache: the output must be one line of the form
+// "<name> version <distinguishing string>". Hashing the executable makes
+// rebuilt tools invalidate cached vet results.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", strings.TrimSuffix(name, ".exe"), h.Sum(nil))
+}

@@ -102,7 +102,16 @@ func (r *RELIEF) EnqueueReady(queues sched.Queues, ready []*graph.Node, idle fun
 		scanned += pos
 	}
 	base := r.base()
-	for k, lst := range fwd {
+	// Iterate kinds in sorted order: map order is randomized, and the
+	// escalated list (and any future order-sensitive consumer of it) must
+	// not depend on it.
+	kinds := make([]int, 0, len(fwd))
+	for k := range fwd {
+		kinds = append(kinds, k)
+	}
+	sort.Ints(kinds)
+	for _, k := range kinds {
+		lst := fwd[k]
 		maxForwards := idle(k)
 		q := queues[k]
 		for _, node := range lst {

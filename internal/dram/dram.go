@@ -148,6 +148,8 @@ func (ch *channel) pending() int { return len(ch.queue) - ch.head }
 // take removes and returns the burst at absolute index i (i >= ch.head),
 // shifting the [head, i) prefix right by one. Cost is O(i-head), bounded
 // by the scheduling window.
+//
+//relief:hotpath
 func (ch *channel) take(i int) burst {
 	b := ch.queue[i]
 	copy(ch.queue[ch.head+1:i+1], ch.queue[ch.head:i])
@@ -359,6 +361,8 @@ func (c *Controller) Enqueue(n int64, done func()) {
 
 // pick selects the next burst's absolute queue index per the scheduling
 // policy.
+//
+//relief:hotpath
 func (c *Controller) pick(ch *channel) int {
 	if ch.pending() == 0 {
 		return -1
@@ -392,6 +396,8 @@ func (c *Controller) pick(ch *channel) int {
 // first request completion (its done callback can enqueue new work) or at
 // the first pick an arrival could win (an FR-FCFS fallback-to-oldest, or a
 // drained queue); a single event then materializes the run's outcome.
+//
+//relief:hotpath
 func (c *Controller) serve(ch *channel) {
 	start := c.k.Now()
 	vnow := start

@@ -1,0 +1,66 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface that relief-lint needs.
+//
+// The container this project builds in has no module proxy access, so the
+// real x/tools framework cannot be vendored; this package keeps the same
+// shape (Analyzer, Pass, Diagnostic, a Run function returning diagnostics)
+// so the analyzers in internal/lint can be ported to the upstream
+// framework mechanically if x/tools ever becomes available. Facts,
+// analyzer dependencies, and suggested fixes are intentionally out of
+// scope: the relief analyzers are all single-pass syntax+types checks.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow <name> directives. It must be a valid identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Report and returns an error only for internal failures (a
+	// package that fails to load is handled before Run is called).
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records a diagnostic. It may be called concurrently only if
+	// the analyzer itself is concurrent (none of relief's are).
+	Report func(Diagnostic)
+}
+
+// Reportf is a convenience wrapper constructing a Diagnostic from a
+// position and a format string.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Inspect walks every file in the pass in depth-first order, calling f for
+// each node; f returning false prunes the subtree (ast.Inspect semantics).
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"relief/internal/lint/analysis"
+)
+
+// hotpathDirective marks a function whose body must stay allocation-free.
+// It goes in the function's doc comment:
+//
+//	// push inserts e into the 4-ary heap.
+//	//relief:hotpath
+//	func (k *Kernel) push(e *Event) { ... }
+//
+// PR 1's zero-alloc event kernel, DMA chunking, and DRAM burst paths carry
+// the annotation; HotAlloc keeps them honest.
+const hotpathDirective = "//relief:hotpath"
+
+// HotAlloc flags allocation-causing constructs inside functions annotated
+// //relief:hotpath: closures, composite literals that allocate (&T{...},
+// slice and map literals), make/new/append calls, and interface boxing of
+// concrete values at call sites. Amortized or pool-refill allocations that
+// are intentional carry a //lint:allow hotalloc directive with a reason.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocations (composite literals, make/new/append, closures, " +
+		"interface conversions) in functions annotated //relief:hotpath",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotpath reports whether the function's doc comment contains the
+// //relief:hotpath directive. Directive comments are excluded from
+// Doc.Text(), so the raw comment list is scanned.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotpathDirective || strings.HasPrefix(c.Text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "closure allocated in hotpath function %s; hoist it to a field or package-level func", name)
+			return false // the closure body runs later; it is not this hot path
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && !litIsSliceOrMap(pass, lit) {
+					// Slice/map literals are reported by the CompositeLit
+					// case below; avoid double-reporting &[]T{...}.
+					pass.Reportf(e.Pos(), "&composite literal escapes to the heap in hotpath function %s", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if litIsSliceOrMap(pass, e) {
+				pass.Reportf(e.Pos(), "slice/map literal allocates in hotpath function %s", name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, e)
+		}
+		return true
+	})
+}
+
+func litIsSliceOrMap(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func checkHotCall(pass *analysis.Pass, fname string, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make() allocates in hotpath function %s", fname)
+			case "new":
+				pass.Reportf(call.Pos(), "new() allocates in hotpath function %s", fname)
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow the backing array in hotpath function %s", fname)
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	// Explicit conversion to an interface type boxes the operand.
+	if tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok && atv.Type != nil && !types.IsInterface(atv.Type) {
+				pass.Reportf(call.Pos(), "conversion to interface boxes its operand in hotpath function %s", fname)
+			}
+		}
+		return
+	}
+	// Implicit boxing: a concrete argument passed for an interface-typed
+	// parameter (including ...any variadics, e.g. fmt.Sprintf).
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through; no per-arg boxing
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if s, ok := pt.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		atv, ok := info.Types[arg]
+		if !ok || atv.Type == nil || types.IsInterface(atv.Type) {
+			continue
+		}
+		if b, ok := atv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxed into interface parameter in hotpath function %s", fname)
+	}
+}

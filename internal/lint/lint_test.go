@@ -1,0 +1,53 @@
+package lint_test
+
+import (
+	"testing"
+
+	"relief/internal/lint"
+	"relief/internal/lint/analysistest"
+	"relief/internal/lint/load"
+)
+
+// The fixture packages mirror real module paths (testdata/src/relief/...)
+// so analyzer package-scope checks behave exactly as on the real tree.
+
+func TestNoDeterm(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoDeterm, "relief/internal/fault")
+}
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.MapOrder, "relief/internal/manager")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotAlloc, "relief/internal/dram")
+}
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.NoPanic, "relief", "relief/internal/workload")
+}
+
+func TestWeakEvent(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WeakEvent, "relief/internal/metrics")
+}
+
+// TestSuiteCleanOnRealKernel runs the whole suite over the real event
+// kernel package through the production loader: the annotated hot paths
+// and their //lint:allow opt-outs must lint clean, which also exercises
+// the go list/export-data loading pipeline end to end.
+func TestSuiteCleanOnRealKernel(t *testing.T) {
+	fset, pkgs, err := load.Packages("", "relief/internal/sim")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	findings, err := lint.RunPackage(fset, pkgs[0].Files, pkgs[0].Types, pkgs[0].TypesInfo, lint.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+	}
+}

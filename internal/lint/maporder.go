@@ -1,0 +1,251 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"relief/internal/lint/analysis"
+)
+
+// MapOrder flags `range` over a map whose body does order-sensitive work.
+// Go randomizes map iteration order, so any of the following inside such a
+// loop silently breaks bit-for-bit reproducibility:
+//
+//   - appending to a slice declared outside the loop (unless the slice is
+//     sorted later in the same function — the collect-keys-then-sort
+//     idiom);
+//   - scheduling events on sim.Kernel (Schedule/ScheduleWeak/At);
+//   - feeding a hash or digest (method Write/Sum on a crypto/... or hash
+//     package type);
+//   - accumulating into a float declared outside the loop with += / -= /
+//     *= / /= (floating-point addition is not associative).
+//
+// Pure per-key work (writing into another map, integer counters, max/min
+// folds) is order-insensitive and is not flagged.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "forbid order-sensitive work (event scheduling, slice appends, hash " +
+		"writes, float accumulation) inside range-over-map loops",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var funcs []*ast.FuncDecl
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				funcs = append(funcs, fd)
+			}
+		}
+		for _, fd := range funcs {
+			checkMapRanges(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapBody(pass, fd, rng)
+		return true
+	})
+}
+
+func checkMapBody(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			checkMapAssign(pass, fd, rng, s)
+		case *ast.CallExpr:
+			if isKernelMethod(info, s, "Schedule", "ScheduleWeak", "At") {
+				pass.Reportf(s.Pos(),
+					"event scheduled inside range over map: dispatch order would follow randomized map order; iterate sorted keys")
+			} else if isHashSink(info, s) {
+				pass.Reportf(s.Pos(),
+					"hash/digest fed inside range over map: digest value would depend on randomized map order; iterate sorted keys")
+			}
+		}
+		return true
+	})
+}
+
+func checkMapAssign(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, s *ast.AssignStmt) {
+	info := pass.TypesInfo
+	// x = append(x, ...) with x declared outside the loop.
+	if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+		for i, rhs := range s.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isBuiltin(info, call, "append") || i >= len(s.Lhs) {
+				continue
+			}
+			target, ok := ast.Unparen(s.Lhs[i]).(*ast.Ident)
+			if !ok {
+				// Appending to a field or index expression: the storage
+				// outlives the loop by construction.
+				if declaredOutside(info, s.Lhs[i], rng) {
+					reportAppend(pass, fd, rng, s.Lhs[i], s.Pos())
+				}
+				continue
+			}
+			obj := info.Uses[target]
+			if obj == nil {
+				obj = info.Defs[target]
+			}
+			if obj != nil && obj.Pos() < rng.Pos() {
+				reportAppend(pass, fd, rng, target, s.Pos())
+			}
+		}
+		if s.Tok == token.DEFINE {
+			return
+		}
+	}
+	// Float accumulation: x += v, x -= v, x *= v, x /= v.
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := s.Lhs[0]
+		tv, ok := info.Types[lhs]
+		if !ok {
+			return
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+			return
+		}
+		if declaredOutside(info, lhs, rng) {
+			pass.Reportf(s.Pos(),
+				"float accumulation inside range over map: FP addition is not associative, so the sum depends on randomized map order; iterate sorted keys")
+		}
+	}
+}
+
+// reportAppend flags an append into outer storage unless the target is
+// sorted later in the same function (collect-then-sort idiom).
+func reportAppend(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, target ast.Expr, pos token.Pos) {
+	if id, ok := ast.Unparen(target).(*ast.Ident); ok && sortedAfter(pass, fd, rng, id) {
+		return
+	}
+	pass.Reportf(pos,
+		"append to outer slice inside range over map: element order follows randomized map order; sort the slice afterwards or iterate sorted keys")
+}
+
+// sortedAfter reports whether id is passed to a sort.* or slices.Sort*
+// call after the range loop in the same function body.
+func sortedAfter(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := funcObj(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkgPath := fn.Pkg().Path()
+		if pkgPath != "sort" && pkgPath != "slices" {
+			return true
+		}
+		if !strings.HasPrefix(fn.Name(), "Sort") && !sortHelper[fn.Name()] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if aid, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				aobj := pass.TypesInfo.Uses[aid]
+				if aobj == obj {
+					sorted = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// sortHelper names sort-package functions that sort but do not start with
+// "Sort".
+var sortHelper = map[string]bool{
+	"Strings": true, "Ints": true, "Float64s": true, "Slice": true,
+	"SliceStable": true, "Stable": true,
+}
+
+// declaredOutside reports whether the storage behind lhs outlives the
+// loop: an identifier declared before the range statement, or any
+// selector/index expression (fields and elements always do).
+func declaredOutside(info *types.Info, lhs ast.Expr, rng *ast.RangeStmt) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			obj = info.Defs[e]
+		}
+		return obj != nil && obj.Pos() < rng.Pos()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isHashSink reports whether call writes into a hash/digest: a Write,
+// WriteString, or Sum method invoked on a value whose static type comes
+// from package hash or crypto/... (hash.Hash embeds io.Writer, so the
+// receiver expression's type is checked, not the method's declaring
+// package).
+func isHashSink(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "Sum", "Sum32", "Sum64":
+	default:
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == "hash" || strings.HasPrefix(p, "hash/") || strings.HasPrefix(p, "crypto/")
+}

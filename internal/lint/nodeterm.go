@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"relief/internal/lint/analysis"
+)
+
+// nodetermScope lists the simulation packages in which wall-clock time
+// and ambient randomness are forbidden: everything these packages compute
+// must be a pure function of the workload and the seed, or the golden
+// digests (relief_test.go, fault, metrics JSON) stop being bit-stable.
+var nodetermScope = []string{
+	"internal/sim", "internal/mem", "internal/dram", "internal/manager",
+	"internal/sched", "internal/fault", "internal/exp", "internal/accel",
+	"internal/xbar",
+}
+
+// wallClockFuncs are the time package functions that read or depend on the
+// host clock. Pure conversions/constructors (time.Duration arithmetic,
+// time.Unix) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"Sleep": true,
+}
+
+// seededRandFuncs are the math/rand constructors that are legitimate in
+// simulation code because the caller supplies the seed.
+var seededRandFuncs = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2 sources
+}
+
+// NoDeterm flags wall-clock reads and unseeded global randomness in
+// simulation packages.
+var NoDeterm = &analysis.Analyzer{
+	Name: "nodeterm",
+	Doc: "forbid time.Now/Since and global math/rand in simulation packages; " +
+		"simulated time comes from sim.Kernel and randomness from a seeded rand.Rand",
+	Run: runNoDeterm,
+}
+
+func runNoDeterm(pass *analysis.Pass) error {
+	if !pkgIn(pass.Pkg.Path(), nodetermScope...) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		// Package-level functions only: methods on a seeded *rand.Rand or
+		// a time.Duration value are deterministic.
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"wall-clock call time.%s in simulation package %s breaks run reproducibility; use sim.Kernel time",
+					fn.Name(), pass.Pkg.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			if !seededRandFuncs[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"global %s.%s is not seed-stable; draw from a rand.Rand seeded by the fault/workload plan",
+					fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+	return nil
+}

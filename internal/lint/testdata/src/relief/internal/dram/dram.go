@@ -1,0 +1,58 @@
+// hotalloc fixture: functions annotated //relief:hotpath must not
+// allocate; unannotated functions may.
+package dram
+
+type controller struct {
+	queue []int
+	cb    func()
+}
+
+func variadicSink(args ...interface{}) {}
+
+// serve is the annotated hot loop: every allocating construct below must
+// be diagnosed.
+//
+//relief:hotpath
+func (c *controller) serve(n int) {
+	c.queue = append(c.queue, n) // want `append may grow the backing array in hotpath function serve`
+	s := make([]int, n)          // want `make\(\) allocates in hotpath function serve`
+	_ = s
+	p := new(int) // want `new\(\) allocates in hotpath function serve`
+	_ = p
+	c.cb = func() {} // want `closure allocated in hotpath function serve`
+	lit := []int{n}  // want `slice/map literal allocates in hotpath function serve`
+	_ = lit
+	table := map[int]int{} // want `slice/map literal allocates in hotpath function serve`
+	_ = table
+	other := &controller{} // want `&composite literal escapes to the heap in hotpath function serve`
+	_ = other
+	boxed := interface{}(n) // want `conversion to interface boxes its operand in hotpath function serve`
+	_ = boxed
+	variadicSink(n) // want `argument boxed into interface parameter in hotpath function serve`
+}
+
+// pick is annotated but clean: struct values, index/selector addressing,
+// and arithmetic never allocate.
+//
+//relief:hotpath
+func (c *controller) pick(i int) int {
+	c.queue[0] = i
+	b := &c.queue[0]
+	return *b + len(c.queue)
+}
+
+// drainAllowed carries per-site opt-outs with reasons.
+//
+//relief:hotpath
+func (c *controller) drainAllowed(n int) {
+	c.queue = append(c.queue, n) //lint:allow hotalloc growth is amortized; steady state never grows
+}
+
+// cold is not annotated: the same constructs draw no diagnostics.
+func (c *controller) cold(n int) {
+	c.queue = append(c.queue, n)
+	_ = make([]int, n)
+	_ = map[int]int{}
+	c.cb = func() {}
+	variadicSink(n)
+}

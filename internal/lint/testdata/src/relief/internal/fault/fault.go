@@ -1,0 +1,45 @@
+// nodeterm fixture: no wall clock, no ambient randomness in simulation
+// packages.
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock call time\.Now in simulation package fault`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock call time\.Since in simulation package fault`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn is not seed-stable`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `global rand\.Float64 is not seed-stable`
+}
+
+// seeded draws from a caller-seeded source: deterministic, no diagnostic.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// duration arithmetic never reads the clock; no diagnostic.
+func pure(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+func allowedProfiling() time.Time {
+	//lint:allow nodeterm profiling wrapper; its output never feeds a digest
+	return time.Now()
+}
+
+func inertDirective() time.Time {
+	//lint:allow nodeterm
+	return time.Now() // want `wall-clock call time\.Now in simulation package fault`
+}

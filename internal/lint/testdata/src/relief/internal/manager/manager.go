@@ -1,0 +1,84 @@
+// maporder fixture: no order-sensitive work inside range over a map.
+package manager
+
+import (
+	"crypto/sha256"
+	"sort"
+
+	"relief/internal/sim"
+)
+
+func schedulesInLoop(k *sim.Kernel, m map[string]int) {
+	for range m {
+		k.Schedule(1, noop) // want `event scheduled inside range over map`
+	}
+}
+
+func weakInLoop(k *sim.Kernel, m map[string]int) {
+	for range m {
+		k.ScheduleWeak(1, noop) // want `event scheduled inside range over map`
+	}
+}
+
+func appendsUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to outer slice inside range over map`
+	}
+	return out
+}
+
+// appendsThenSorts is the canonical collect-keys-then-sort idiom; the later
+// sort makes the order deterministic, so no diagnostic.
+func appendsThenSorts(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func floatAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation inside range over map`
+	}
+	return sum
+}
+
+// integer accumulation is associative and order-insensitive; no diagnostic.
+func intAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func feedsDigest(m map[string]int) []byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want `hash/digest fed inside range over map`
+	}
+	return h.Sum(nil)
+}
+
+// insertion into another map is order-insensitive; no diagnostic.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func allowedAccumulation(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v //lint:allow maporder values are exact powers of two; addition is associative here
+	}
+	return sum
+}
+
+func noop() {}

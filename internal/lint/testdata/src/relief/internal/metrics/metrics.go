@@ -1,0 +1,21 @@
+// weakevent fixture: observability code may only schedule weak events.
+package metrics
+
+import "relief/internal/sim"
+
+func startProbes(k *sim.Kernel) {
+	k.Schedule(10, tick)     // want `strong kernel event scheduled from observability package metrics`
+	k.At(20, tick)           // want `strong kernel event scheduled from observability package metrics`
+	k.ScheduleWeak(10, tick) // weak events are the contract; no diagnostic
+}
+
+func allowedSetup(k *sim.Kernel) {
+	k.Schedule(0, tick) //lint:allow weakevent one-shot setup event created before the run starts
+}
+
+func inertDirective(k *sim.Kernel) {
+	//lint:allow weakevent
+	k.Schedule(0, tick) // want `strong kernel event scheduled from observability package metrics`
+}
+
+func tick() {}

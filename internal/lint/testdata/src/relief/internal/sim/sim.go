@@ -1,0 +1,21 @@
+// Package sim is a fixture stub of relief/internal/sim: just enough of
+// the Kernel API for the weakevent and maporder analyzers to resolve
+// method calls against the real receiver type and package path.
+package sim
+
+// Time mirrors the simulation timestamp type.
+type Time int64
+
+// Event mirrors the scheduled-callback handle.
+type Event struct{}
+
+// Kernel mirrors the event kernel.
+type Kernel struct{}
+
+func (k *Kernel) Now() Time { return 0 }
+
+func (k *Kernel) Schedule(delay Time, fn func()) *Event { return &Event{} }
+
+func (k *Kernel) At(t Time, fn func()) *Event { return &Event{} }
+
+func (k *Kernel) ScheduleWeak(delay Time, fn func()) *Event { return &Event{} }

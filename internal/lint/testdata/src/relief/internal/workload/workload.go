@@ -1,0 +1,19 @@
+// nopanic fixture for the workload builders.
+package workload
+
+import "fmt"
+
+// Build reports invalid applications as errors; a panic is a regression.
+func Build(level int) error {
+	if level < 0 {
+		panic(fmt.Sprintf("workload: bad level %d", level)) // want `panic in workload Build: the facade/workload API contract is error returns`
+	}
+	return nil
+}
+
+// MustBuild panics by convention; no diagnostic.
+func MustBuild(level int) {
+	if err := Build(level); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,26 @@
+// nopanic fixture for the facade package: the public API reports errors.
+package relief
+
+import "errors"
+
+// Run is exported API: panicking here crashes callers that correctly
+// handle the error path.
+func Run(ok bool) error {
+	if !ok {
+		panic("relief: bad state") // want `panic in relief Run: the facade/workload API contract is error returns`
+	}
+	return errors.New("done")
+}
+
+// MustRun follows the Must* convention: panicking on error is its
+// documented contract, so no diagnostic.
+func MustRun() {
+	if err := Run(false); err != nil {
+		panic(err)
+	}
+}
+
+func guarded() {
+	//lint:allow nopanic kernel invariant violation; unreachable by construction
+	panic("unreachable")
+}

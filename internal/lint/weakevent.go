@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+
+	"relief/internal/lint/analysis"
+)
+
+// weakeventScope lists the observability packages. They may only piggyback
+// on a simulation, never extend it: a strong Kernel.Schedule/At from a
+// metrics probe or trace hook would add events to the heap, shift
+// same-tick sequence numbers, and change the golden digests the moment
+// someone turns telemetry on (the invariant TestMetricsNeutrality checks
+// at runtime).
+var weakeventScope = []string{"internal/metrics", "internal/trace"}
+
+// WeakEvent flags strong sim.Kernel scheduling calls from observability
+// packages; they must use ScheduleWeak.
+var WeakEvent = &analysis.Analyzer{
+	Name: "weakevent",
+	Doc: "observability packages (metrics, trace) must schedule weak kernel " +
+		"events only: Kernel.Schedule/At would perturb bit-neutral runs",
+	Run: runWeakEvent,
+}
+
+func runWeakEvent(pass *analysis.Pass) error {
+	if !pkgIn(pass.Pkg.Path(), weakeventScope...) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isKernelMethod(pass.TypesInfo, call, "Schedule", "At") {
+			pass.Reportf(call.Pos(),
+				"strong kernel event scheduled from observability package %s; use ScheduleWeak so metricised runs stay bit-identical",
+				pass.Pkg.Name())
+		}
+		return true
+	})
+	return nil
+}

@@ -122,10 +122,16 @@ func (r *Resource) Enqueue(n int64, done func()) {
 	}
 }
 
+// push appends a request to the FIFO.
+//
+//relief:hotpath
 func (r *Resource) push(req request) {
-	r.q = append(r.q, req)
+	r.q = append(r.q, req) //lint:allow hotalloc FIFO growth is amortized and bounded by in-flight chunks
 }
 
+// popFront removes and returns the FIFO head, compacting lazily.
+//
+//relief:hotpath
 func (r *Resource) popFront() request {
 	req := r.q[r.head]
 	r.q[r.head] = request{}
@@ -145,6 +151,9 @@ func (r *Resource) popFront() request {
 	return req
 }
 
+// serveNext starts service of the FIFO head, if any.
+//
+//relief:hotpath
 func (r *Resource) serveNext() {
 	if r.head == len(r.q) {
 		r.cur = request{}
@@ -158,6 +167,8 @@ func (r *Resource) serveNext() {
 // served completes the request in service: credit bytes, notify, serve the
 // next waiting request (in that order, matching FIFO enqueue-during-done
 // semantics).
+//
+//relief:hotpath
 func (r *Resource) served() {
 	req := r.cur
 	r.cur = request{}

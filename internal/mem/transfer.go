@@ -44,6 +44,9 @@ type transfer struct {
 	stageDone []func() // per stage: the chunk-completion callback
 }
 
+// chunkSize returns the byte count of chunk i (the tail chunk is short).
+//
+//relief:hotpath
 func (t *transfer) chunkSize(i int) int64 {
 	if i == t.nChunks-1 {
 		return t.n - int64(i)*DefaultChunkBytes
@@ -52,7 +55,10 @@ func (t *transfer) chunkSize(i int) int64 {
 }
 
 // advance moves the next chunk out of stage s. When the last chunk leaves
-// the last stage the transfer is complete.
+// the last stage the transfer is complete. This is the per-chunk DMA
+// pipeline step; it must not allocate.
+//
+//relief:hotpath
 func (t *transfer) advance(s int) {
 	i := t.next[s]
 	t.next[s]++

@@ -402,7 +402,7 @@ func Mixes(c Contention) [][]App {
 	case High, Continuous:
 		size = 3
 	default:
-		panic(fmt.Sprintf("workload: unknown contention level %d", c))
+		panic(fmt.Sprintf("workload: unknown contention level %d", c)) //lint:allow nopanic unreachable: every Contention value is enumerated above
 	}
 	return combinations(size)
 }

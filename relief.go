@@ -417,7 +417,9 @@ func (s *System) RunFor(horizon Time) *Report {
 
 func (s *System) mustRunOnce() {
 	if s.ran {
-		panic("relief: System has already run")
+		// Running a System twice is API misuse (the kernel cannot rewind),
+		// not a runtime failure the caller could handle.
+		panic("relief: System has already run") //lint:allow nopanic double-Run is programmer error, like sync.Once misuse
 	}
 	s.ran = true
 }

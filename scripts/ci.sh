@@ -1,15 +1,47 @@
 #!/bin/sh
-# CI gate: build, vet, full test suite (including the golden main-grid
-# determinism digest), then a one-iteration benchmark smoke run so
-# simulator-throughput regressions surface in the log.
+# CI gate: build, vet, relief-lint (the project's own static-analysis
+# suite, see docs/LINTING.md), optional third-party linters, full test
+# suite (including the golden main-grid determinism digest), then a
+# one-iteration benchmark smoke run so simulator-throughput regressions
+# surface in the log.
 set -eu
 cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
 
 echo "== build"
 go build ./...
 
 echo "== vet"
 go vet ./...
+
+echo "== relief-lint"
+go run ./cmd/relief-lint ./...
+
+echo "== relief-lint json smoke"
+# A clean tree must yield an empty JSON findings array; anything else is
+# either a finding or an output-format regression.
+go run ./cmd/relief-lint -json ./... | grep -qx '\[\]'
+
+echo "== relief-lint vettool smoke"
+# The binary must also speak cmd/go's unitchecker protocol.
+go build -o "$tmp/relief-lint" ./cmd/relief-lint
+go vet -vettool="$tmp/relief-lint" ./internal/sim ./internal/metrics
+
+echo "== staticcheck"
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping"
+fi
+
+echo "== govulncheck"
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "govulncheck not installed; skipping"
+fi
 
 echo "== test"
 go test ./...
@@ -21,8 +53,6 @@ echo "== bench smoke"
 go test -run '^$' -bench 'BenchmarkFig4$' -benchtime=1x -benchmem .
 
 echo "== metrics smoke"
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/relief-sim -mix C -policy RELIEF -metrics "$tmp/m" >/dev/null
 grep -q '"schema": "relief-metrics/1"' "$tmp/m.json"
 test -s "$tmp/m.csv"
@@ -30,5 +60,8 @@ grep -q '^# TYPE' "$tmp/m.prom"
 
 echo "== bench report smoke"
 go build -o "$tmp/relief-bench" ./cmd/relief-bench
-(cd "$tmp" && ./relief-bench -exp fig12 -benchjson auto >/dev/null)
-grep -q '"schema": "relief-bench/1"' "$tmp"/BENCH_*.json
+# Pin the report filename: "auto" names the file BENCH_<date>.json, which
+# makes the check ambiguous when several runs share $tmp (or a run
+# straddles midnight).
+(cd "$tmp" && ./relief-bench -exp fig12 -benchjson BENCH_smoke.json >/dev/null)
+grep -q '"schema": "relief-bench/1"' "$tmp/BENCH_smoke.json"
