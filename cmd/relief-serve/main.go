@@ -1,0 +1,75 @@
+// relief-serve exposes the simulator as an HTTP/JSON service: POST a
+// scenario to /run and get the same summary and relief-metrics/1 document
+// the CLIs produce, deduplicated across concurrent identical requests and
+// cached by content digest. See docs/SERVING.md.
+//
+// Usage:
+//
+//	relief-serve -addr 127.0.0.1:8080
+//	relief-serve -addr 127.0.0.1:0 -workers 4 -cache 256
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relief/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue capacity (full queue returns 429)")
+	cacheCap := flag.Int("cache", 128, "result cache capacity in entries")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-simulation wall-clock budget")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before cancelling runs")
+	flag.Parse()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	s := serve.New(serve.Config{
+		Workers:  *workers,
+		QueueCap: *queue,
+		CacheCap: *cacheCap,
+		Timeout:  *timeout,
+	})
+	// Printed before serving so scripts using an ephemeral port can scrape
+	// the actual address.
+	fmt.Printf("relief-serve: listening on http://%s\n", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Serve(l) }()
+
+	select {
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+		fmt.Println("relief-serve: draining")
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Drain(dctx); err != nil {
+			fatal(err)
+		}
+		<-errCh // http.ErrServerClosed
+		fmt.Println("relief-serve: stopped")
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "relief-serve: %v\n", err)
+	os.Exit(1)
+}

@@ -102,49 +102,8 @@ func main() {
 		fatal(err)
 	}
 	st := res.Stats
-	fwd, col := st.ForwardsPerEdge()
-	dramPct, spadPct := st.DataMovement()
-	dramE, spadE := st.MemoryEnergy()
-	avg, tail := st.SchedLatency()
-
-	fmt.Printf("scenario: mix=%s policy=%s contention=%s topology=%s\n",
-		*mix, *policy, sc.Contention, *topo)
-	fmt.Printf("makespan:            %v\n", st.Makespan)
-	fmt.Printf("edges:               %d (forwards %d = %.1f%%, colocations %d = %.1f%%)\n",
-		st.Edges, st.Forwards, fwd, st.Colocations, col)
-	fmt.Printf("main memory traffic: %.2f MB (%.1f%% of all-DRAM baseline)\n",
-		float64(st.DRAMReadBytes+st.DRAMWriteBytes)/1e6, dramPct)
-	fmt.Printf("spad-to-spad:        %.2f MB (%.1f%%)\n", float64(st.SpadXferBytes)/1e6, spadPct)
-	fmt.Printf("memory energy:       dram %.1f uJ, spad %.1f uJ\n", dramE*1e6, spadE*1e6)
-	fmt.Printf("node deadlines met:  %d/%d (%.1f%%)\n", st.NodesMetDeadline, st.NodesDone, st.NodeDeadlinePct())
-	fmt.Printf("DAG deadlines met:   %.1f%%\n", st.DAGDeadlinePct())
-	fmt.Printf("accel occupancy:     %.2f\n", st.Occupancy())
-	fmt.Printf("interconnect occ.:   %.1f%%\n", 100*st.InterconnectOccupancy)
-	fmt.Printf("scheduler latency:   avg %v, tail %v\n", avg, tail)
-	if st.Faults.Any() {
-		fs := st.Faults
-		fmt.Printf("faults injected:     hangs=%d slow=%d fails=%d deaths=%d dma-stalls=%d crc=%d dram-errs=%d\n",
-			fs.Hangs, fs.Slowdowns, fs.TransientFails, fs.InstanceDeaths,
-			fs.DMAStalls, fs.DMACorruptions, fs.DRAMErrors)
-		fmt.Printf("recovery:            watchdog=%d retries=%d invalidated-fwd=%d aborted-dags=%d\n",
-			fs.WatchdogFires, fs.Retries, fs.InvalidatedForwards, fs.DAGsAborted)
-		fmt.Printf("recovery traffic:    %.2f MB, MTTR %v\n",
-			float64(fs.RecoveryDRAMBytes+fs.RetriedDMABytes)/1e6, fs.MTTR())
-	}
-
-	names := make([]string, 0, len(st.Apps))
-	for n := range st.Apps {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		a := st.Apps[n]
-		line := fmt.Sprintf("  %-7s iterations=%d deadlinesMet=%d slowdown=%.2f",
-			n, a.Iterations, a.DeadlinesMet, a.Slowdown())
-		if a.Aborted > 0 {
-			line += fmt.Sprintf(" aborted=%d", a.Aborted)
-		}
-		fmt.Println(line)
+	if err := exp.WriteSummary(os.Stdout, sc, st); err != nil {
+		fatal(err)
 	}
 
 	if *statsOut != "" {

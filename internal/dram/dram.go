@@ -353,10 +353,34 @@ func (c *Controller) Enqueue(n int64, done func()) {
 		if !ch.serving {
 			ch.serving = true
 			ch.busySince = c.k.Now()
+			c.catchUpRefresh(ch)
 			c.serve(ch)
 		}
 	}
 	c.bytes += n
+}
+
+// catchUpRefresh advances the refresh schedule over the idle period ending
+// now. Refreshes that fell in the gap happened while no traffic was
+// waiting, so they stall nothing and are not charged (or counted) — but
+// they did close every row, so the next pick cannot hit a row opened
+// before the gap. Without this, serve's lazy boundary loop would bill the
+// whole backlog of idle-time refreshes to the first burst after the gap,
+// inflating its latency and the channel's busy time by tRFC per missed
+// interval.
+func (c *Controller) catchUpRefresh(ch *channel) {
+	if c.cfg.TREFI == 0 {
+		return
+	}
+	now := c.k.Now()
+	if ch.nextRefresh > now {
+		return
+	}
+	missed := (now-ch.nextRefresh)/c.cfg.TREFI + 1
+	ch.nextRefresh += missed * c.cfg.TREFI
+	for j := range ch.banks {
+		ch.banks[j].valid = false
+	}
 }
 
 // pick selects the next burst's absolute queue index per the scheduling

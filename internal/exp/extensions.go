@@ -90,15 +90,26 @@ func PeriodicStudy() (*Table, error) {
 				return nil, err
 			}
 			finished, met := 0, 0
-			worst := 0.0
+			worst, anyStarved := 0.0, false
 			for _, a := range st.Apps {
 				finished += a.Iterations
 				met += a.DeadlinesMet
-				if s := a.Slowdown(); s > worst {
+				s, ok := a.FiniteSlowdown()
+				if !ok {
+					// A starved app's slowdown is undefined, not a number to
+					// compare: flag it instead of letting +Inf win the max.
+					anyStarved = true
+					continue
+				}
+				if s > worst {
 					worst = s
 				}
 			}
-			row = append(row, fmt.Sprintf("%d/%d/%s", finished, met, f2(worst)))
+			cell := f2(worst)
+			if anyStarved {
+				cell = "starved"
+			}
+			row = append(row, fmt.Sprintf("%d/%d/%s", finished, met, cell))
 		}
 		t.AddRow(row...)
 	}

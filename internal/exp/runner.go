@@ -4,6 +4,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"relief/internal/core"
@@ -108,6 +109,15 @@ type Result struct {
 // Run executes the scenario to completion (or the continuous-contention
 // horizon) and returns its metrics.
 func Run(sc Scenario) (*Result, error) {
+	return RunContext(context.Background(), sc)
+}
+
+// RunContext is Run with cancellation: once ctx is cancelled or times out
+// the simulation aborts promptly (the kernel polls the context every few
+// thousand events) and the context's error is returned with a nil Result —
+// an abandoned run never leaks partial statistics. This is the entry point
+// the serving layer (internal/serve) drives.
+func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	policy, err := NewPolicy(sc.Policy)
 	if err != nil {
 		return nil, err
@@ -156,11 +166,30 @@ func Run(sc Scenario) (*Result, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if done := ctx.Done(); done != nil {
+		k.SetInterrupt(func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+	}
 	var end sim.Time
 	if continuous {
 		end = m.RunContinuous(workload.ContinuousHorizon)
 	} else {
 		end = m.Run()
+	}
+	if k.Interrupted() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("exp: run cancelled: %w", err)
+		}
+		return nil, fmt.Errorf("exp: run interrupted")
 	}
 	res := &Result{Scenario: sc, Stats: st, End: end}
 	if dc := m.DRAMController(); dc != nil {

@@ -3,7 +3,6 @@ package exp
 import (
 	"encoding/json"
 	"io"
-	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -187,6 +186,7 @@ type appJSON struct {
 	Iterations   int     `json:"iterations"`
 	DeadlinesMet int     `json:"deadlines_met"`
 	Slowdown     float64 `json:"slowdown"`
+	Starved      bool    `json:"starved,omitempty"`
 }
 
 // DumpJSON writes every cached result as a JSON array, sorted by scenario
@@ -218,11 +218,14 @@ func (s *Sweep) DumpJSON(w io.Writer) error {
 			Apps:         map[string]appJSON{},
 		}
 		for name, a := range st.Apps {
-			slow := a.Slowdown()
-			if math.IsInf(slow, 1) {
-				slow = -1 // JSON has no Inf; -1 flags starvation
+			slow, ok := a.FiniteSlowdown()
+			if !ok {
+				slow = -1 // JSON has no Inf; -1 plus the flag marks starvation
 			}
-			rj.Apps[name] = appJSON{Iterations: a.Iterations, DeadlinesMet: a.DeadlinesMet, Slowdown: slow}
+			rj.Apps[name] = appJSON{
+				Iterations: a.Iterations, DeadlinesMet: a.DeadlinesMet,
+				Slowdown: slow, Starved: !ok,
+			}
 		}
 		out = append(out, rj)
 	}

@@ -9,10 +9,11 @@ import (
 )
 
 // nopanicScope lists the packages whose exported surface promised, as of
-// the fault-injection PR, to report failures as errors: the public facade
-// and the workload builders. A panic creeping back in would crash a
-// caller that correctly handles the error path.
-var nopanicScope = []string{"internal/workload"}
+// the fault-injection PR, to report failures as errors: the public facade,
+// the workload builders, and the HTTP service (a panic in a handler kills
+// the connection and, in a worker, the whole process). A panic creeping
+// back in would crash a caller that correctly handles the error path.
+var nopanicScope = []string{"internal/workload", "internal/serve"}
 
 // NoPanic forbids panic in the facade and workload-builder packages.
 // Functions named Must* are exempt: panicking on error is their documented

@@ -1,0 +1,59 @@
+package serve
+
+import "container/list"
+
+// cache is a content-addressed LRU over completed results. It is not safe
+// for concurrent use; the Server guards it with its own mutex.
+type cache struct {
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *cache) get(key string) (*Result, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	ent, _ := e.Value.(*cacheEntry)
+	if ent == nil {
+		return nil, false
+	}
+	return ent.res, true
+}
+
+func (c *cache) add(key string, res *Result) {
+	if c.cap <= 0 {
+		return
+	}
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		if ent, _ := e.Value.(*cacheEntry); ent != nil {
+			ent.res = res
+		}
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.ll.Remove(back)
+		if ent, _ := back.Value.(*cacheEntry); ent != nil {
+			delete(c.m, ent.key)
+		}
+	}
+}
+
+func (c *cache) len() int { return c.ll.Len() }

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relief/internal/metrics"
+)
+
+// serviceMetrics tracks service-level counters (cache hits/misses, dedup
+// joins, rejections, queue depth) and the request-latency distribution,
+// exposed in Prometheus text format on /metrics. The counters are atomics
+// read through func-backed registry metrics; the histogram and the
+// registry's render path are guarded by mu (internal/metrics is built for
+// the single-goroutine simulator and is not itself thread-safe).
+type serviceMetrics struct {
+	requests   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	joins      atomic.Int64
+	rejected   atomic.Int64
+	errors     atomic.Int64
+	queueDepth atomic.Int64
+	running    atomic.Int64
+	cacheLen   func() int
+
+	mu  sync.Mutex
+	reg *metrics.Registry
+	lat *metrics.Histogram
+}
+
+func newServiceMetrics(cacheLen func() int) *serviceMetrics {
+	m := &serviceMetrics{cacheLen: cacheLen}
+	r := metrics.NewRegistry()
+	count := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	r.CounterFunc("relief_serve_requests_total",
+		"Simulation requests accepted for processing.", count(&m.requests))
+	r.CounterFunc("relief_serve_cache_hits_total",
+		"Requests answered from the result cache.", count(&m.hits))
+	r.CounterFunc("relief_serve_cache_misses_total",
+		"Requests that executed a simulation.", count(&m.misses))
+	r.CounterFunc("relief_serve_dedup_joins_total",
+		"Requests coalesced onto an identical in-flight simulation.", count(&m.joins))
+	r.CounterFunc("relief_serve_rejected_total",
+		"Requests rejected with 429 because the admission queue was full.", count(&m.rejected))
+	r.CounterFunc("relief_serve_errors_total",
+		"Simulations that finished with an error (including timeouts).", count(&m.errors))
+	r.GaugeFunc("relief_serve_queue_depth",
+		"Admitted simulations waiting for a worker.", count(&m.queueDepth))
+	r.GaugeFunc("relief_serve_running",
+		"Simulations currently executing.", count(&m.running))
+	r.GaugeFunc("relief_serve_cache_entries",
+		"Results held in the LRU cache.", func() float64 { return float64(cacheLen()) })
+	m.lat = r.Histogram("relief_serve_request_latency_ms",
+		"End-to-end request latency (admission to response) in milliseconds.")
+	m.reg = r
+	return m
+}
+
+func (m *serviceMetrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.lat.Observe(float64(d) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+func (m *serviceMetrics) writePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.WritePrometheus(w)
+}

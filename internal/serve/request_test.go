@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// digestOf decodes raw JSON, normalizes, and digests — the handler's exact
+// path to a cache key.
+func digestOf(t *testing.T, raw string) string {
+	t.Helper()
+	var req Request
+	if err := json.Unmarshal([]byte(raw), &req); err != nil {
+		t.Fatalf("decode %s: %v", raw, err)
+	}
+	if err := req.Normalize(); err != nil {
+		t.Fatalf("normalize %s: %v", raw, err)
+	}
+	return req.Digest()
+}
+
+// TestDigestFieldOrderIndependent: the digest is a function of the
+// scenario, not of JSON spelling — reordered fields, whitespace, and
+// explicitly-spelled defaults all hash identically.
+func TestDigestFieldOrderIndependent(t *testing.T) {
+	base := digestOf(t, `{"mix":"CGL","policy":"LAX","metrics":true,"fault_rate":0.01}`)
+	same := []string{
+		`{"fault_rate":0.01,"metrics":true,"policy":"LAX","mix":"CGL"}`,
+		`{"metrics": true, "mix": "CGL", "fault_rate": 1e-2, "policy": "LAX"}`,
+		// Defaults spelled out must not change the key.
+		`{"mix":"CGL","policy":"LAX","metrics":true,"fault_rate":0.01,
+		  "topology":"bus","bw":"max","fault_seed":1,"continuous":false}`,
+		// timeout_ms is a delivery knob, excluded from the digest.
+		`{"mix":"CGL","policy":"LAX","metrics":true,"fault_rate":0.01,"timeout_ms":5000}`,
+	}
+	for _, raw := range same {
+		if d := digestOf(t, raw); d != base {
+			t.Errorf("digest of %s = %s, want %s", raw, d, base)
+		}
+	}
+}
+
+// TestDigestSeparatesScenarios: any semantically different request must
+// get a different content address.
+func TestDigestSeparatesScenarios(t *testing.T) {
+	seen := map[string]string{}
+	for _, raw := range []string{
+		`{"mix":"CGL"}`,
+		`{"mix":"CLG"}`, // submission order is part of the scenario
+		`{"mix":"CGL","policy":"LAX"}`,
+		`{"mix":"CGL","continuous":true}`,
+		`{"mix":"CGL","topology":"xbar"}`,
+		`{"mix":"CGL","bw":"ewma"}`,
+		`{"mix":"CGL","predict_dm":true}`,
+		`{"mix":"CGL","no_forwarding":true}`,
+		`{"mix":"CGL","detailed_dram":true}`,
+		`{"mix":"CGL","detailed_dram":true,"dram_fcfs":true}`,
+		`{"mix":"CGL","fault_rate":0.01}`,
+		`{"mix":"CGL","fault_rate":0.01,"fault_seed":2}`,
+		`{"mix":"CGL","metrics":true}`,
+	} {
+		d := digestOf(t, raw)
+		if prev, dup := seen[d]; dup {
+			t.Errorf("digest collision: %s and %s both hash to %s", prev, raw, d)
+		}
+		seen[d] = raw
+	}
+}
+
+// TestDigestIgnoresSeedWithoutFaults: the injection seed is meaningless at
+// rate zero, so it must not fragment the cache.
+func TestDigestIgnoresSeedWithoutFaults(t *testing.T) {
+	a := digestOf(t, `{"mix":"C"}`)
+	b := digestOf(t, `{"mix":"C","fault_seed":99}`)
+	if a != b {
+		t.Error("fault_seed changed the digest of a fault-free request")
+	}
+}
+
+func TestNormalizeRejectsInvalid(t *testing.T) {
+	for _, raw := range []string{
+		`{}`,                           // no mix
+		`{"mix":"Z"}`,                  // unknown symbol
+		`{"mix":"CGLD"}`,               // too many apps
+		`{"mix":"C","policy":"BOGUS"}`, // unknown policy
+		`{"mix":"C","topology":"mesh"}`,
+		`{"mix":"C","bw":"oracle"}`,
+		`{"mix":"C","fault_rate":1.5}`,
+		`{"mix":"C","fault_rate":-0.1}`,
+		`{"mix":"C","timeout_ms":-1}`,
+	} {
+		var req Request
+		if err := json.Unmarshal([]byte(raw), &req); err != nil {
+			t.Fatalf("decode %s: %v", raw, err)
+		}
+		if err := req.Normalize(); err == nil {
+			t.Errorf("Normalize accepted %s", raw)
+		}
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := newCache(2)
+	ra, rb, rc := &Result{Text: "a"}, &Result{Text: "b"}, &Result{Text: "c"}
+	c.add("a", ra)
+	c.add("b", rb)
+	if _, ok := c.get("a"); !ok { // touches a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.add("c", rc) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if got, ok := c.get("a"); !ok || got != ra {
+		t.Error("a evicted or wrong value")
+	}
+	if got, ok := c.get("c"); !ok || got != rc {
+		t.Error("c missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+	// Re-adding an existing key updates in place, no growth.
+	c.add("a", rb)
+	if got, _ := c.get("a"); got != rb || c.len() != 2 {
+		t.Error("in-place update failed")
+	}
+}

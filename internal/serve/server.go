@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"relief/internal/exp"
+	"relief/internal/metrics"
+)
+
+// Config sizes the service. Zero values select defaults.
+type Config struct {
+	// Workers is the simulation worker-pool size (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the admission queue; a full queue rejects new work
+	// with 429 + Retry-After (default 64).
+	QueueCap int
+	// CacheCap is the LRU result-cache capacity in entries (default 128).
+	CacheCap int
+	// Timeout bounds each simulation's wall time (default 60s). A request
+	// may shorten (never extend) it via timeout_ms.
+	Timeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 128
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 60 * time.Second
+	}
+	return c
+}
+
+// Result is the service's answer to one simulation request.
+type Result struct {
+	// Digest is the request's canonical content address.
+	Digest string `json:"digest"`
+	// MakespanMS is the simulated makespan in milliseconds.
+	MakespanMS float64 `json:"makespan_ms"`
+	// Text is the human-readable summary, byte-identical to relief-sim's
+	// stdout for the same scenario.
+	Text string `json:"text"`
+	// Metrics is the relief-metrics/1 JSON document (requests with
+	// "metrics": true only) — the same schema the CLIs export.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+}
+
+// response is the HTTP envelope around a Result.
+type response struct {
+	Cached bool `json:"cached"`
+	*Result
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// flight is one in-flight simulation, shared by every request with the
+// same digest (singleflight). waiters is guarded by Server.mu; when the
+// last waiter disconnects before completion the flight is cancelled, which
+// interrupts the simulation kernel mid-run.
+type flight struct {
+	key     string
+	request Request
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
+	res     *Result
+	err     error
+	waiters int
+}
+
+// Server is the simulation service. Create with New, expose via Handler
+// (or Serve), stop with Drain.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	svc *serviceMetrics
+
+	// runner executes one simulation; tests stub it to observe scheduling
+	// behavior without paying for real runs.
+	runner func(ctx context.Context, req Request) (*Result, error)
+
+	mu       sync.Mutex
+	cache    *cache
+	flights  map[string]*flight
+	draining bool
+
+	jobs    chan *flight
+	workers sync.WaitGroup
+
+	http *http.Server
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		cache:   newCache(cfg.withDefaults().CacheCap),
+		flights: make(map[string]*flight),
+		runner:  runSimulation,
+	}
+	s.jobs = make(chan *flight, s.cfg.QueueCap)
+	s.svc = newServiceMetrics(func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.cache.len()
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Drain is called.
+func (s *Server) Serve(l net.Listener) error {
+	s.http = &http.Server{Handler: s.mux}
+	return s.http.Serve(l)
+}
+
+// Drain gracefully stops the service: new requests are refused with 503,
+// in-flight requests (and the simulations they wait on) are given until
+// ctx expires to finish, then remaining simulations are cancelled through
+// their contexts. The worker pool has fully exited when Drain returns.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if already {
+		return nil
+	}
+	var err error
+	if s.http != nil {
+		// Waits for in-flight handlers, which wait on their flights.
+		err = s.http.Shutdown(ctx)
+	}
+	// All handlers have returned (or were never served through s.http), so
+	// nothing can submit to the queue anymore.
+	close(s.jobs)
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, fl := range s.flights {
+			fl.cancel()
+		}
+		s.mu.Unlock()
+		<-done // cancellation interrupts the kernel within a few thousand events
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for fl := range s.jobs {
+		s.svc.queueDepth.Add(-1)
+		s.svc.running.Add(1)
+		start := time.Now()
+		res, err := s.runner(fl.ctx, fl.request)
+		if res != nil {
+			res.Digest = fl.key
+		}
+		s.mu.Lock()
+		if err == nil {
+			s.cache.add(fl.key, res)
+		}
+		delete(s.flights, fl.key)
+		s.mu.Unlock()
+		if err != nil {
+			s.svc.errors.Add(1)
+		}
+		fl.res, fl.err = res, err
+		close(fl.done)
+		fl.cancel()
+		s.svc.running.Add(-1)
+		s.svc.observeLatency(time.Since(start))
+	}
+}
+
+// handleRun admits, deduplicates, or cache-serves one simulation request.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := req.Normalize(); err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := req.Digest()
+	s.svc.requests.Add(1)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "5")
+		s.writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
+		return
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.svc.hits.Add(1)
+		s.writeJSON(w, http.StatusOK, response{Cached: true, Result: res})
+		return
+	}
+	fl, joined := s.flights[key]
+	if joined {
+		fl.waiters++
+		s.svc.joins.Add(1)
+	} else {
+		timeout := s.cfg.Timeout
+		if req.TimeoutMS > 0 {
+			if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+				timeout = t
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		fl = &flight{
+			key: key, request: req, ctx: ctx, cancel: cancel,
+			done: make(chan struct{}), waiters: 1,
+		}
+		select {
+		case s.jobs <- fl:
+			s.flights[key] = fl
+			s.svc.queueDepth.Add(1)
+			s.svc.misses.Add(1)
+		default:
+			s.mu.Unlock()
+			cancel()
+			s.svc.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, errors.New("serve: admission queue full"))
+			return
+		}
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			s.writeError(w, errStatus(fl.err), fl.err)
+			return
+		}
+		s.writeJSON(w, http.StatusOK, response{Cached: false, Result: fl.res})
+	case <-r.Context().Done():
+		// Client gone: release our claim; the last departing waiter
+		// cancels the simulation so an abandoned run stops mid-flight.
+		s.mu.Lock()
+		fl.waiters--
+		abandon := fl.waiters == 0
+		s.mu.Unlock()
+		if abandon {
+			fl.cancel()
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.svc.writePrometheus(w); err != nil {
+		// Headers are gone; nothing useful left to send.
+		return
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// errStatus maps a simulation error onto an HTTP status: timeouts are 504,
+// abandonment/drain cancellations 503, anything else a plain 500.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		// The status line is already written; the client sees a truncated
+		// body and retries.
+		return
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// runSimulation executes one request against the experiment harness. The
+// context is threaded into the simulation kernel: cancellation interrupts
+// the event loop and the run returns an error, never partial statistics.
+func runSimulation(ctx context.Context, req Request) (*Result, error) {
+	sc, err := req.Scenario()
+	if err != nil {
+		return nil, err
+	}
+	var reg *metrics.Registry
+	if req.Metrics {
+		reg = metrics.NewRegistry()
+		sc.Metrics = reg
+	}
+	res, err := exp.RunContext(ctx, sc)
+	if err != nil {
+		return nil, err
+	}
+	var text bytes.Buffer
+	if err := exp.WriteSummary(&text, sc, res.Stats); err != nil {
+		return nil, err
+	}
+	out := &Result{
+		MakespanMS: res.Stats.Makespan.Milliseconds(),
+		Text:       text.String(),
+	}
+	if reg != nil {
+		var mb bytes.Buffer
+		if err := reg.WriteJSON(&mb); err != nil {
+			return nil, err
+		}
+		out.Metrics = json.RawMessage(bytes.TrimSpace(mb.Bytes()))
+	}
+	return out, nil
+}

@@ -65,6 +65,11 @@ type Event struct {
 // At returns the time the event is scheduled to fire.
 func (e *Event) At() Time { return e.at }
 
+// interruptStride is how many dispatched events pass between polls of an
+// installed interrupt check. It is a power of two so the poll gate is a
+// single mask test on the hot dispatch loop.
+const interruptStride = 4096
+
 // Kernel is an event-driven simulation engine. The zero value is not usable;
 // call NewKernel.
 type Kernel struct {
@@ -77,6 +82,11 @@ type Kernel struct {
 	fired   uint64
 	allocs  uint64 // Event allocations (free-list misses)
 	halted  bool
+
+	// intr, if non-nil, is polled every interruptStride dispatches; a true
+	// return aborts the run (see SetInterrupt).
+	intr        func() bool
+	interrupted bool
 }
 
 // NewKernel returns a kernel with the clock at zero.
@@ -190,6 +200,25 @@ func (k *Kernel) Cancel(e *Event) {
 // Halt stops the current Run/RunUntil loop after the in-flight event returns.
 func (k *Kernel) Halt() { k.halted = true }
 
+// SetInterrupt installs an abort check polled once every few thousand
+// dispatched events (cheap enough for the hot loop). When check returns
+// true the run halts after the in-flight event and Interrupted reports
+// true. The check runs on the simulation goroutine; it may read shared
+// state such as a context's Done channel, and it must be cheap. Pass nil
+// to remove.
+//
+// Interrupts exist for host-side cancellation (timeouts, client
+// disconnects): an interrupted run is abandoned wholesale, never resumed,
+// so determinism of completed runs is unaffected.
+func (k *Kernel) SetInterrupt(check func() bool) {
+	k.intr = check
+	k.interrupted = false
+}
+
+// Interrupted reports whether the last Run/RunUntil was aborted by the
+// interrupt check installed with SetInterrupt.
+func (k *Kernel) Interrupted() bool { return k.interrupted }
+
 // Pending reports how many non-cancelled ordinary (non-weak) events are
 // queued.
 func (k *Kernel) Pending() int { return k.live }
@@ -231,6 +260,10 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		fn := next.fn
 		fn()
 		k.recycle(next)
+		if k.intr != nil && k.fired%interruptStride == 0 && k.intr() {
+			k.interrupted = true
+			k.halted = true
+		}
 	}
 	if limit >= 0 && k.now < limit && !k.halted {
 		k.now = limit

@@ -21,8 +21,11 @@ func (s *Stats) WriteGem5Style(w io.Writer) error {
 	dramPct, spadPct := s.DataMovement()
 	dramE, spadE := s.MemoryEnergy()
 	avg, tail := s.SchedLatency()
+	geo, starvedApps := s.SlowdownGeomean()
 	lines := []stat{
 		{"sim_ticks", fmt.Sprintf("%d", int64(s.Makespan)), "Simulated time (ps)"},
+		{"system.slowdown_geomean", num(geo), "Geomean slowdown across non-starved apps"},
+		{"system.apps_starved", fmt.Sprintf("%d", starvedApps), "Apps with no finished iteration"},
 		{"sim_seconds", num(s.Makespan.Seconds()), "Simulated time (s)"},
 		{"system.edges", fmt.Sprintf("%d", s.Edges), "Producer/consumer edges executed"},
 		{"system.forwards", fmt.Sprintf("%d", s.Forwards), "SPAD-to-SPAD forwards"},
@@ -54,10 +57,18 @@ func (s *Stats) WriteGem5Style(w io.Writer) error {
 	for _, n := range names {
 		a := s.Apps[n]
 		prefix := "system.app." + n
+		// A starved application has no finished iteration, so its slowdown
+		// is undefined: emit gem5's "nan" marker (never "%f" of +Inf, which
+		// downstream stats.txt parsers reject) and flag it explicitly.
+		slowdown, starved := "nan", 1
+		if sl, ok := a.FiniteSlowdown(); ok {
+			slowdown, starved = num(sl), 0
+		}
 		lines = append(lines,
 			stat{prefix + ".iterations", fmt.Sprintf("%d", a.Iterations), "Finished DAG instances"},
 			stat{prefix + ".deadlines_met", fmt.Sprintf("%d", a.DeadlinesMet), "DAG deadlines met"},
-			stat{prefix + ".slowdown", num(a.Slowdown()), "Runtime over deadline (geomean)"},
+			stat{prefix + ".slowdown", slowdown, "Runtime over deadline (geomean)"},
+			stat{prefix + ".starved", fmt.Sprintf("%d", starved), "1 if no iteration finished (slowdown undefined)"},
 			stat{prefix + ".forwards", fmt.Sprintf("%d", a.Forwards), "Forwards on this app's edges"},
 			stat{prefix + ".colocations", fmt.Sprintf("%d", a.Colocations), "Colocations on this app's edges"},
 		)

@@ -57,9 +57,12 @@ type AppStats struct {
 // Slowdown is the ratio of the application's runtime to its deadline
 // (paper Fig. 9a). Under continuous contention it is the geometric mean
 // over finished iterations; +Inf indicates starvation (no finished
-// iterations).
+// iterations). Callers that aggregate or serialize slowdowns must not
+// feed the +Inf sentinel into means or JSON (encoding/json rejects
+// non-finite floats): use FiniteSlowdown / Starved and skip or flag
+// starved applications explicitly.
 func (a *AppStats) Slowdown() float64 {
-	if len(a.Runtimes) == 0 {
+	if a.Starved() {
 		return math.Inf(1)
 	}
 	logSum := 0.0
@@ -71,6 +74,21 @@ func (a *AppStats) Slowdown() float64 {
 		logSum += math.Log(s)
 	}
 	return math.Exp(logSum / float64(len(a.Runtimes)))
+}
+
+// Starved reports whether the application finished no iterations, i.e. its
+// slowdown is undefined (+Inf).
+func (a *AppStats) Starved() bool { return len(a.Runtimes) == 0 }
+
+// FiniteSlowdown returns the application's slowdown and true, or (0,
+// false) for a starved application — the aggregation-safe accessor:
+// the boolean forces call sites to decide how starvation is represented
+// instead of silently propagating +Inf into geomeans and JSON exports.
+func (a *AppStats) FiniteSlowdown() (float64, bool) {
+	if a.Starved() {
+		return 0, false
+	}
+	return a.Slowdown(), true
 }
 
 // Stats is the per-scenario metric sink.
@@ -335,6 +353,39 @@ func (s *Stats) SchedLatency() (avg, tail sim.Time) {
 		}
 	}
 	return sum / sim.Time(len(s.SchedCosts)), tail
+}
+
+// SlowdownGeomean returns the geometric mean of per-application slowdowns
+// across the scenario (the Fig. 10a headline number) together with the
+// count of starved applications that were excluded. A single starved
+// application would otherwise turn the whole scenario's geomean into +Inf
+// and poison any table or JSON document built from it; excluding them and
+// reporting the count keeps the aggregate finite and the starvation
+// visible. With no finished application at all the geomean is 0 (and
+// starved equals the application count).
+func (s *Stats) SlowdownGeomean() (geo float64, starved int) {
+	names := make([]string, 0, len(s.Apps))
+	for name := range s.Apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	logSum, n := 0.0, 0
+	for _, name := range names {
+		sl, ok := s.Apps[name].FiniteSlowdown()
+		if !ok {
+			starved++
+			continue
+		}
+		if sl <= 0 {
+			sl = 1e-9
+		}
+		logSum += math.Log(sl)
+		n++
+	}
+	if n == 0 {
+		return 0, starved
+	}
+	return math.Exp(logSum / float64(n)), starved
 }
 
 // SlowdownSpread returns the min, median, and max per-application slowdown

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -144,6 +145,90 @@ func TestSlowdownSpreadStarvation(t *testing.T) {
 	}
 	if math.IsInf(variance, 1) || math.IsNaN(variance) {
 		t.Fatal("variance must exclude infinite slowdowns")
+	}
+}
+
+// TestStarvedAppAggregation is the regression test for the +Inf-slowdown
+// bug: a zero-iteration (starved) application must be flagged explicitly
+// and must not poison scenario-level aggregates — the cross-app geomean
+// stays finite, the gem5 export never prints "%f" of +Inf, and a JSON
+// document over the per-app slowdowns still marshals.
+func TestStarvedAppAggregation(t *testing.T) {
+	s := New()
+	a := s.App("canny", "C", 10*sim.Millisecond)
+	a.Runtimes = []sim.Time{20 * sim.Millisecond} // slowdown 2.0
+	a.Iterations = 1
+	starved := s.App("gru", "G", 7*sim.Millisecond) // zero iterations
+
+	if !starved.Starved() || a.Starved() {
+		t.Fatal("Starved flags wrong")
+	}
+	if _, ok := starved.FiniteSlowdown(); ok {
+		t.Fatal("FiniteSlowdown must report false for a starved app")
+	}
+	if sl, ok := a.FiniteSlowdown(); !ok || math.Abs(sl-2.0) > 1e-9 {
+		t.Fatalf("FiniteSlowdown = (%v, %v), want (2.0, true)", sl, ok)
+	}
+
+	geo, n := s.SlowdownGeomean()
+	if n != 1 {
+		t.Fatalf("starved count = %d, want 1", n)
+	}
+	if math.IsInf(geo, 1) || math.IsNaN(geo) || math.Abs(geo-2.0) > 1e-9 {
+		t.Fatalf("geomean = %v, want the finite 2.0 (starved app excluded)", geo)
+	}
+
+	// All apps starved: geomean degrades to 0, never NaN/Inf.
+	empty := New()
+	empty.App("lstm", "L", 7*sim.Millisecond)
+	if geo, n := empty.SlowdownGeomean(); geo != 0 || n != 1 {
+		t.Fatalf("all-starved geomean = (%v, %d), want (0, 1)", geo, n)
+	}
+
+	// The gem5 export must flag the starved app and keep every value
+	// parseable (gem5's marker for undefined is "nan", never "+Inf").
+	var buf bytes.Buffer
+	if err := s.WriteGem5Style(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "Inf") || strings.Contains(out, "inf") {
+		t.Fatalf("gem5 export leaked an infinity:\n%s", out)
+	}
+	for _, want := range []string{
+		"system.app.gru.slowdown", "system.app.gru.starved",
+		"system.apps_starved", "system.slowdown_geomean",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gem5 export missing %q", want)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "gru.slowdown") && !strings.Contains(line, "nan") {
+			t.Errorf("starved slowdown not flagged as nan: %q", line)
+		}
+		if strings.Contains(line, "gru.starved") {
+			if f := strings.Fields(line); len(f) < 2 || f[1] != "1" {
+				t.Errorf("starved flag not set: %q", line)
+			}
+		}
+	}
+
+	// JSON over the aggregation-safe accessors must marshal; raw +Inf would
+	// make encoding/json fail with an UnsupportedValueError.
+	doc := map[string]float64{}
+	for name, app := range s.Apps {
+		sl, ok := app.FiniteSlowdown()
+		if !ok {
+			sl = -1
+		}
+		doc[name] = sl
+	}
+	if _, err := json.Marshal(doc); err != nil {
+		t.Fatalf("JSON export of clamped slowdowns failed: %v", err)
+	}
+	if _, err := json.Marshal(map[string]float64{"x": math.Inf(1)}); err == nil {
+		t.Fatal("sanity: encoding/json should reject +Inf (the bug this guards)")
 	}
 }
 

@@ -23,6 +23,7 @@
 package relief
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -415,6 +416,77 @@ func (s *System) RunFor(horizon Time) *Report {
 	return newReport(s.st)
 }
 
+// RunContext is Run with cancellation: the simulation aborts promptly once
+// ctx is cancelled or times out, returning ctx's error and no report —
+// an abandoned run never yields partial statistics. The cancellation
+// check is polled on the simulation goroutine (every few thousand kernel
+// events), so it is safe to cancel from another goroutine; this is the
+// entry point the serving layer drives (see internal/serve).
+func (s *System) RunContext(ctx context.Context) (*Report, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mustRunOnce()
+	s.installInterrupt(ctx)
+	s.mgr.Run()
+	if err := s.runErr(ctx); err != nil {
+		return nil, err
+	}
+	return newReport(s.st), nil
+}
+
+// RunForContext is RunFor with cancellation, with the same contract as
+// RunContext.
+func (s *System) RunForContext(ctx context.Context, horizon Time) (*Report, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mustRunOnce()
+	s.installInterrupt(ctx)
+	s.mgr.RunContinuous(horizon)
+	if err := s.runErr(ctx); err != nil {
+		return nil, err
+	}
+	return newReport(s.st), nil
+}
+
+// installInterrupt arms the kernel's cancellation poll with ctx's Done
+// channel. A context that can never be cancelled installs nothing, keeping
+// the hot dispatch loop poll-free.
+func (s *System) installInterrupt(ctx context.Context) {
+	done := ctx.Done()
+	if done == nil {
+		return
+	}
+	s.kernel.SetInterrupt(func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+// runErr distils a finished context-aware run into its error: the context's
+// cancellation cause if the kernel was interrupted, else any runtime error
+// the manager recorded.
+func (s *System) runErr(ctx context.Context) error {
+	if s.kernel.Interrupted() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("relief: run cancelled: %w", err)
+		}
+		return fmt.Errorf("relief: run interrupted")
+	}
+	return s.Err()
+}
+
 func (s *System) mustRunOnce() {
 	if s.ran {
 		// Running a System twice is API misuse (the kernel cannot rewind),
@@ -468,8 +540,13 @@ type AppReport struct {
 	Iterations   int
 	DeadlinesMet int
 	// Aborted counts DAG instances cancelled by the recovery machinery.
-	Aborted  int
+	Aborted int
+	// Slowdown is +Inf when Starved; check the flag (or math.IsInf) before
+	// aggregating or serializing it — encoding/json rejects non-finite
+	// floats.
 	Slowdown float64
+	// Starved flags an application with no finished iteration.
+	Starved  bool
 	Runtimes []Time
 }
 
@@ -504,6 +581,7 @@ func newReport(st *stats.Stats) *Report {
 			DeadlinesMet: a.DeadlinesMet,
 			Aborted:      a.Aborted,
 			Slowdown:     a.Slowdown(),
+			Starved:      a.Starved(),
 			Runtimes:     append([]Time(nil), a.Runtimes...),
 		}
 	}

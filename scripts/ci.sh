@@ -58,6 +58,36 @@ grep -q '"schema": "relief-metrics/1"' "$tmp/m.json"
 test -s "$tmp/m.csv"
 grep -q '^# TYPE' "$tmp/m.prom"
 
+echo "== serve smoke"
+# End-to-end over a real socket: start on an ephemeral port, POST the
+# same scenario twice (second spelled in a different field order — the
+# content digest must still hit the cache), then SIGTERM and require a
+# clean drain (exit 0 + the "stopped" line).
+if command -v curl >/dev/null 2>&1; then
+	go build -o "$tmp/relief-serve" ./cmd/relief-serve
+	"$tmp/relief-serve" -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+	serve_pid=$!
+	addr=""
+	for _ in $(seq 1 100); do
+		addr="$(sed -n 's|^relief-serve: listening on http://||p' "$tmp/serve.log")"
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	test -n "$addr"
+	curl -sf -X POST "http://$addr/run" \
+		-d '{"mix":"CG","policy":"RELIEF"}' >"$tmp/serve1.json"
+	grep -q '"cached": false' "$tmp/serve1.json"
+	curl -sf -X POST "http://$addr/run" \
+		-d '{"policy":"RELIEF","mix":"CG"}' >"$tmp/serve2.json"
+	grep -q '"cached": true' "$tmp/serve2.json"
+	curl -sf "http://$addr/metrics" | grep -q '^relief_serve_cache_hits_total 1$'
+	kill -TERM "$serve_pid"
+	wait "$serve_pid"
+	grep -q '^relief-serve: stopped$' "$tmp/serve.log"
+else
+	echo "curl not installed; skipping"
+fi
+
 echo "== bench report smoke"
 go build -o "$tmp/relief-bench" ./cmd/relief-bench
 # Pin the report filename: "auto" names the file BENCH_<date>.json, which
