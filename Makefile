@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race bench bench-smoke ci clean
+.PHONY: all build test vet lint race bench bench-smoke bench-report ci clean
 
 all: build
 
@@ -37,6 +37,12 @@ bench:
 # simulator throughput without the full sweep's cost.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig4$$' -benchtime=1x -benchmem .
+
+# Dated benchmark report at the repo root: the full experiment trajectory
+# plus distributed sweep throughput (POST /sweep against in-process fleets
+# of 1 and 3 replicas). Schema relief-bench/1; see docs/MODEL.md.
+bench-report:
+	$(GO) run ./cmd/relief-bench -benchjson auto -sweepbench >/dev/null
 
 ci:
 	./scripts/ci.sh

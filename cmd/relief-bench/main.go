@@ -13,6 +13,7 @@
 //	relief-bench -memprofile mem.out   # heap profile at exit
 //	relief-bench -trace trace.out      # runtime execution trace
 //	relief-bench -benchjson auto       # BENCH_<date>.json trajectory report
+//	relief-bench -benchjson auto -sweepbench   # + distributed sweep throughput
 //
 // The -benchjson report records, per experiment, the harness wall time,
 // how many scenarios were newly simulated, kernel events dispatched and
@@ -190,6 +191,8 @@ type benchReport struct {
 	Jobs        int          `json:"jobs"`
 	Experiments []benchEntry `json:"experiments"`
 	Total       benchEntry   `json:"total"`
+	// Sweep reports distributed sweep throughput (-sweepbench).
+	Sweep *sweepBenchReport `json:"sweep,omitempty"`
 }
 
 // sample charges everything newly simulated since the previous sample to
@@ -221,6 +224,8 @@ func main() {
 	flag.IntVar(&jobs, "j", runtime.GOMAXPROCS(0), "shorthand for -jobs")
 	jsonOut := flag.String("json", "", "also dump every raw scenario result as JSON to this file")
 	benchJSON := flag.String("benchjson", "", `write a benchmark-trajectory report to this file ("auto" = BENCH_<date>.json)`)
+	sweepBench := flag.Bool("sweepbench", false,
+		"with -benchjson: also measure POST /sweep throughput against in-process fleets of 1 and 3 replicas")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	traceOut := flag.String("trace", "", "write a runtime execution trace to this file")
@@ -246,13 +251,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "relief-bench: unknown format %q (want text or csv)\n", *format)
 		os.Exit(2)
 	}
-	if err := run(*expFlag, *format, *jsonOut, *benchJSON, *cpuProfile, *memProfile, *traceOut, jobs); err != nil {
+	if err := run(*expFlag, *format, *jsonOut, *benchJSON, *cpuProfile, *memProfile, *traceOut, jobs, *sweepBench); err != nil {
 		fmt.Fprintf(os.Stderr, "relief-bench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(expName, format, jsonOut, benchJSON, cpuProfile, memProfile, traceOut string, jobs int) error {
+func run(expName, format, jsonOut, benchJSON, cpuProfile, memProfile, traceOut string, jobs int, sweepBench bool) error {
 	if cpuProfile != "" {
 		f, err := os.Create(cpuProfile)
 		if err != nil {
@@ -328,6 +333,13 @@ func run(expName, format, jsonOut, benchJSON, cpuProfile, memProfile, traceOut s
 		}
 	}
 	if benchJSON != "" {
+		if sweepBench {
+			sb, err := runSweepBench()
+			if err != nil {
+				return err
+			}
+			report.Sweep = sb
+		}
 		report.Total.Name = "total"
 		if report.Total.WallSeconds > 0 {
 			report.Total.EventsPerSec = float64(report.Total.EventsFired) / report.Total.WallSeconds

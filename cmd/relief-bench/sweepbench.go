@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"relief/internal/exp"
+	"relief/internal/serve"
+)
+
+// sweepBenchCellCost is the fixed per-cell service time charged by the stub
+// runner. The benchmark host may have a single CPU, where parallel real
+// simulations cannot beat serial ones; a fixed cell cost models each
+// replica as its own machine and makes the measurement about the thing this
+// benchmark exists to measure — the sweep distribution layer (expansion,
+// ring placement, forwarding, streaming, merging) — not the kernel.
+const sweepBenchCellCost = 50 * time.Millisecond
+
+// sweepBenchRun is one fleet size's measurement.
+type sweepBenchRun struct {
+	Replicas    int     `json:"replicas"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CellsPerSec float64 `json:"cells_per_second"`
+	// Speedup is wall-clock relative to the single-replica run.
+	Speedup float64 `json:"speedup"`
+}
+
+// sweepBenchReport is the "sweep" section of the relief-bench/1 document:
+// POST /sweep throughput against in-process fleets of 1 and N replicas.
+type sweepBenchReport struct {
+	// Mode names the measurement regime; "fixed-cell-cost" means a stub
+	// runner charged CellMS of wall time per cell with one worker per
+	// replica (each replica stands in for a machine).
+	Mode   string          `json:"mode"`
+	CellMS float64         `json:"cell_ms"`
+	Cells  int             `json:"cells"`
+	Runs   []sweepBenchRun `json:"runs"`
+}
+
+// runSweepBench measures distributed sweep throughput: the low-contention ×
+// fairness-policy grid (40 cells) swept through a coordinator replica, for
+// a fleet of one and a fleet of three. Every fleet starts cold so cell
+// counts match; cluster runs place cells on owners by consistent hashing
+// and forward them, so the fleet's aggregate service rate — not the
+// coordinator's — bounds the sweep.
+func runSweepBench() (*sweepBenchReport, error) {
+	spec := serve.SweepSpec{
+		Contention: []string{"low"},
+		Policies:   exp.FairnessPolicyNames,
+		Stream:     true,
+		Parallel:   16,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	report := &sweepBenchReport{
+		Mode:   "fixed-cell-cost",
+		CellMS: float64(sweepBenchCellCost) / float64(time.Millisecond),
+	}
+	for _, replicas := range []int{1, 3} {
+		wall, cells, err := runFleetSweep(replicas, body)
+		if err != nil {
+			return nil, fmt.Errorf("sweep bench (%d replicas): %w", replicas, err)
+		}
+		if report.Cells == 0 {
+			report.Cells = cells
+		} else if cells != report.Cells {
+			return nil, fmt.Errorf("sweep bench: %d-replica fleet ran %d cells, want %d", replicas, cells, report.Cells)
+		}
+		run := sweepBenchRun{Replicas: replicas, WallSeconds: wall.Seconds()}
+		if wall > 0 {
+			run.CellsPerSec = float64(cells) / wall.Seconds()
+		}
+		if len(report.Runs) > 0 && wall > 0 {
+			run.Speedup = report.Runs[0].WallSeconds / wall.Seconds()
+		} else {
+			run.Speedup = 1
+		}
+		report.Runs = append(report.Runs, run)
+	}
+	return report, nil
+}
+
+// runFleetSweep starts a cold in-process fleet, streams one sweep through
+// its first replica, and reports the wall time and cell count.
+func runFleetSweep(replicas int, specBody []byte) (time.Duration, int, error) {
+	stub := func(ctx context.Context, req serve.Request) (*serve.Result, error) {
+		select {
+		case <-time.After(sweepBenchCellCost):
+			return &serve.Result{Text: "sweep-bench stub\n"}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	var servers []*serve.Server
+	var urls []string
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, s := range servers {
+			s.Drain(ctx)
+		}
+	}()
+	for i := 0; i < replicas; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, 0, err
+		}
+		s := serve.New(serve.Config{
+			Workers:  1, // one worker per replica: each replica models one machine
+			QueueCap: 256,
+			CacheCap: 512,
+			Timeout:  time.Minute,
+			Runner:   stub,
+		})
+		go s.Serve(l)
+		servers = append(servers, s)
+		urls = append(urls, "http://"+l.Addr().String())
+	}
+	if replicas > 1 {
+		for i, s := range servers {
+			s.ConfigureCluster(urls[i], urls) // ConfigureCluster drops self from the peer list
+		}
+	}
+
+	start := time.Now()
+	resp, err := http.Post(urls[0]+"/sweep", "application/json", strings.NewReader(string(specBody)))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("POST /sweep: %s", resp.Status)
+	}
+	cells, failed := 0, 0
+	done := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		var line struct {
+			Index  *int   `json:"index"`
+			Error  string `json:"error"`
+			Done   bool   `json:"done"`
+			Errors int    `json:"errors"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return 0, 0, err
+		}
+		switch {
+		case line.Done:
+			done, failed = true, line.Errors
+		case line.Index != nil:
+			cells++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, err
+	}
+	wall := time.Since(start)
+	if !done {
+		return 0, 0, fmt.Errorf("sweep stream ended without trailer")
+	}
+	if failed > 0 {
+		return 0, 0, fmt.Errorf("%d cells failed", failed)
+	}
+	return wall, cells, nil
+}

@@ -3,10 +3,16 @@
 // the CLIs produce, deduplicated across concurrent identical requests and
 // cached by content digest. See docs/SERVING.md.
 //
+// With -peers the replica joins a fleet: every scenario digest is placed on
+// one owner by consistent hashing, non-owned requests probe the owner's
+// cache and forward to it, and POST /sweep fans a whole grid out across the
+// fleet (see "Cluster mode" in docs/SERVING.md).
+//
 // Usage:
 //
 //	relief-serve -addr 127.0.0.1:8080
 //	relief-serve -addr 127.0.0.1:0 -workers 4 -cache 256
+//	relief-serve -addr 127.0.0.1:8081 -peers http://127.0.0.1:8082,http://127.0.0.1:8083
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -30,6 +37,8 @@ func main() {
 	cacheCap := flag.Int("cache", 128, "result cache capacity in entries")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-simulation wall-clock budget")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before cancelling runs")
+	peers := flag.String("peers", "", "comma-separated peer base URLs; enables cluster mode")
+	self := flag.String("self", "", "this replica's advertised base URL in cluster mode (default http://<listen addr>)")
 	flag.Parse()
 
 	l, err := net.Listen("tcp", *addr)
@@ -42,6 +51,20 @@ func main() {
 		CacheCap: *cacheCap,
 		Timeout:  *timeout,
 	})
+	if *peers != "" {
+		adv := *self
+		if adv == "" {
+			adv = "http://" + l.Addr().String()
+		}
+		var ps []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				ps = append(ps, p)
+			}
+		}
+		s.ConfigureCluster(adv, ps)
+		fmt.Printf("relief-serve: cluster mode, self=%s peers=%s\n", adv, strings.Join(ps, ","))
+	}
 	// Printed before serving so scripts using an ephemeral port can scrape
 	// the actual address.
 	fmt.Printf("relief-serve: listening on http://%s\n", l.Addr())

@@ -1,0 +1,190 @@
+// relief-sweep drives a relief-serve fleet through one sweep: it streams a
+// grid spec to a coordinator replica (POST /sweep with "stream": true),
+// watches per-cell NDJSON results land, and merges them locally into the
+// same sorted relief-metrics cell document a single-process exp sweep
+// dumps — byte-identical regardless of fleet size or which replica computed
+// each cell.
+//
+// Usage:
+//
+//	relief-sweep -replicas http://127.0.0.1:8081,http://127.0.0.1:8082 -spec sweep.json
+//	echo '{"contention":["low"]}' | relief-sweep -replicas http://127.0.0.1:8081 -out cells.json
+//
+// Replicas are tried in order until one accepts the sweep; if the stream
+// breaks mid-flight the whole sweep retries on the next replica (finished
+// cells are already cached fleet-wide, so a retry only recomputes the
+// stragglers).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"relief/internal/exp"
+	"relief/internal/serve"
+)
+
+// line mirrors the server's NDJSON framing: the header carries schema/cells,
+// per-cell lines carry index/digest/source and the result or error, the
+// trailer carries done/ok/errors.
+type line struct {
+	Schema string        `json:"schema"`
+	Cells  int           `json:"cells"`
+	Index  *int          `json:"index"`
+	Digest string        `json:"digest"`
+	Source string        `json:"source"`
+	Error  string        `json:"error"`
+	Result *serve.Result `json:"result"`
+	Done   bool          `json:"done"`
+	OK     int           `json:"ok"`
+	Errors int           `json:"errors"`
+}
+
+func main() {
+	replicasFlag := flag.String("replicas", "", "comma-separated replica base URLs (tried in order)")
+	specPath := flag.String("spec", "-", `sweep spec JSON file ("-" = stdin)`)
+	outPath := flag.String("out", "-", `merged cell document destination ("-" = stdout)`)
+	quiet := flag.Bool("q", false, "suppress per-source progress on stderr")
+	flag.Parse()
+
+	var replicas []string
+	for _, r := range strings.Split(*replicasFlag, ",") {
+		if r = strings.TrimRight(strings.TrimSpace(r), "/"); r != "" {
+			replicas = append(replicas, r)
+		}
+	}
+	if len(replicas) == 0 {
+		fatal(fmt.Errorf("no replicas (use -replicas http://host:port,...)"))
+	}
+
+	specBytes, err := readSpec(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	var spec serve.SweepSpec
+	if err := json.Unmarshal(specBytes, &spec); err != nil {
+		fatal(fmt.Errorf("parsing sweep spec: %w", err))
+	}
+	spec.Stream = true
+	body, err := json.Marshal(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	var cells []exp.Cell
+	var lastErr error
+	done := false
+	for _, replica := range replicas {
+		cells, lastErr = runSweep(replica, body, *quiet)
+		if lastErr == nil {
+			done = true
+			break
+		}
+		fmt.Fprintf(os.Stderr, "relief-sweep: %s: %v (trying next replica)\n", replica, lastErr)
+	}
+	if !done {
+		fatal(fmt.Errorf("all replicas failed, last error: %w", lastErr))
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := exp.WriteCells(out, cells); err != nil {
+		fatal(err)
+	}
+}
+
+// runSweep streams one sweep through the given coordinator and returns the
+// merged cells. A missing trailer, transport error, non-200 status, or any
+// failed cell is an error (the caller may retry on another replica).
+func runSweep(replica string, body []byte, quiet bool) ([]exp.Cell, error) {
+	resp, err := http.Post(replica+"/sweep", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+
+	var cells []exp.Cell
+	bySource := map[string]int{}
+	total, seen := 0, 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, fmt.Errorf("bad stream line: %w", err)
+		}
+		switch {
+		case l.Schema != "":
+			if l.Schema != serve.SweepSchema {
+				return nil, fmt.Errorf("unexpected stream schema %q", l.Schema)
+			}
+			total = l.Cells
+		case l.Done:
+			if l.Errors > 0 {
+				return nil, fmt.Errorf("%d of %d cells failed", l.Errors, total)
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "relief-sweep: %d cells done (%s)\n", l.OK, sourceSummary(bySource))
+			}
+			return cells, nil
+		case l.Index != nil:
+			seen++
+			if l.Error != "" {
+				return nil, fmt.Errorf("cell %d (%.12s): %s", *l.Index, l.Digest, l.Error)
+			}
+			bySource[l.Source]++
+			if l.Result != nil && l.Result.Cell != nil {
+				cells = append(cells, *l.Result.Cell)
+			}
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "relief-sweep: [%d/%d] %.12s %s\n", seen, total, l.Digest, l.Source)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("stream ended without trailer (%d/%d cells)", seen, total)
+}
+
+func sourceSummary(bySource map[string]int) string {
+	var parts []string
+	for _, src := range []string{"run", "cache", "peer", "forward"} {
+		if n := bySource[src]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s %d", src, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "no cells"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func readSpec(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "relief-sweep: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Cell is one scenario's machine-readable summary, keyed by its canonical
+// scenario key (ScenarioKey). It is the per-scenario record of Sweep's
+// DumpJSON document and the unit the distributed sweep path (internal/serve)
+// streams per cell and merges; both render through WriteCells, so the two
+// documents cannot diverge.
+type Cell struct {
+	Scenario     string             `json:"scenario"`
+	MakespanMS   float64            `json:"makespan_ms"`
+	Edges        int                `json:"edges"`
+	Forwards     int                `json:"forwards"`
+	Colocations  int                `json:"colocations"`
+	DRAMPct      float64            `json:"dram_traffic_pct"`
+	SpadPct      float64            `json:"spad_traffic_pct"`
+	NodeDLPct    float64            `json:"node_deadline_pct"`
+	DAGDLPct     float64            `json:"dag_deadline_pct"`
+	Occupancy    float64            `json:"occupancy"`
+	Interconnect float64            `json:"interconnect_occupancy"`
+	Apps         map[string]AppCell `json:"apps"`
+}
+
+// AppCell is one application's slice of a Cell.
+type AppCell struct {
+	Iterations   int     `json:"iterations"`
+	DeadlinesMet int     `json:"deadlines_met"`
+	Slowdown     float64 `json:"slowdown"`
+	Starved      bool    `json:"starved,omitempty"`
+}
+
+// NewCell summarizes one result under its canonical scenario key.
+func NewCell(key string, r *Result) Cell {
+	st := r.Stats
+	dram, spad := st.DataMovement()
+	c := Cell{
+		Scenario:     key,
+		MakespanMS:   st.Makespan.Milliseconds(),
+		Edges:        st.Edges,
+		Forwards:     st.Forwards,
+		Colocations:  st.Colocations,
+		DRAMPct:      dram,
+		SpadPct:      spad,
+		NodeDLPct:    st.NodeDeadlinePct(),
+		DAGDLPct:     st.DAGDeadlinePct(),
+		Occupancy:    st.Occupancy(),
+		Interconnect: st.InterconnectOccupancy,
+		Apps:         map[string]AppCell{},
+	}
+	for name, a := range st.Apps {
+		slow, ok := a.FiniteSlowdown()
+		if !ok {
+			slow = -1 // JSON has no Inf; -1 plus the flag marks starvation
+		}
+		c.Apps[name] = AppCell{
+			Iterations: a.Iterations, DeadlinesMet: a.DeadlinesMet,
+			Slowdown: slow, Starved: !ok,
+		}
+	}
+	return c
+}
+
+// WriteCells renders cells as the sweep-dump JSON array, sorted by scenario
+// key. The byte output is deterministic for a given cell set regardless of
+// input order or where each cell was computed; a nil slice renders as JSON
+// null, matching an empty Sweep's DumpJSON.
+func WriteCells(w io.Writer, cells []Cell) error {
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Scenario < cells[j].Scenario })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(cells)
+}

@@ -1,9 +1,7 @@
 package exp
 
 import (
-	"encoding/json"
 	"io"
-	"sort"
 	"strconv"
 	"sync"
 
@@ -28,15 +26,26 @@ func NewSweep() *Sweep {
 	}
 }
 
-// key builds the cache key. Every field is rendered through an explicit,
-// delimiter-separated encoder (no reflective %v formatting): fields cannot
-// collide because each is length-delimited by a terminator that cannot
-// appear inside it, and adding a field extends the tail. Trace and Metrics
-// are deliberately excluded: observers don't change simulation results, and
-// observer-bearing scenarios should call Run directly rather than share
-// cached results.
-func (s *Sweep) key(sc Scenario) string {
-	var b []byte
+// key builds the cache key (the canonical scenario encoding, see
+// ScenarioKey).
+func (s *Sweep) key(sc Scenario) string { return ScenarioKey(sc) }
+
+// ScenarioKey renders the scenario's canonical content key: an explicit,
+// delimiter-separated field encoding (no reflective %v formatting). Fields
+// cannot collide because each is length-delimited by a terminator that
+// cannot appear inside it, and adding a field extends the tail. Trace and
+// Metrics are deliberately excluded: observers don't change simulation
+// results, and observer-bearing scenarios should call Run directly rather
+// than share cached results.
+//
+// This single encoding backs both the Sweep memoization key and the
+// serving layer's content digests (internal/serve hashes it), so the two
+// can never drift.
+func ScenarioKey(sc Scenario) string { return string(AppendScenarioKey(nil, sc)) }
+
+// AppendScenarioKey appends the canonical scenario encoding to b and
+// returns the extended slice (see ScenarioKey).
+func AppendScenarioKey(b []byte, sc Scenario) []byte {
 	for _, a := range sc.Mix {
 		b = append(b, a.Sym()...)
 	}
@@ -59,7 +68,7 @@ func (s *Sweep) key(sc Scenario) string {
 	b = appendBool(b, sc.DRAMFCFS)
 	b = append(b, '|')
 	b = sc.Faults.AppendKey(b)
-	return string(b)
+	return b
 }
 
 func appendBool(b []byte, v bool) []byte {
@@ -166,71 +175,17 @@ func (s *Sweep) Get(sc Scenario) (*Result, error) {
 	}
 }
 
-// resultJSON is the machine-readable summary DumpJSON emits per scenario.
-type resultJSON struct {
-	Scenario     string             `json:"scenario"`
-	MakespanMS   float64            `json:"makespan_ms"`
-	Edges        int                `json:"edges"`
-	Forwards     int                `json:"forwards"`
-	Colocations  int                `json:"colocations"`
-	DRAMPct      float64            `json:"dram_traffic_pct"`
-	SpadPct      float64            `json:"spad_traffic_pct"`
-	NodeDLPct    float64            `json:"node_deadline_pct"`
-	DAGDLPct     float64            `json:"dag_deadline_pct"`
-	Occupancy    float64            `json:"occupancy"`
-	Interconnect float64            `json:"interconnect_occupancy"`
-	Apps         map[string]appJSON `json:"apps"`
-}
-
-type appJSON struct {
-	Iterations   int     `json:"iterations"`
-	DeadlinesMet int     `json:"deadlines_met"`
-	Slowdown     float64 `json:"slowdown"`
-	Starved      bool    `json:"starved,omitempty"`
-}
-
 // DumpJSON writes every cached result as a JSON array, sorted by scenario
-// key, for external analysis/plotting.
+// key, for external analysis/plotting. The rendering is shared with the
+// distributed sweep merge path (WriteCells), so a merged multi-replica
+// sweep document is byte-identical to a single-process dump of the same
+// scenarios.
 func (s *Sweep) DumpJSON(w io.Writer) error {
 	s.mu.Lock()
-	keys := make([]string, 0, len(s.results))
-	for k := range s.results {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var out []resultJSON
-	for _, k := range keys {
-		r := s.results[k]
-		st := r.Stats
-		dram, spad := st.DataMovement()
-		rj := resultJSON{
-			Scenario:     k,
-			MakespanMS:   st.Makespan.Milliseconds(),
-			Edges:        st.Edges,
-			Forwards:     st.Forwards,
-			Colocations:  st.Colocations,
-			DRAMPct:      dram,
-			SpadPct:      spad,
-			NodeDLPct:    st.NodeDeadlinePct(),
-			DAGDLPct:     st.DAGDeadlinePct(),
-			Occupancy:    st.Occupancy(),
-			Interconnect: st.InterconnectOccupancy,
-			Apps:         map[string]appJSON{},
-		}
-		for name, a := range st.Apps {
-			slow, ok := a.FiniteSlowdown()
-			if !ok {
-				slow = -1 // JSON has no Inf; -1 plus the flag marks starvation
-			}
-			rj.Apps[name] = appJSON{
-				Iterations: a.Iterations, DeadlinesMet: a.DeadlinesMet,
-				Slowdown: slow, Starved: !ok,
-			}
-		}
-		out = append(out, rj)
+	var out []Cell
+	for k, r := range s.results {
+		out = append(out, NewCell(k, r)) //lint:allow maporder WriteCells sorts by scenario key
 	}
 	s.mu.Unlock()
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return WriteCells(w, out)
 }

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// forwardHeader marks a request already forwarded once by a peer; the
+// receiver executes it locally instead of re-forwarding, so a stale or
+// disagreeing ring view can never loop a request around the fleet.
+const forwardHeader = "X-Relief-Forwarded"
+
+// servedByHeader names the peer whose response was relayed to the client.
+const servedByHeader = "X-Relief-Served-By"
+
+// probeTimeout bounds one peer cache probe (GET /result/{digest}). Probes
+// are pure cache lookups — a peer that cannot answer this fast is treated
+// as a miss and the request proceeds without it.
+const probeTimeout = 2 * time.Second
+
+// cluster is one replica's view of the fleet: its own advertised base URL,
+// its peers, and the consistent-hash ring that places every digest on
+// exactly one owner. Immutable after ConfigureCluster publishes it.
+type cluster struct {
+	self  string
+	peers []string // sorted, self excluded
+	ring  *ring
+	probe *http.Client // cheap cache probes
+	fwd   *http.Client // full request forwards (bounded by the simulation budget)
+}
+
+// ConfigureCluster puts the server in cluster mode: self is this replica's
+// advertised base URL (e.g. "http://10.0.0.2:8080"), peers the other
+// replicas'. Every digest is owned by exactly one fleet member (consistent
+// hashing over the full member set, identical on every replica); non-owned
+// requests probe the owner's cache and then forward to it, so each popular
+// scenario is simulated once fleet-wide. Call before the server starts
+// taking traffic. Trailing slashes are normalized away and self is dropped
+// from the peer list, so every replica can be handed the same fleet list.
+func (s *Server) ConfigureCluster(self string, peers []string) {
+	self = strings.TrimRight(strings.TrimSpace(self), "/")
+	seen := map[string]bool{self: true}
+	var ps []string
+	for _, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	c := &cluster{
+		self:  self,
+		peers: ps,
+		ring:  newRing(append(append([]string{}, ps...), self)),
+		probe: &http.Client{Timeout: probeTimeout},
+		fwd:   &http.Client{Timeout: s.cfg.Timeout + 15*time.Second},
+	}
+	s.svc.registerPeers(ps)
+	s.mu.Lock()
+	s.cluster = c
+	s.mu.Unlock()
+}
+
+// probeResult asks one peer's cache for a finished result: a cheap GET that
+// never triggers a simulation. Any failure (unreachable peer, 404, bad
+// body) is a miss.
+func (c *cluster) probeResult(peer, key string) (*Result, bool) {
+	resp, err := c.probe.Get(peer + "/result/" + key)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	var res Result
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(&res); err != nil {
+		return nil, false
+	}
+	return &res, true
+}
+
+// forward re-posts the normalized request to its owner and returns the
+// owner's raw 200 response body for relaying. Any other outcome (owner
+// down, draining, overloaded, timed out) reports failure so the caller
+// degrades to local execution — a peer going down costs duplicated work,
+// never a failed request.
+func (c *cluster) forward(owner string, req Request) ([]byte, bool) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, false
+	}
+	hreq, err := http.NewRequest(http.MethodPost, owner+"/run", bytes.NewReader(body))
+	if err != nil {
+		return nil, false
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(forwardHeader, "1")
+	resp, err := c.fwd.Do(hreq)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// maxResponseBytes bounds relayed and probed peer responses (metrics
+// documents for heavy scenarios run to a few hundred KiB).
+const maxResponseBytes = 16 << 20

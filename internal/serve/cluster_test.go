@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// countingStub returns a stub runner that counts executions.
+func countingStub(execs *atomic.Int32) func(context.Context, Request) (*Result, error) {
+	return func(ctx context.Context, req Request) (*Result, error) {
+		execs.Add(1)
+		return &Result{Text: "stub:" + req.Mix}, nil
+	}
+}
+
+// decodeEnvelope decodes a /run response envelope including its source.
+func decodeEnvelope(t *testing.T, b []byte) (source string, res Result) {
+	t.Helper()
+	var env struct {
+		Cached bool   `json:"cached"`
+		Source string `json:"source"`
+		Result
+	}
+	if err := json.Unmarshal(b, &env); err != nil {
+		t.Fatalf("decode envelope %s: %v", b, err)
+	}
+	return env.Source, env.Result
+}
+
+// twoReplicaFleet builds two peered in-process replicas with counting stub
+// runners and returns them with their base URLs and exec counters.
+func twoReplicaFleet(t *testing.T) (s1, s2 *Server, url1, url2 string, execs1, execs2 *atomic.Int32) {
+	t.Helper()
+	execs1, execs2 = new(atomic.Int32), new(atomic.Int32)
+	s1 = New(Config{Workers: 2, Runner: countingStub(execs1)})
+	s2 = New(Config{Workers: 2, Runner: countingStub(execs2)})
+	ts1 := httptest.NewServer(s1.Handler())
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts1.Close)
+	t.Cleanup(ts2.Close)
+	s1.ConfigureCluster(ts1.URL, []string{ts2.URL})
+	s2.ConfigureCluster(ts2.URL, []string{ts1.URL})
+	return s1, s2, ts1.URL, ts2.URL, execs1, execs2
+}
+
+// digestOwner computes the body's digest and which fleet member owns it.
+func digestOwner(t *testing.T, s *Server, body string) (digest, owner string) {
+	t.Helper()
+	var req Request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	digest = req.Digest()
+	return digest, s.cluster.ring.owner(digest)
+}
+
+// TestTwoReplicaCachePeering: a result cached on the digest's owner is
+// served to a request hitting the other replica via a cheap cache probe —
+// "source": "peer", no second simulation anywhere in the fleet, and the
+// probing replica's per-peer hit counter reflects it.
+func TestTwoReplicaCachePeering(t *testing.T) {
+	s1, s2, url1, url2, execs1, execs2 := twoReplicaFleet(t)
+
+	const body = `{"mix":"CGL"}`
+	_, owner := digestOwner(t, s1, body)
+	ownerURL, otherURL := url1, url2
+	ownerServer, otherServer := s1, s2
+	ownerExecs, otherExecs := execs1, execs2
+	if owner == url2 {
+		ownerURL, otherURL = url2, url1
+		ownerServer, otherServer = s2, s1
+		ownerExecs, otherExecs = execs2, execs1
+	}
+	_ = ownerServer
+
+	// Warm the owner: it owns the digest, so it simulates locally.
+	resp, b := post(t, ownerURL, body)
+	if src, _ := decodeEnvelope(t, b); resp.StatusCode != http.StatusOK || src != srcRun {
+		t.Fatalf("warming the owner: status=%d source=%q body=%s", resp.StatusCode, src, b)
+	}
+
+	// The same scenario through the other replica must come from the
+	// owner's cache, not a second simulation.
+	resp, b = post(t, otherURL, body)
+	src, res := decodeEnvelope(t, b)
+	if resp.StatusCode != http.StatusOK || src != srcPeer {
+		t.Fatalf("non-owner request: status=%d source=%q body=%s", resp.StatusCode, src, b)
+	}
+	if res.Text != "stub:CGL" {
+		t.Errorf("peer result text = %q", res.Text)
+	}
+	if got := ownerExecs.Load() + otherExecs.Load(); got != 1 {
+		t.Errorf("fleet executed %d simulations, want 1", got)
+	}
+	if hits := otherServer.svc.peer(ownerURL).hits.Load(); hits != 1 {
+		t.Errorf("peer hit counter = %d, want 1", hits)
+	}
+
+	// The labelled counter shows up on /metrics.
+	mresp, err := http.Get(otherURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	mb, _ := io.ReadAll(mresp.Body)
+	want := `relief_serve_peer_hits_total{peer="` + ownerURL + `"} 1`
+	if !strings.Contains(string(mb), want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+}
+
+// TestForwardToOwnerComputesOnce: on a cold fleet, a request landing on a
+// non-owner is forwarded to the owner (probe misses, forward runs it
+// there), and a later identical request peer-probes straight out of the
+// owner's cache. One simulation total, owned side.
+func TestForwardToOwnerComputesOnce(t *testing.T) {
+	s1, _, url1, url2, execs1, execs2 := twoReplicaFleet(t)
+
+	const body = `{"mix":"CDH"}`
+	_, owner := digestOwner(t, s1, body)
+	otherURL := url2
+	ownerExecs, otherExecs := execs1, execs2
+	if owner == url2 {
+		otherURL = url1
+		ownerExecs, otherExecs = execs2, execs1
+	}
+
+	resp, b := post(t, otherURL, body)
+	src, _ := decodeEnvelope(t, b)
+	if resp.StatusCode != http.StatusOK || src != srcRun {
+		t.Fatalf("cold forward: status=%d source=%q body=%s (the relayed envelope carries the owner's source)",
+			resp.StatusCode, src, b)
+	}
+	if got := resp.Header.Get(servedByHeader); got != owner {
+		t.Errorf("%s = %q, want %q", servedByHeader, got, owner)
+	}
+	if ownerExecs.Load() != 1 || otherExecs.Load() != 0 {
+		t.Fatalf("execs owner=%d other=%d, want 1/0 (forwarded work runs on the owner)",
+			ownerExecs.Load(), otherExecs.Load())
+	}
+
+	// Round two: the owner's cache now answers the probe.
+	resp, b = post(t, otherURL, body)
+	if src, _ := decodeEnvelope(t, b); resp.StatusCode != http.StatusOK || src != srcPeer {
+		t.Fatalf("warm probe: status=%d source=%q", resp.StatusCode, src)
+	}
+	if got := ownerExecs.Load() + otherExecs.Load(); got != 1 {
+		t.Errorf("fleet executed %d simulations, want 1", got)
+	}
+}
+
+// TestPeerDownFallsBackLocally: when a digest's owner is unreachable, the
+// request must still succeed — probe misses, forward fails, and the replica
+// simulates locally. A dead peer costs duplicated work, never an error.
+func TestPeerDownFallsBackLocally(t *testing.T) {
+	const deadPeer = "http://127.0.0.1:9" // discard port: connections refuse fast
+	var execs atomic.Int32
+	s := New(Config{Workers: 1, Runner: countingStub(&execs)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.ConfigureCluster(ts.URL, []string{deadPeer})
+
+	// Find a scenario the dead peer owns (about half of all digests).
+	body := ""
+	for _, mix := range []string{`{"mix":"C"}`, `{"mix":"D"}`, `{"mix":"G"}`, `{"mix":"H"}`, `{"mix":"L"}`, `{"mix":"CD"}`, `{"mix":"CG"}`} {
+		if _, owner := digestOwner(t, s, mix); owner == deadPeer {
+			body = mix
+			break
+		}
+	}
+	if body == "" {
+		t.Fatal("no candidate scenario hashed onto the dead peer")
+	}
+
+	resp, b := post(t, ts.URL, body)
+	src, _ := decodeEnvelope(t, b)
+	if resp.StatusCode != http.StatusOK || src != srcRun {
+		t.Fatalf("peer-down request: status=%d source=%q body=%s", resp.StatusCode, src, b)
+	}
+	if execs.Load() != 1 {
+		t.Errorf("local fallback executed %d simulations, want 1", execs.Load())
+	}
+	pc := s.svc.peer(deadPeer)
+	if pc.misses.Load() != 1 || pc.forwardErrors.Load() != 1 {
+		t.Errorf("dead peer counters: misses=%d forward_errors=%d, want 1/1",
+			pc.misses.Load(), pc.forwardErrors.Load())
+	}
+
+	// A second request hits the local cache and never touches the peer.
+	resp, b = post(t, ts.URL, body)
+	if src, _ := decodeEnvelope(t, b); resp.StatusCode != http.StatusOK || src != srcCache {
+		t.Fatalf("repeat request: status=%d source=%q", resp.StatusCode, src)
+	}
+	if pc.misses.Load() != 1 {
+		t.Errorf("cached repeat probed the dead peer again (misses=%d)", pc.misses.Load())
+	}
+}
+
+// TestForwardedRequestNeverReforwards: a request already forwarded once is
+// executed locally even by a replica that does not own its digest, so ring
+// disagreement cannot loop requests around the fleet.
+func TestForwardedRequestNeverReforwards(t *testing.T) {
+	s1, _, url1, url2, execs1, execs2 := twoReplicaFleet(t)
+
+	const body = `{"mix":"GL"}`
+	_, owner := digestOwner(t, s1, body)
+	// Send to the NON-owner with the forwarded marker set: it must run the
+	// simulation itself rather than bounce it onward.
+	target := url1
+	targetExecs, otherExecs := execs1, execs2
+	if owner == url1 {
+		target = url2
+		targetExecs, otherExecs = execs2, execs1
+	}
+	req, err := http.NewRequest(http.MethodPost, target+"/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if src, _ := decodeEnvelope(t, b); resp.StatusCode != http.StatusOK || src != srcRun {
+		t.Fatalf("forwarded request: status=%d source=%q body=%s", resp.StatusCode, src, b)
+	}
+	if targetExecs.Load() != 1 || otherExecs.Load() != 0 {
+		t.Errorf("execs target=%d other=%d, want 1/0 (no re-forwarding)", targetExecs.Load(), otherExecs.Load())
+	}
+}

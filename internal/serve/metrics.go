@@ -2,6 +2,7 @@ package serve
 
 import (
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,9 +27,63 @@ type serviceMetrics struct {
 	running    atomic.Int64
 	cacheLen   func() int
 
+	// peers holds the per-peer cluster counters, keyed by peer base URL.
+	// Written once by registerPeers before the cluster starts taking
+	// traffic, read-only afterwards.
+	peers map[string]*peerCounters
+
 	mu  sync.Mutex
 	reg *metrics.Registry
 	lat *metrics.Histogram
+}
+
+// peerCounters tracks one peer's share of cluster traffic: cache probes
+// that hit/missed, requests forwarded to it as the owner, and forwards
+// that failed (peer down → local fallback).
+type peerCounters struct {
+	hits          atomic.Int64
+	misses        atomic.Int64
+	forwarded     atomic.Int64
+	forwardErrors atomic.Int64
+}
+
+// discardPeer absorbs counts for peers outside the configured fleet; it can
+// only be reached if ring membership and registration disagree, and keeps
+// the counting path total instead of panicking.
+var discardPeer = &peerCounters{}
+
+// peer returns the counters for one peer base URL.
+func (m *serviceMetrics) peer(url string) *peerCounters {
+	if pc, ok := m.peers[url]; ok {
+		return pc
+	}
+	return discardPeer
+}
+
+// registerPeers creates and registers the per-peer cluster counters, one
+// labelled series per peer (`relief_serve_peer_hits_total{peer="..."}`,
+// ...). peers must be sorted and deduplicated (ConfigureCluster's fleet
+// normalization guarantees it).
+func (m *serviceMetrics) registerPeers(peers []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.peers = make(map[string]*peerCounters, len(peers))
+	count := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	for _, p := range peers {
+		pc := &peerCounters{}
+		m.peers[p] = pc
+		label := "{peer=" + strconv.Quote(p) + "}"
+		m.reg.CounterFunc("relief_serve_peer_hits_total"+label,
+			"Peer cache probes answered from this peer's result cache.", count(&pc.hits))
+		m.reg.CounterFunc("relief_serve_peer_misses_total"+label,
+			"Peer cache probes this peer could not answer.", count(&pc.misses))
+		m.reg.CounterFunc("relief_serve_forwarded_total"+label,
+			"Requests forwarded to this peer as the digest's ring owner.", count(&pc.forwarded))
+		m.reg.CounterFunc("relief_serve_forward_errors_total"+label,
+			"Forwards this peer failed to serve (request fell back to local execution).", count(&pc.forwardErrors))
+	}
 }
 
 func newServiceMetrics(cacheLen func() int) *serviceMetrics {

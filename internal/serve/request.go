@@ -12,7 +12,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"strconv"
 
 	"relief/internal/exp"
 	"relief/internal/fault"
@@ -102,30 +101,23 @@ func (r *Request) Normalize() error {
 }
 
 // Digest returns the canonical content address of the normalized request:
-// a sha256 over an explicit, delimiter-separated field encoding (the same
-// collision-free construction as exp.Sweep's cache key). JSON field order,
-// whitespace, and defaulted-vs-omitted fields cannot change it. TimeoutMS
-// is excluded — it shapes delivery, not the result.
+// a sha256 over the scenario's canonical key (exp.AppendScenarioKey — the
+// exact bytes exp.Sweep memoizes on, so the serving cache and the sweep
+// cache can never key the same scenario differently) plus the metrics bit.
+// JSON field order, whitespace, and defaulted-vs-omitted fields cannot
+// change it. TimeoutMS is excluded — it shapes delivery, not the result.
 func (r *Request) Digest() string {
-	b := []byte("relief-serve/1|")
-	b = append(b, r.Mix...)
-	b = append(b, '|')
-	b = append(b, r.Policy...)
-	b = append(b, '|')
-	b = appendBool(b, r.Continuous)
-	b = append(b, '|')
-	b = append(b, r.Topology...)
-	b = append(b, '|')
-	b = append(b, r.BW...)
-	b = append(b, '|')
-	b = appendBool(b, r.PredictDM)
-	b = appendBool(b, r.NoForwarding)
-	b = appendBool(b, r.DetailedDRAM)
-	b = appendBool(b, r.DRAMFCFS)
-	b = append(b, '|')
-	b = strconv.AppendFloat(b, r.FaultRate, 'g', -1, 64)
-	b = append(b, '|')
-	b = strconv.AppendInt(b, r.FaultSeed, 10)
+	b := []byte("relief-serve/2|")
+	sc, err := r.Scenario()
+	if err != nil {
+		// Unreachable after a successful Normalize (Scenario re-parses the
+		// same mix); folding the error in keeps the function total without
+		// ever colliding with a real scenario key.
+		b = append(b, "invalid|"...)
+		b = append(b, err.Error()...)
+	} else {
+		b = exp.AppendScenarioKey(b, sc)
+	}
 	b = append(b, '|')
 	b = appendBool(b, r.Metrics)
 	sum := sha256.Sum256(b)

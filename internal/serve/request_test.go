@@ -2,7 +2,10 @@ package serve
 
 import (
 	"encoding/json"
+	"strings"
 	"testing"
+
+	"relief/internal/exp"
 )
 
 // digestOf decodes raw JSON, normalizes, and digests — the handler's exact
@@ -64,6 +67,93 @@ func TestDigestSeparatesScenarios(t *testing.T) {
 			t.Errorf("digest collision: %s and %s both hash to %s", prev, raw, d)
 		}
 		seen[d] = raw
+	}
+}
+
+// TestDigestUsesExpScenarioKey: the serve digest hashes exactly the bytes
+// exp.Sweep memoizes on (exp.AppendScenarioKey), plus a version prefix and
+// the metrics bit. One canonicalization, two layers: two requests share a
+// serve cache entry if and only if an exp sweep would share their result —
+// which is what makes peer cache probes and sweep merges safe.
+func TestDigestUsesExpScenarioKey(t *testing.T) {
+	for _, raw := range []string{
+		`{"mix":"CGL"}`,
+		`{"mix":"CDH","policy":"LAX","topology":"xbar","bw":"ewma"}`,
+		`{"mix":"GL","continuous":true,"detailed_dram":true,"dram_fcfs":true}`,
+		`{"mix":"C","fault_rate":0.01,"fault_seed":7,"predict_dm":true,"no_forwarding":true}`,
+	} {
+		var a, b Request
+		for _, req := range []*Request{&a, &b} {
+			if err := json.Unmarshal([]byte(raw), req); err != nil {
+				t.Fatal(err)
+			}
+			if err := req.Normalize(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		scA, err := a.Scenario()
+		if err != nil {
+			t.Fatal(err)
+		}
+		scB, err := b.Scenario()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same scenario key <=> same digest, in both directions.
+		if exp.ScenarioKey(scA) != exp.ScenarioKey(scB) || a.Digest() != b.Digest() {
+			t.Errorf("%s: identical requests disagree (key or digest)", raw)
+		}
+	}
+
+	// Requests whose exp scenario keys differ must digest differently, and
+	// requests mapping to the same scenario key must share a digest even
+	// when spelled differently.
+	spellings := map[string][]string{
+		"same": {
+			`{"mix":"CGL","fault_seed":3}`, // seed is inert at rate 0...
+			`{"mix":"CGL","fault_seed":9}`,
+		},
+		"diff": {
+			`{"mix":"CGL","fault_rate":0.01,"fault_seed":3}`, // ...and significant above it
+			`{"mix":"CGL","fault_rate":0.01,"fault_seed":9}`,
+		},
+	}
+	keyOf := func(raw string) (string, string) {
+		var req Request
+		if err := json.Unmarshal([]byte(raw), &req); err != nil {
+			t.Fatal(err)
+		}
+		if err := req.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := req.Scenario()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return exp.ScenarioKey(sc), req.Digest()
+	}
+	for name, pair := range spellings {
+		k0, d0 := keyOf(pair[0])
+		k1, d1 := keyOf(pair[1])
+		if (k0 == k1) != (name == "same") || (d0 == d1) != (name == "same") {
+			t.Errorf("%s pair: scenario-key equality %v, digest equality %v", name, k0 == k1, d0 == d1)
+		}
+		if (k0 == k1) != (d0 == d1) {
+			t.Errorf("%s pair: digest and scenario key disagree — canonicalization has diverged", name)
+		}
+	}
+
+	// The digest is versioned so a future key-schema change cannot silently
+	// alias old cache entries.
+	var req Request
+	if err := json.Unmarshal([]byte(`{"mix":"C"}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if d := req.Digest(); len(d) != 64 || strings.ContainsAny(d, "ABCDEF") {
+		t.Errorf("digest %q is not lowercase hex sha256", d)
 	}
 }
 

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringVnodes is the number of virtual nodes each member contributes to the
+// ring. More vnodes smooth the key distribution and shrink the share of
+// keys that move when membership changes, at a small lookup-table cost.
+const ringVnodes = 64
+
+// ring is a consistent-hash ring over replica base URLs. Placement is a
+// pure function of the member set: every replica that knows the same fleet
+// computes the same owner for a digest, regardless of the order its peer
+// list was spelled in. Adding or removing one member remaps only the keys
+// that land on (or leave) that member's vnodes — about 1/N of the space —
+// while every other key keeps its owner.
+type ring struct {
+	members []string // sorted, deduplicated
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// newRing builds a ring over the given members (duplicates and empties are
+// dropped). A ring over zero members is valid and owns nothing.
+func newRing(members []string) *ring {
+	seen := make(map[string]bool, len(members))
+	r := &ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.members = append(r.members, m)
+	}
+	sort.Strings(r.members)
+	for _, m := range r.members {
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(m + "#" + strconv.Itoa(i)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member // total order even on (improbable) hash ties
+	})
+	return r
+}
+
+// owner returns the member that owns the key: the first vnode clockwise
+// from the key's hash. Empty rings own nothing ("").
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].member
+}
+
+// ringHash maps a string onto the ring's keyspace: the first 8 bytes of its
+// SHA-256, big-endian. SHA-256 keeps vnode placement uniform without a
+// seeded hash (the ring must be identical across replicas and restarts).
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

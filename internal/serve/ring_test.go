@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// ringKeys generates n digest-like keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("digest-%04d", i)
+	}
+	return keys
+}
+
+// TestRingPlacementDeterministic: owner assignment is a pure function of
+// the member set — spelling order must not matter, and repeated builds must
+// agree. This is what lets every replica compute placement locally with no
+// coordination.
+func TestRingPlacementDeterministic(t *testing.T) {
+	a := newRing([]string{"http://a:1", "http://b:2", "http://c:3"})
+	b := newRing([]string{"http://c:3", "http://a:1", "http://b:2", "http://b:2", ""})
+	for _, k := range ringKeys(1000) {
+		if ao, bo := a.owner(k), b.owner(k); ao != bo {
+			t.Fatalf("owner(%q) differs by member order: %q vs %q", k, ao, bo)
+		}
+	}
+}
+
+// TestRingSpreadsKeys: with vnodes, no member of a three-way ring owns a
+// grossly disproportionate share.
+func TestRingSpreadsKeys(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r := newRing(members)
+	counts := map[string]int{}
+	keys := ringKeys(3000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.10 || share > 0.60 {
+			t.Errorf("member %s owns %.0f%% of keys; want a rough third", m, 100*share)
+		}
+	}
+}
+
+// TestRingRebalanceBounds: growing the fleet from three to four members
+// moves keys ONLY onto the new member (consistent hashing's defining
+// property — nothing shuffles between survivors), and moves roughly 1/4 of
+// the keyspace, not half of it.
+func TestRingRebalanceBounds(t *testing.T) {
+	three := []string{"http://a:1", "http://b:2", "http://c:3"}
+	four := append(append([]string{}, three...), "http://d:4")
+	r3, r4 := newRing(three), newRing(four)
+
+	keys := ringKeys(4000)
+	moved := 0
+	for _, k := range keys {
+		before, after := r3.owner(k), r4.owner(k)
+		if before == after {
+			continue
+		}
+		moved++
+		if after != "http://d:4" {
+			t.Fatalf("key %q moved %q -> %q: rebalancing shuffled keys between surviving members", k, before, after)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac == 0 {
+		t.Fatal("no keys moved to the new member")
+	}
+	if frac > 0.45 {
+		t.Errorf("adding one member to a fleet of three moved %.0f%% of keys; want about 25%%", 100*frac)
+	}
+}
+
+// TestRingDegenerateCases: empty and single-member rings behave sanely.
+func TestRingDegenerateCases(t *testing.T) {
+	if got := newRing(nil).owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	solo := newRing([]string{"http://only:1"})
+	for _, k := range ringKeys(10) {
+		if got := solo.owner(k); got != "http://only:1" {
+			t.Errorf("single-member ring owner(%q) = %q", k, got)
+		}
+	}
+}

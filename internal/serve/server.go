@@ -28,6 +28,10 @@ type Config struct {
 	// Timeout bounds each simulation's wall time (default 60s). A request
 	// may shorten (never extend) it via timeout_ms.
 	Timeout time.Duration
+	// Runner overrides the simulation executor (nil = run the real
+	// kernel). Benchmark harnesses substitute fixed-cost runners to
+	// measure the serving and distribution layers in isolation.
+	Runner func(ctx context.Context, req Request) (*Result, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -58,11 +62,20 @@ type Result struct {
 	// Metrics is the relief-metrics/1 JSON document (requests with
 	// "metrics": true only) — the same schema the CLIs export.
 	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// Cell is the scenario's sweep-cell summary (exp.Cell): the same record
+	// a single-process exp.Sweep dumps for this scenario, carried so sweep
+	// coordinators can merge per-cell results from many replicas into a
+	// document byte-identical to a single-node sweep.
+	Cell *exp.Cell `json:"cell,omitempty"`
 }
 
-// response is the HTTP envelope around a Result.
+// response is the HTTP envelope around a Result. Source says where the
+// answer came from: "run" (simulated here), "cache" (local result cache),
+// or "peer" (a peer replica's cache, cluster mode). Forwarded requests
+// relay the owner's envelope verbatim, so their source reflects the owner.
 type response struct {
-	Cached bool `json:"cached"`
+	Cached bool   `json:"cached"`
+	Source string `json:"source,omitempty"`
 	*Result
 }
 
@@ -99,7 +112,13 @@ type Server struct {
 	mu       sync.Mutex
 	cache    *cache
 	flights  map[string]*flight
+	cluster  *cluster // nil = single-node; published by ConfigureCluster
 	draining bool
+
+	// drainCh is closed when draining starts, unblocking sweep cells
+	// waiting for queue space (blocking admission) so Drain cannot hang
+	// behind an unadmitted backlog.
+	drainCh chan struct{}
 
 	jobs    chan *flight
 	workers sync.WaitGroup
@@ -113,7 +132,11 @@ func New(cfg Config) *Server {
 		cfg:     cfg.withDefaults(),
 		cache:   newCache(cfg.withDefaults().CacheCap),
 		flights: make(map[string]*flight),
+		drainCh: make(chan struct{}),
 		runner:  runSimulation,
+	}
+	if s.cfg.Runner != nil {
+		s.runner = s.cfg.Runner
 	}
 	s.jobs = make(chan *flight, s.cfg.QueueCap)
 	s.svc = newServiceMetrics(func() int {
@@ -123,8 +146,12 @@ func New(cfg Config) *Server {
 	})
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /run", s.handleRun)
+	s.mux.HandleFunc("POST /sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /result/{digest}", s.handleResult)
+	s.mux.HandleFunc("GET /owner/{digest}", s.handleOwner)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -153,6 +180,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	if already {
 		return nil
 	}
+	close(s.drainCh) // releases sweep cells blocked on queue admission
 	var err error
 	if s.http != nil {
 		// Waits for in-flight handlers, which wait on their flights.
@@ -209,7 +237,22 @@ func (s *Server) worker() {
 	}
 }
 
-// handleRun admits, deduplicates, or cache-serves one simulation request.
+// Answer sources reported in the response envelope.
+const (
+	srcRun     = "run"     // simulated on this replica
+	srcCache   = "cache"   // this replica's result cache
+	srcPeer    = "peer"    // a peer replica's cache (probe hit)
+	srcForward = "forward" // computed by the digest's ring owner
+)
+
+// Sentinel errors for the admission path.
+var (
+	errDraining = errors.New("serve: draining")
+	errBusy     = errors.New("serve: admission queue full")
+)
+
+// handleRun admits, deduplicates, cache-serves, or (cluster mode) routes
+// one simulation request to the digest's ring owner.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -229,46 +272,61 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
+		s.writeError(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
 	if res, ok := s.cache.get(key); ok {
 		s.mu.Unlock()
 		s.svc.hits.Add(1)
-		s.writeJSON(w, http.StatusOK, response{Cached: true, Result: res})
+		s.writeJSON(w, http.StatusOK, response{Cached: true, Source: srcCache, Result: res})
 		return
 	}
-	fl, joined := s.flights[key]
-	if joined {
-		fl.waiters++
-		s.svc.joins.Add(1)
-	} else {
-		timeout := s.cfg.Timeout
-		if req.TimeoutMS > 0 {
-			if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
-				timeout = t
+	cl := s.cluster
+	s.mu.Unlock()
+
+	// Cluster mode: a digest owned elsewhere is answered by its owner —
+	// probe its cache first (a result computed anywhere in the fleet is
+	// never re-simulated), then forward the full request. An unreachable
+	// owner degrades to local execution below.
+	if cl != nil && r.Header.Get(forwardHeader) == "" {
+		if owner := cl.ring.owner(key); owner != cl.self {
+			pc := s.svc.peer(owner)
+			if res, ok := cl.probeResult(owner, key); ok {
+				pc.hits.Add(1)
+				s.writeJSON(w, http.StatusOK, response{Cached: false, Source: srcPeer, Result: res})
+				return
 			}
-		}
-		ctx, cancel := context.WithTimeout(context.Background(), timeout)
-		fl = &flight{
-			key: key, request: req, ctx: ctx, cancel: cancel,
-			done: make(chan struct{}), waiters: 1,
-		}
-		select {
-		case s.jobs <- fl:
-			s.flights[key] = fl
-			s.svc.queueDepth.Add(1)
-			s.svc.misses.Add(1)
-		default:
-			s.mu.Unlock()
-			cancel()
-			s.svc.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusTooManyRequests, errors.New("serve: admission queue full"))
-			return
+			pc.misses.Add(1)
+			if body, ok := cl.forward(owner, req); ok {
+				pc.forwarded.Add(1)
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set(servedByHeader, owner)
+				w.WriteHeader(http.StatusOK)
+				if _, err := w.Write(body); err != nil {
+					// Client gone mid-relay; nothing left to send.
+					return
+				}
+				return
+			}
+			pc.forwardErrors.Add(1)
 		}
 	}
-	s.mu.Unlock()
+
+	res, fl, err := s.submit(r.Context(), req, key, false)
+	switch {
+	case err != nil:
+		if errors.Is(err, errBusy) {
+			w.Header().Set("Retry-After", "1")
+		} else {
+			w.Header().Set("Retry-After", "5")
+		}
+		s.writeError(w, errStatus(err), err)
+		return
+	case res != nil: // cache hit raced in between the fast path and submit
+		s.svc.hits.Add(1)
+		s.writeJSON(w, http.StatusOK, response{Cached: true, Source: srcCache, Result: res})
+		return
+	}
 
 	select {
 	case <-fl.done:
@@ -276,17 +334,153 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, errStatus(fl.err), fl.err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, response{Cached: false, Result: fl.res})
+		s.writeJSON(w, http.StatusOK, response{Cached: false, Source: srcRun, Result: fl.res})
 	case <-r.Context().Done():
 		// Client gone: release our claim; the last departing waiter
 		// cancels the simulation so an abandoned run stops mid-flight.
-		s.mu.Lock()
-		fl.waiters--
-		abandon := fl.waiters == 0
+		s.abandon(fl)
+	}
+}
+
+// submit returns the cached result for key, or the (joined or newly
+// enqueued) flight computing it. block selects the full-queue behavior:
+// interactive requests are rejected immediately (errBusy → 429), sweep
+// cells wait for queue space — the bounded queue throttles them instead of
+// failing the sweep. The caller owns one waiter slot of a returned flight.
+func (s *Server) submit(ctx context.Context, req Request, key string, block bool) (*Result, *flight, error) {
+	s.mu.Lock()
+	if s.draining {
 		s.mu.Unlock()
-		if abandon {
-			fl.cancel()
+		return nil, nil, errDraining
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		return res, nil, nil
+	}
+	if fl, ok := s.flights[key]; ok {
+		fl.waiters++
+		s.svc.joins.Add(1)
+		s.mu.Unlock()
+		return nil, fl, nil
+	}
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
 		}
+	}
+	fctx, cancel := context.WithTimeout(context.Background(), timeout)
+	fl := &flight{
+		key: key, request: req, ctx: fctx, cancel: cancel,
+		done: make(chan struct{}), waiters: 1,
+	}
+	if !block {
+		select {
+		case s.jobs <- fl:
+			s.flights[key] = fl
+			s.svc.queueDepth.Add(1)
+			s.svc.misses.Add(1)
+			s.mu.Unlock()
+			return nil, fl, nil
+		default:
+			s.mu.Unlock()
+			cancel()
+			s.svc.rejected.Add(1)
+			return nil, nil, errBusy
+		}
+	}
+	// Blocking admission: register the flight first so identical cells
+	// join it, then wait for queue space outside the lock.
+	s.flights[key] = fl
+	s.svc.queueDepth.Add(1)
+	s.svc.misses.Add(1)
+	s.mu.Unlock()
+	select {
+	case s.jobs <- fl:
+		return nil, fl, nil
+	case <-ctx.Done():
+		s.unsubmit(fl)
+		return nil, nil, ctx.Err()
+	case <-s.drainCh:
+		s.unsubmit(fl)
+		return nil, nil, errDraining
+	}
+}
+
+// unsubmit retracts a registered flight that never reached the queue,
+// failing its joiners.
+func (s *Server) unsubmit(fl *flight) {
+	s.mu.Lock()
+	delete(s.flights, fl.key)
+	s.mu.Unlock()
+	s.svc.queueDepth.Add(-1)
+	fl.err = errDraining
+	close(fl.done)
+	fl.cancel()
+}
+
+// abandon releases one waiter slot; the last departing waiter cancels the
+// simulation so an abandoned run stops mid-flight.
+func (s *Server) abandon(fl *flight) {
+	s.mu.Lock()
+	fl.waiters--
+	last := fl.waiters == 0
+	s.mu.Unlock()
+	if last {
+		fl.cancel()
+	}
+}
+
+// executeCell answers one sweep cell through the same decision ladder as
+// handleRun — local cache, peer probe, owner forward, local simulation
+// (blocking admission) — and reports where the answer came from.
+func (s *Server) executeCell(ctx context.Context, req Request, key string) (*Result, string, error) {
+	s.mu.Lock()
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.svc.hits.Add(1)
+		return res, srcCache, nil
+	}
+	cl := s.cluster
+	s.mu.Unlock()
+
+	if cl != nil {
+		if owner := cl.ring.owner(key); owner != cl.self {
+			pc := s.svc.peer(owner)
+			if res, ok := cl.probeResult(owner, key); ok {
+				pc.hits.Add(1)
+				return res, srcPeer, nil
+			}
+			pc.misses.Add(1)
+			if body, ok := cl.forward(owner, req); ok {
+				pc.forwarded.Add(1)
+				var env response
+				if err := json.Unmarshal(body, &env); err == nil && env.Result != nil {
+					return env.Result, srcForward, nil
+				}
+				// Unparseable relay: fall through to local execution.
+			}
+			pc.forwardErrors.Add(1)
+		}
+	}
+
+	res, fl, err := s.submit(ctx, req, key, true)
+	switch {
+	case err != nil:
+		return nil, "", err
+	case res != nil:
+		s.svc.hits.Add(1)
+		return res, srcCache, nil
+	}
+	select {
+	case <-fl.done:
+		if fl.err != nil {
+			return nil, "", fl.err
+		}
+		return fl.res, srcRun, nil
+	case <-ctx.Done():
+		s.abandon(fl)
+		return nil, "", ctx.Err()
 	}
 }
 
@@ -298,7 +492,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is the liveness probe: the process is up and the mux is
+// answering. It stays 200 through drain — the process is still alive and
+// finishing work; use /readyz to take a draining replica out of rotation.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: load balancers and ring peers stop
+// routing to a replica once it reports 503 (draining).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -310,10 +513,56 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// errStatus maps a simulation error onto an HTTP status: timeouts are 504,
-// abandonment/drain cancellations 503, anything else a plain 500.
+// handleResult is the peer cache probe: a pure lookup that answers with the
+// cached Result for a digest or 404, never triggering a simulation. It
+// keeps serving through drain — handing out finished results costs nothing
+// and spares the fleet a re-simulation.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("digest")
+	s.mu.Lock()
+	res, ok := s.cache.get(key)
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("serve: result not cached"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// ownerResponse is the GET /owner/{digest} document.
+type ownerResponse struct {
+	Digest string `json:"digest"`
+	// Owner is the ring owner's base URL ("" on a single-node server,
+	// which owns everything itself).
+	Owner string `json:"owner"`
+	// Self reports whether this replica is the owner.
+	Self bool `json:"self"`
+}
+
+// handleOwner reports which fleet member the ring places a digest on, for
+// clients, debugging, and the CI cluster smoke.
+func (s *Server) handleOwner(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("digest")
+	s.mu.Lock()
+	cl := s.cluster
+	s.mu.Unlock()
+	out := ownerResponse{Digest: key, Self: true}
+	if cl != nil {
+		out.Owner = cl.ring.owner(key)
+		out.Self = out.Owner == cl.self
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// errStatus maps a simulation or admission error onto an HTTP status:
+// timeouts are 504, abandonment/drain cancellations 503, a full admission
+// queue 429, anything else a plain 500.
 func errStatus(err error) int {
 	switch {
+	case errors.Is(err, errBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -360,9 +609,11 @@ func runSimulation(ctx context.Context, req Request) (*Result, error) {
 	if err := exp.WriteSummary(&text, sc, res.Stats); err != nil {
 		return nil, err
 	}
+	cell := exp.NewCell(exp.ScenarioKey(sc), res)
 	out := &Result{
 		MakespanMS: res.Stats.Makespan.Milliseconds(),
 		Text:       text.String(),
+		Cell:       &cell,
 	}
 	if reg != nil {
 		var mb bytes.Buffer

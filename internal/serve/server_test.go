@@ -199,8 +199,9 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
-// TestDrainRefusesNewWork: once draining, new requests get 503 and the
-// worker pool exits cleanly.
+// TestDrainRefusesNewWork: once draining, new requests get 503, readiness
+// flips to 503 while liveness stays 200 (orchestrators should stop routing,
+// not restart the pod), and the worker pool exits cleanly.
 func TestDrainRefusesNewWork(t *testing.T) {
 	s := New(Config{Workers: 1})
 	s.runner = func(ctx context.Context, req Request) (*Result, error) {
@@ -209,6 +210,18 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	status := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Errorf("readyz before drain = %d, want 200", got)
+	}
+
 	if err := s.Drain(context.Background()); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
@@ -216,13 +229,11 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503: %s", resp.StatusCode, b)
 	}
-	hresp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("healthz while draining = %d, want 200 (liveness is not readiness)", got)
 	}
-	hresp.Body.Close()
-	if hresp.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("healthz while draining = %d, want 503", hresp.StatusCode)
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining = %d, want 503", got)
 	}
 	if err := s.Drain(context.Background()); err != nil { // idempotent
 		t.Fatalf("second drain: %v", err)

@@ -81,9 +81,82 @@ if command -v curl >/dev/null 2>&1; then
 		-d '{"policy":"RELIEF","mix":"CG"}' >"$tmp/serve2.json"
 	grep -q '"cached": true' "$tmp/serve2.json"
 	curl -sf "http://$addr/metrics" | grep -q '^relief_serve_cache_hits_total 1$'
+	# Liveness and readiness both report healthy while serving.
+	curl -sf "http://$addr/healthz" | grep -qx 'ok'
+	curl -sf "http://$addr/readyz" | grep -qx 'ok'
 	kill -TERM "$serve_pid"
 	wait "$serve_pid"
 	grep -q '^relief-serve: stopped$' "$tmp/serve.log"
+else
+	echo "curl not installed; skipping"
+fi
+
+echo "== cluster smoke"
+# Two peered replicas on pre-allocated ephemeral ports. Asserts the
+# cluster contract end to end: a scenario cached anywhere in the fleet is
+# served to peers from that cache (source "peer" + the per-peer hit
+# counter), and a distributed sweep merge is byte-identical to the same
+# sweep on a solo server — and to the relief-sweep client's local merge.
+if command -v curl >/dev/null 2>&1; then
+	test -x "$tmp/relief-serve" || go build -o "$tmp/relief-serve" ./cmd/relief-serve
+	ports="$(go run ./scripts/freeports 2)"
+	p1="$(echo "$ports" | sed -n 1p)"
+	p2="$(echo "$ports" | sed -n 2p)"
+	u1="http://127.0.0.1:$p1"
+	u2="http://127.0.0.1:$p2"
+	"$tmp/relief-serve" -addr "127.0.0.1:$p1" -peers "$u2" >"$tmp/peer1.log" 2>&1 &
+	peer1_pid=$!
+	"$tmp/relief-serve" -addr "127.0.0.1:$p2" -peers "$u1" >"$tmp/peer2.log" 2>&1 &
+	peer2_pid=$!
+	for log in peer1.log peer2.log; do
+		for _ in $(seq 1 100); do
+			grep -q '^relief-serve: listening on ' "$tmp/$log" && break
+			sleep 0.1
+		done
+		grep -q '^relief-serve: listening on ' "$tmp/$log"
+	done
+	curl -sf "$u1/readyz" >/dev/null
+	curl -sf "$u2/readyz" >/dev/null
+
+	# Warm the fleet through replica 1. Whichever replica owns the digest
+	# now holds the result (non-owned requests are forwarded to the owner,
+	# and relayed results are not cached by the forwarder).
+	curl -sf -X POST "$u1/run" -d '{"mix":"CG","policy":"RELIEF"}' >"$tmp/peer_run1.json"
+	digest="$(sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' "$tmp/peer_run1.json" | head -n 1)"
+	test -n "$digest"
+	owner="$(curl -sf "$u1/owner/$digest" | sed -n 's/.*"owner": "\([^"]*\)".*/\1/p')"
+	test -n "$owner"
+	if [ "$owner" = "$u1" ]; then nonowner="$u2"; else nonowner="$u1"; fi
+
+	# The same scenario through the non-owner must come from the owner's
+	# cache — never a second simulation.
+	curl -sf -X POST "$nonowner/run" -d '{"policy":"RELIEF","mix":"CG"}' >"$tmp/peer_run2.json"
+	grep -q '"source": "peer"' "$tmp/peer_run2.json"
+	curl -sf "$nonowner/metrics" | grep -q "^relief_serve_peer_hits_total{peer=\"$owner\"} 1$"
+
+	# Distributed sweep merge: fleet output is byte-identical to a solo
+	# server's, and to the relief-sweep client's locally merged document.
+	sweep_spec='{"mixes":["C","D"],"policies":["FCFS","RELIEF"]}'
+	curl -sf -X POST "$u1/sweep" -d "$sweep_spec" >"$tmp/sweep_fleet.json"
+	"$tmp/relief-serve" -addr 127.0.0.1:0 >"$tmp/solo.log" 2>&1 &
+	solo_pid=$!
+	solo_addr=""
+	for _ in $(seq 1 100); do
+		solo_addr="$(sed -n 's|^relief-serve: listening on http://||p' "$tmp/solo.log")"
+		[ -n "$solo_addr" ] && break
+		sleep 0.1
+	done
+	test -n "$solo_addr"
+	curl -sf -X POST "http://$solo_addr/sweep" -d "$sweep_spec" >"$tmp/sweep_solo.json"
+	cmp "$tmp/sweep_fleet.json" "$tmp/sweep_solo.json"
+	go build -o "$tmp/relief-sweep" ./cmd/relief-sweep
+	echo "$sweep_spec" | "$tmp/relief-sweep" -replicas "$u1,$u2" -q -out "$tmp/sweep_client.json"
+	cmp "$tmp/sweep_client.json" "$tmp/sweep_solo.json"
+
+	kill -TERM "$peer1_pid" "$peer2_pid" "$solo_pid"
+	wait "$peer1_pid" "$peer2_pid" "$solo_pid"
+	grep -q '^relief-serve: stopped$' "$tmp/peer1.log"
+	grep -q '^relief-serve: stopped$' "$tmp/peer2.log"
 else
 	echo "curl not installed; skipping"
 fi
@@ -93,5 +166,11 @@ go build -o "$tmp/relief-bench" ./cmd/relief-bench
 # Pin the report filename: "auto" names the file BENCH_<date>.json, which
 # makes the check ambiguous when several runs share $tmp (or a run
 # straddles midnight).
-(cd "$tmp" && ./relief-bench -exp fig12 -benchjson BENCH_smoke.json >/dev/null)
+(cd "$tmp" && ./relief-bench -exp fig12 -benchjson BENCH_smoke.json -sweepbench >/dev/null)
 grep -q '"schema": "relief-bench/1"' "$tmp/BENCH_smoke.json"
+# The distributed-sweep section must be present and show the 3-replica
+# fleet beating the solo run (speedup > 1; the committed BENCH report
+# documents the >= 2x figure). The solo run always reports "speedup": 1
+# exactly, so any 1.x or >= 2 match is the fleet run.
+grep -q '"mode": "fixed-cell-cost"' "$tmp/BENCH_smoke.json"
+grep -Eq '"speedup": (1\.[0-9]+|[2-9])' "$tmp/BENCH_smoke.json"

@@ -1,0 +1,39 @@
+// Command freeports prints n free TCP ports on 127.0.0.1, one per line.
+// CI uses it to start peered relief-serve replicas that must know each
+// other's addresses before either has bound its socket (an ephemeral
+// :0 port can only be discovered after binding, too late to hand to the
+// peer). All n listeners are held open until every port is allocated, so
+// the kernel cannot hand the same port out twice.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+)
+
+func main() {
+	n := 1
+	if len(os.Args) > 1 {
+		var err error
+		n, err = strconv.Atoi(os.Args[1])
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "freeports: bad count %q\n", os.Args[1])
+			os.Exit(2)
+		}
+	}
+	var listeners []net.Listener
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "freeports: %v\n", err)
+			os.Exit(1)
+		}
+		listeners = append(listeners, l)
+	}
+	for _, l := range listeners {
+		fmt.Println(l.Addr().(*net.TCPAddr).Port)
+		l.Close()
+	}
+}
