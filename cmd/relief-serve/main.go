@@ -8,15 +8,23 @@
 // cache and forward to it, and POST /sweep fans a whole grid out across the
 // fleet (see "Cluster mode" in docs/SERVING.md).
 //
+// With -cache-dir the result cache spills write-through to disk, so a
+// restarted replica warm-starts from its previous results instead of
+// re-simulating them. -chaos injects seeded faults into outbound peer
+// traffic for resilience drills (see "Resilience" in docs/SERVING.md).
+//
 // Usage:
 //
 //	relief-serve -addr 127.0.0.1:8080
 //	relief-serve -addr 127.0.0.1:0 -workers 4 -cache 256
 //	relief-serve -addr 127.0.0.1:8081 -peers http://127.0.0.1:8082,http://127.0.0.1:8083
+//	relief-serve -addr 127.0.0.1:8080 -cache-dir /var/lib/relief/cache
+//	relief-serve -peers ... -chaos '{"seed":7,"drop_rate":0.1,"error_rate":0.05}'
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -35,22 +43,44 @@ func main() {
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "admission queue capacity (full queue returns 429)")
 	cacheCap := flag.Int("cache", 128, "result cache capacity in entries")
+	cacheDir := flag.String("cache-dir", "", "durable result-cache directory (write-through spill; restart warm-starts from it)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-simulation wall-clock budget")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM/SIGINT before cancelling runs")
 	peers := flag.String("peers", "", "comma-separated peer base URLs; enables cluster mode")
 	self := flag.String("self", "", "this replica's advertised base URL in cluster mode (default http://<listen addr>)")
+	breaker := flag.Int("breaker-threshold", 0, "consecutive peer failures that open its circuit breaker (0 = default 3)")
+	chaos := flag.String("chaos", "", "JSON chaos plan injected into outbound peer traffic, e.g. '{\"seed\":7,\"drop_rate\":0.1}'")
 	flag.Parse()
+
+	var transport http.RoundTripper
+	if *chaos != "" {
+		var plan serve.ChaosPlan
+		if err := json.Unmarshal([]byte(*chaos), &plan); err != nil {
+			fatal(fmt.Errorf("parsing -chaos plan: %w", err))
+		}
+		transport = serve.NewChaosTransport(plan, nil)
+		fmt.Printf("relief-serve: chaos plan active: %s\n", *chaos)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
 	s := serve.New(serve.Config{
-		Workers:  *workers,
-		QueueCap: *queue,
-		CacheCap: *cacheCap,
-		Timeout:  *timeout,
+		Workers:          *workers,
+		QueueCap:         *queue,
+		CacheCap:         *cacheCap,
+		Timeout:          *timeout,
+		PeerTransport:    transport,
+		BreakerThreshold: *breaker,
 	})
+	if *cacheDir != "" {
+		restored, err := s.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fatal(fmt.Errorf("opening -cache-dir: %w", err))
+		}
+		fmt.Printf("relief-serve: disk cache %s (%d entries restored)\n", *cacheDir, restored)
+	}
 	if *peers != "" {
 		adv := *self
 		if adv == "" {

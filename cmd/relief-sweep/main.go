@@ -5,19 +5,21 @@
 // dumps — byte-identical regardless of fleet size or which replica computed
 // each cell.
 //
+// The client is resumable: finished cells are kept (deduplicated by content
+// digest) across stream failures, so when a coordinator dies mid-sweep the
+// client re-issues the sweep to the next replica and only the missing cells
+// cost anything — the fleet's caches already hold the rest. A sweep fails
+// only when every replica is unreachable or the -timeout budget expires.
+//
 // Usage:
 //
 //	relief-sweep -replicas http://127.0.0.1:8081,http://127.0.0.1:8082 -spec sweep.json
 //	echo '{"contention":["low"]}' | relief-sweep -replicas http://127.0.0.1:8081 -out cells.json
-//
-// Replicas are tried in order until one accepts the sweep; if the stream
-// breaks mid-flight the whole sweep retries on the next replica (finished
-// cells are already cached fleet-wide, so a retry only recomputes the
-// stragglers).
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,10 +27,20 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"relief/internal/exp"
 	"relief/internal/serve"
 )
+
+// maxPasses bounds how many full rounds over the replica list the client
+// makes before giving up (each pass only recomputes still-missing cells).
+const maxPasses = 3
+
+// sweepClient issues the sweep streams. Attempts are bounded by the
+// -timeout context on each request, not a client-wide timeout (a streamed
+// sweep legitimately stays open for the whole grid).
+var sweepClient = &http.Client{}
 
 // line mirrors the server's NDJSON framing: the header carries schema/cells,
 // per-cell lines carry index/digest/source and the result or error, the
@@ -50,6 +62,7 @@ func main() {
 	replicasFlag := flag.String("replicas", "", "comma-separated replica base URLs (tried in order)")
 	specPath := flag.String("spec", "-", `sweep spec JSON file ("-" = stdin)`)
 	outPath := flag.String("out", "-", `merged cell document destination ("-" = stdout)`)
+	timeout := flag.Duration("timeout", 10*time.Minute, "overall budget across all replica attempts")
 	quiet := flag.Bool("q", false, "suppress per-source progress on stderr")
 	flag.Parse()
 
@@ -77,19 +90,11 @@ func main() {
 		fatal(err)
 	}
 
-	var cells []exp.Cell
-	var lastErr error
-	done := false
-	for _, replica := range replicas {
-		cells, lastErr = runSweep(replica, body, *quiet)
-		if lastErr == nil {
-			done = true
-			break
-		}
-		fmt.Fprintf(os.Stderr, "relief-sweep: %s: %v (trying next replica)\n", replica, lastErr)
-	}
-	if !done {
-		fatal(fmt.Errorf("all replicas failed, last error: %w", lastErr))
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cells, err := fleetSweep(ctx, replicas, body, *quiet)
+	if err != nil {
+		fatal(err)
 	}
 
 	out := io.Writer(os.Stdout)
@@ -106,67 +111,148 @@ func main() {
 	}
 }
 
-// runSweep streams one sweep through the given coordinator and returns the
-// merged cells. A missing trailer, transport error, non-200 status, or any
-// failed cell is an error (the caller may retry on another replica).
-func runSweep(replica string, body []byte, quiet bool) ([]exp.Cell, error) {
-	resp, err := http.Post(replica+"/sweep", "application/json", strings.NewReader(string(body)))
+// sweeper accumulates finished cells across replica attempts. Cells are
+// keyed by content digest, so a cell replayed by a second coordinator
+// (already computed fleet-side, served from cache) merges into the same
+// slot instead of duplicating.
+type sweeper struct {
+	have     map[string]exp.Cell
+	total    int // grid size from the stream header; -1 until seen
+	quiet    bool
+	bySource map[string]int
+}
+
+func newSweeper(quiet bool) *sweeper {
+	return &sweeper{have: map[string]exp.Cell{}, total: -1, quiet: quiet, bySource: map[string]int{}}
+}
+
+// complete reports whether every grid cell has landed.
+func (sw *sweeper) complete() bool { return sw.total >= 0 && len(sw.have) == sw.total }
+
+// cells returns the merged cell set (WriteCells sorts it canonically).
+func (sw *sweeper) cells() []exp.Cell {
+	out := make([]exp.Cell, 0, len(sw.have))
+	for _, c := range sw.have { //lint:allow maporder exp.WriteCells sorts the document by scenario key
+		out = append(out, c)
+	}
+	return out
+}
+
+// fleetSweep runs the sweep to completion across the replica list: stream
+// from the first reachable coordinator, and on a mid-stream death carry the
+// finished cells over to the next replica. Per-cell errors are tolerated
+// per attempt (the cell retries on a later pass); the sweep succeeds when
+// every cell has landed.
+func fleetSweep(ctx context.Context, replicas []string, body []byte, quiet bool) ([]exp.Cell, error) {
+	sw := newSweeper(quiet)
+	var lastErr error
+	for pass := 0; pass < maxPasses; pass++ {
+		for _, replica := range replicas {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sweep budget exhausted with %d/%d cells: %w", len(sw.have), sw.total, err)
+			}
+			before := len(sw.have)
+			err := sw.stream(ctx, replica, body)
+			if sw.complete() {
+				if !quiet {
+					fmt.Fprintf(os.Stderr, "relief-sweep: %d cells done (%s)\n", sw.total, sourceSummary(sw.bySource))
+				}
+				return sw.cells(), nil
+			}
+			if err != nil {
+				lastErr = err
+				fmt.Fprintf(os.Stderr, "relief-sweep: %s: %v — %d/%d cells held, resuming on next replica\n",
+					replica, err, len(sw.have), sw.total)
+				continue
+			}
+			if len(sw.have) == before {
+				// A clean stream that added nothing will not converge by
+				// repetition (cells erroring deterministically): remember why.
+				lastErr = fmt.Errorf("%s: stream completed but %d/%d cells still missing", replica, sw.total-len(sw.have), sw.total)
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no replica produced a complete sweep")
+	}
+	return nil, fmt.Errorf("sweep incomplete after %d passes (%d/%d cells): %w", maxPasses, len(sw.have), sw.total, lastErr)
+}
+
+// stream runs one sweep attempt through one coordinator, folding finished
+// cells into sw. Transport errors, a broken stream, and a missing trailer
+// are attempt errors (the caller resumes elsewhere); per-cell errors are
+// recorded but do not abort the attempt.
+func (sw *sweeper) stream(ctx context.Context, replica string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, replica+"/sweep", strings.NewReader(string(body)))
 	if err != nil {
-		return nil, err
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := sweepClient.Do(req)
+	if err != nil {
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(b)))
 	}
 
-	var cells []exp.Cell
-	bySource := map[string]int{}
-	total, seen := 0, 0
+	seen, cellErrs := 0, 0
+	gotTrailer := false
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	for sc.Scan() {
 		var l line
 		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
-			return nil, fmt.Errorf("bad stream line: %w", err)
+			return fmt.Errorf("bad stream line: %w", err)
 		}
 		switch {
 		case l.Schema != "":
 			if l.Schema != serve.SweepSchema {
-				return nil, fmt.Errorf("unexpected stream schema %q", l.Schema)
+				return fmt.Errorf("unexpected stream schema %q", l.Schema)
 			}
-			total = l.Cells
+			if sw.total >= 0 && l.Cells != sw.total {
+				return fmt.Errorf("grid size changed across attempts: %d then %d cells", sw.total, l.Cells)
+			}
+			sw.total = l.Cells
 		case l.Done:
-			if l.Errors > 0 {
-				return nil, fmt.Errorf("%d of %d cells failed", l.Errors, total)
-			}
-			if !quiet {
-				fmt.Fprintf(os.Stderr, "relief-sweep: %d cells done (%s)\n", l.OK, sourceSummary(bySource))
-			}
-			return cells, nil
+			gotTrailer = true
 		case l.Index != nil:
 			seen++
 			if l.Error != "" {
-				return nil, fmt.Errorf("cell %d (%.12s): %s", *l.Index, l.Digest, l.Error)
+				cellErrs++
+				fmt.Fprintf(os.Stderr, "relief-sweep: cell %d (%.12s) failed: %s (will retry)\n", *l.Index, l.Digest, l.Error)
+				continue
 			}
-			bySource[l.Source]++
-			if l.Result != nil && l.Result.Cell != nil {
-				cells = append(cells, *l.Result.Cell)
+			if l.Result == nil || l.Result.Cell == nil {
+				cellErrs++
+				continue
 			}
-			if !quiet {
-				fmt.Fprintf(os.Stderr, "relief-sweep: [%d/%d] %.12s %s\n", seen, total, l.Digest, l.Source)
+			if _, dup := sw.have[l.Digest]; !dup {
+				sw.have[l.Digest] = *l.Result.Cell
+				sw.bySource[l.Source]++
+			}
+			if !sw.quiet {
+				fmt.Fprintf(os.Stderr, "relief-sweep: [%d/%d] %.12s %s\n", len(sw.have), sw.total, l.Digest, l.Source)
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return err
 	}
-	return nil, fmt.Errorf("stream ended without trailer (%d/%d cells)", seen, total)
+	if !gotTrailer {
+		return fmt.Errorf("stream ended without trailer (%d cells this attempt)", seen)
+	}
+	if cellErrs > 0 {
+		return fmt.Errorf("%d of %d cells failed this attempt", cellErrs, sw.total)
+	}
+	return nil
 }
 
 func sourceSummary(bySource map[string]int) string {
 	var parts []string
-	for _, src := range []string{"run", "cache", "peer", "forward"} {
+	for _, src := range []string{"run", "cache", "disk", "peer", "forward"} {
 		if n := bySource[src]; n > 0 {
 			parts = append(parts, fmt.Sprintf("%s %d", src, n))
 		}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"relief/internal/exp"
+	"relief/internal/serve"
+)
+
+// grid is the scripted 4-cell sweep used by the resume tests.
+var grid = []struct {
+	digest   string
+	scenario string
+}{
+	{"d0", "mix=C"},
+	{"d1", "mix=D"},
+	{"d2", "mix=G"},
+	{"d3", "mix=L"},
+}
+
+// writeCellLine emits one NDJSON cell line for grid index i.
+func writeCellLine(t *testing.T, w http.ResponseWriter, i int, source string) {
+	t.Helper()
+	cell := exp.Cell{Scenario: grid[i].scenario, MakespanMS: float64(i) * 10}
+	res := &serve.Result{Digest: grid[i].digest, MakespanMS: cell.MakespanMS, Cell: &cell}
+	line := map[string]any{"index": i, "digest": grid[i].digest, "source": source, "result": res}
+	b, err := json.Marshal(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(w, "%s\n", b)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// header / trailer helpers for the scripted stream.
+func writeHeader(w http.ResponseWriter) {
+	fmt.Fprintf(w, `{"schema":%q,"cells":%d}`+"\n", serve.SweepSchema, len(grid))
+}
+func writeTrailer(w http.ResponseWriter, ok, errs int) {
+	fmt.Fprintf(w, `{"done":true,"ok":%d,"errors":%d}`+"\n", ok, errs)
+}
+
+// TestResumeAfterMidStreamDeath: coordinator A dies (connection cut) after
+// streaming 2 of 4 cells; the client must carry those cells to coordinator
+// B, accept the remaining ones (deduplicating the replays B serves from the
+// fleet cache), and produce the full merged document.
+func TestResumeAfterMidStreamDeath(t *testing.T) {
+	a := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeHeader(w)
+		writeCellLine(t, w, 0, "run")
+		writeCellLine(t, w, 1, "run")
+		panic(http.ErrAbortHandler) // SIGKILL stand-in: the connection just dies
+	}))
+	defer a.Close()
+	var bReplayed int
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeHeader(w)
+		// B re-streams the whole grid: 0 and 1 come out of the fleet cache
+		// (the client must dedup them), 2 and 3 are fresh.
+		writeCellLine(t, w, 0, "cache")
+		writeCellLine(t, w, 1, "cache")
+		bReplayed += 2
+		writeCellLine(t, w, 2, "run")
+		writeCellLine(t, w, 3, "run")
+		writeTrailer(w, 4, 0)
+	}))
+	defer b.Close()
+
+	body := []byte(`{"mixes":["C","D","G","L"],"stream":true}`)
+	cells, err := fleetSweep(context.Background(), []string{a.URL, b.URL}, body, true)
+	if err != nil {
+		t.Fatalf("fleetSweep: %v", err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("merged %d cells, want 4 (deduplicated)", len(cells))
+	}
+	if bReplayed != 2 {
+		t.Fatalf("replica B replayed %d cached cells, want 2", bReplayed)
+	}
+
+	// The merged document is byte-identical to the single-coordinator one.
+	var got, want bytes.Buffer
+	if err := exp.WriteCells(&got, cells); err != nil {
+		t.Fatal(err)
+	}
+	direct := make([]exp.Cell, 0, 4)
+	for i := range grid {
+		direct = append(direct, exp.Cell{Scenario: grid[i].scenario, MakespanMS: float64(i) * 10})
+	}
+	if err := exp.WriteCells(&want, direct); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Errorf("resumed document diverges:\n--- got ---\n%s--- want ---\n%s", got.String(), want.String())
+	}
+}
+
+// TestDeadFirstReplicaSkipped: a refused connection on the first replica
+// falls straight through to the second.
+func TestDeadFirstReplicaSkipped(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(nil))
+	dead.Close() // refuse everything
+	b := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeHeader(w)
+		for i := range grid {
+			writeCellLine(t, w, i, "run")
+		}
+		writeTrailer(w, len(grid), 0)
+	}))
+	defer b.Close()
+
+	cells, err := fleetSweep(context.Background(), []string{dead.URL, b.URL}, []byte(`{}`), true)
+	if err != nil {
+		t.Fatalf("fleetSweep: %v", err)
+	}
+	if len(cells) != len(grid) {
+		t.Errorf("merged %d cells, want %d", len(cells), len(grid))
+	}
+}
+
+// TestPerCellErrorsRetryNextPass: a coordinator that fails one cell per
+// attempt still converges — the client holds finished cells and retries
+// only the failures until the grid completes.
+func TestPerCellErrorsRetryNextPass(t *testing.T) {
+	attempt := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		attempt++
+		writeHeader(w)
+		for i := range grid {
+			// First attempt: cell 3 errors. Second attempt: everything lands.
+			if attempt == 1 && i == 3 {
+				fmt.Fprintf(w, `{"index":3,"digest":%q,"error":"simulated blip"}`+"\n", grid[3].digest)
+				continue
+			}
+			writeCellLine(t, w, i, "run")
+		}
+		writeTrailer(w, 4-attempt%2, attempt%2)
+	}))
+	defer srv.Close()
+
+	cells, err := fleetSweep(context.Background(), []string{srv.URL}, []byte(`{}`), true)
+	if err != nil {
+		t.Fatalf("fleetSweep: %v", err)
+	}
+	if len(cells) != 4 || attempt != 2 {
+		t.Errorf("cells=%d attempts=%d, want 4 cells in 2 attempts", len(cells), attempt)
+	}
+}
+
+// TestBudgetExpiry: an expired context fails the sweep with the held cell
+// count in the error instead of hanging.
+func TestBudgetExpiry(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeHeader(w)
+		// Never send the trailer; just stall past the client's budget.
+		time.Sleep(200 * time.Millisecond)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := fleetSweep(ctx, []string{srv.URL}, []byte(`{}`), true)
+	if err == nil || !strings.Contains(err.Error(), "cells") {
+		t.Fatalf("expired sweep error = %v, want budget error naming held cells", err)
+	}
+}

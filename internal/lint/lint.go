@@ -1,7 +1,7 @@
 // Package lint implements relief-lint: project-specific static analyzers
 // that enforce the simulator's determinism, hot-path, and API invariants.
 //
-// The five analyzers (see docs/LINTING.md for the full contract):
+// The six analyzers (see docs/LINTING.md for the full contract):
 //
 //   - nodeterm:  no wall-clock time or unseeded global randomness in
 //     simulation packages — runs must be bit-for-bit reproducible.
@@ -15,6 +15,10 @@
 //   - weakevent: observability code schedules only weak events
 //     (sim.Kernel.ScheduleWeak), so metricised runs stay bit-identical
 //     to bare ones.
+//   - peerctx:   outbound HTTP in the serving packages carries a
+//     per-attempt context deadline — no http.Get, no http.DefaultClient,
+//     no context-free requests; slow peers must trip breakers, not wedge
+//     request goroutines.
 //
 // A finding can be suppressed with a directive comment on the same line
 // or the line directly above:
@@ -42,7 +46,7 @@ const modulePath = "relief"
 
 // All returns the full analyzer suite in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{NoDeterm, MapOrder, HotAlloc, NoPanic, WeakEvent}
+	return []*analysis.Analyzer{NoDeterm, MapOrder, HotAlloc, NoPanic, WeakEvent, PeerCtx}
 }
 
 // Finding is one reported, non-suppressed diagnostic.

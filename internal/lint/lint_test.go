@@ -31,6 +31,10 @@ func TestWeakEvent(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.WeakEvent, "relief/internal/metrics")
 }
 
+func TestPeerCtx(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.PeerCtx, "relief/internal/serve")
+}
+
 // TestSuiteCleanOnRealKernel runs the whole suite over the real event
 // kernel package through the production loader: the annotated hot paths
 // and their //lint:allow opt-outs must lint clean, which also exercises

@@ -1,0 +1,55 @@
+// peerctx fixture: outbound HTTP in the serving packages must carry a
+// per-attempt context deadline.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+var client = &http.Client{}
+
+func packageHelpers(u string) {
+	http.Get(u)                     // want `http\.Get issues a deadline-free request`
+	http.Post(u, "text/plain", nil) // want `http\.Post issues a deadline-free request`
+	http.PostForm(u, url.Values{})  // want `http\.PostForm issues a deadline-free request`
+	http.Head(u)                    // want `http\.Head issues a deadline-free request`
+}
+
+func contextFreeRequest(u string) {
+	http.NewRequest(http.MethodGet, u, nil) // want `http\.NewRequest builds a context-free request`
+}
+
+func globalClient(req *http.Request) {
+	http.DefaultClient.Do(req) // want `http\.DefaultClient has no timeout`
+}
+
+func clientHelpers(u string) {
+	client.Get(u)  // want `\(\*http\.Client\)\.Get cannot carry a per-attempt context`
+	client.Head(u) // want `\(\*http\.Client\)\.Head cannot carry a per-attempt context`
+}
+
+// probe is the blessed shape: a per-attempt deadline, a context-carrying
+// request, Client.Do. No diagnostics.
+func probe(u string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, strings.NewReader(""))
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// transports may reference http.DefaultTransport: the transport carries no
+// deadline semantics of its own — the per-request context still governs.
+func transport() http.RoundTripper {
+	return http.DefaultTransport
+}

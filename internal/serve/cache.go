@@ -32,16 +32,19 @@ func (c *cache) get(key string) (*Result, bool) {
 	return ent.res, true
 }
 
-func (c *cache) add(key string, res *Result) {
+// add inserts (or refreshes) key and returns the keys evicted to stay
+// within capacity, so a durable mirror of the cache can delete their
+// spill files.
+func (c *cache) add(key string, res *Result) (evicted []string) {
 	if c.cap <= 0 {
-		return
+		return nil
 	}
 	if e, ok := c.m[key]; ok {
 		c.ll.MoveToFront(e)
 		if ent, _ := e.Value.(*cacheEntry); ent != nil {
 			ent.res = res
 		}
-		return
+		return nil
 	}
 	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
 	for c.ll.Len() > c.cap {
@@ -52,8 +55,10 @@ func (c *cache) add(key string, res *Result) {
 		c.ll.Remove(back)
 		if ent, _ := back.Value.(*cacheEntry); ent != nil {
 			delete(c.m, ent.key)
+			evicted = append(evicted, ent.key)
 		}
 	}
+	return evicted
 }
 
 func (c *cache) len() int { return c.ll.Len() }

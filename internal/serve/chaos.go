@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ChaosPlan is a seeded fault specification for peer traffic: the serving
+// layer's counterpart of internal/fault's Plan. It drives a faulty
+// http.RoundTripper that injects latency, connection drops, 5xx bursts,
+// and one-way partitions into a replica's *outbound* peer calls, so the
+// cluster's resilience promises (no client-visible failures under peer
+// death, bounded duplicated work, byte-identical merged sweeps) can be
+// tested — and drilled in staging — reproducibly.
+//
+// Draws are gated on their rate being non-zero, so a zero-rate plan
+// consumes no randomness and a partition-only plan injects exactly the
+// configured partition and nothing else. The zero value injects nothing.
+type ChaosPlan struct {
+	// Seed initialises the injection PRNG (0 means seed 1, matching the
+	// fault-injection CLI default).
+	Seed int64 `json:"seed,omitempty"`
+	// LatencyRate is the per-request probability of an added delay of
+	// Latency (default 50ms when the rate is set).
+	LatencyRate float64 `json:"latency_rate,omitempty"`
+	LatencyMS   int64   `json:"latency_ms,omitempty"`
+	// DropRate is the per-request probability that the connection drops
+	// before any response arrives (transport error).
+	DropRate float64 `json:"drop_rate,omitempty"`
+	// ErrorRate is the per-request probability of a synthesized 503 —
+	// the peer is reachable but failing.
+	ErrorRate float64 `json:"error_rate,omitempty"`
+	// Partition lists peer hosts ("host:port") whose outbound requests
+	// always fail. The partition is one-way: only this replica's view of
+	// those peers is cut; their requests to us still arrive.
+	Partition []string `json:"partition,omitempty"`
+}
+
+// Active reports whether the plan can inject anything at all.
+func (p ChaosPlan) Active() bool {
+	return p.LatencyRate > 0 || p.DropRate > 0 || p.ErrorRate > 0 || len(p.Partition) > 0
+}
+
+// NewChaosTransport wraps next (nil = http.DefaultTransport) with the
+// plan's fault injection. Pass the result as Config.PeerTransport (or the
+// relief-serve -chaos flag) to subject all peer probes and forwards to it.
+func NewChaosTransport(plan ChaosPlan, next http.RoundTripper) http.RoundTripper {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	part := make(map[string]bool, len(plan.Partition))
+	for _, h := range plan.Partition {
+		part[strings.TrimSpace(h)] = true
+	}
+	return &chaosTransport{
+		plan:      plan,
+		next:      next,
+		partition: part,
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+type chaosTransport struct {
+	plan      ChaosPlan
+	next      http.RoundTripper
+	partition map[string]bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// RoundTrip injects the plan's faults ahead of the real transport. For a
+// fixed seed, a sequential request series replays the exact same fault
+// sequence; concurrent callers still see a reproducible fault *mix*
+// (the draw stream is fixed, only its assignment to requests races).
+func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.partition[req.URL.Host] {
+		closeRequestBody(req)
+		return nil, fmt.Errorf("serve: chaos partition: %s unreachable", req.URL.Host)
+	}
+	var delay time.Duration
+	var drop, fail bool
+	t.mu.Lock()
+	if t.plan.LatencyRate > 0 && t.rng.Float64() < t.plan.LatencyRate {
+		delay = time.Duration(t.plan.LatencyMS) * time.Millisecond
+		if delay <= 0 {
+			delay = 50 * time.Millisecond
+		}
+	}
+	if t.plan.DropRate > 0 && t.rng.Float64() < t.plan.DropRate {
+		drop = true
+	}
+	if !drop && t.plan.ErrorRate > 0 && t.rng.Float64() < t.plan.ErrorRate {
+		fail = true
+	}
+	t.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			closeRequestBody(req)
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	if drop {
+		closeRequestBody(req)
+		return nil, fmt.Errorf("serve: chaos drop: connection to %s lost", req.URL.Host)
+	}
+	if fail {
+		closeRequestBody(req)
+		return &http.Response{
+			Status:        "503 Service Unavailable",
+			StatusCode:    http.StatusServiceUnavailable,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": []string{"text/plain"}},
+			Body:          io.NopCloser(strings.NewReader("chaos: injected 503\n")),
+			ContentLength: -1,
+			Request:       req,
+		}, nil
+	}
+	return t.next.RoundTrip(req)
+}
+
+// closeRequestBody honors the RoundTripper contract: the transport owns
+// the request body and must close it even when no bytes were sent.
+func closeRequestBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}

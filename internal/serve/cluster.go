@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -20,18 +21,32 @@ const servedByHeader = "X-Relief-Served-By"
 
 // probeTimeout bounds one peer cache probe (GET /result/{digest}). Probes
 // are pure cache lookups — a peer that cannot answer this fast is treated
-// as a miss and the request proceeds without it.
+// as failing and the request proceeds without it.
 const probeTimeout = 2 * time.Second
 
+// peerOutcome classifies one exchange with a peer for circuit-breaker
+// accounting: a usable answer, a healthy refusal (cache miss, overload —
+// the peer is alive), or a failure (transport error, timeout, 5xx).
+type peerOutcome int
+
+const (
+	peerOK peerOutcome = iota
+	peerMiss
+	peerFail
+)
+
 // cluster is one replica's view of the fleet: its own advertised base URL,
-// its peers, and the consistent-hash ring that places every digest on
-// exactly one owner. Immutable after ConfigureCluster publishes it.
+// its peers, the consistent-hash ring that places every digest on exactly
+// one owner, and a per-peer health tracker. Immutable after
+// ConfigureCluster publishes it (the peerHealth values have their own
+// internal locking).
 type cluster struct {
-	self  string
-	peers []string // sorted, self excluded
-	ring  *ring
-	probe *http.Client // cheap cache probes
-	fwd   *http.Client // full request forwards (bounded by the simulation budget)
+	self   string
+	peers  []string // sorted, self excluded
+	ring   *ring
+	client *http.Client // shared by probes and forwards; per-attempt ctx deadlines bound each call
+	fwdTTL time.Duration
+	health map[string]*peerHealth // per-peer circuit breakers, keyed by base URL
 }
 
 // ConfigureCluster puts the server in cluster mode: self is this replica's
@@ -55,67 +70,142 @@ func (s *Server) ConfigureCluster(self string, peers []string) {
 		ps = append(ps, p)
 	}
 	sort.Strings(ps)
-	c := &cluster{
-		self:  self,
-		peers: ps,
-		ring:  newRing(append(append([]string{}, ps...), self)),
-		probe: &http.Client{Timeout: probeTimeout},
-		fwd:   &http.Client{Timeout: s.cfg.Timeout + 15*time.Second},
+	tr := s.cfg.PeerTransport
+	if tr == nil {
+		tr = http.DefaultTransport
 	}
-	s.svc.registerPeers(ps)
+	bc := breakerConfig{threshold: s.cfg.BreakerThreshold}
+	health := make(map[string]*peerHealth, len(ps))
+	for _, p := range ps {
+		health[p] = newPeerHealth(p, bc, time.Now)
+	}
+	c := &cluster{
+		self:   self,
+		peers:  ps,
+		ring:   newRing(append(append([]string{}, ps...), self)),
+		client: &http.Client{Transport: tr},
+		fwdTTL: s.cfg.Timeout + 15*time.Second,
+		health: health,
+	}
+	s.svc.registerPeers(ps, health)
 	s.mu.Lock()
 	s.cluster = c
 	s.mu.Unlock()
 }
 
-// probeResult asks one peer's cache for a finished result: a cheap GET that
-// never triggers a simulation. Any failure (unreachable peer, 404, bad
-// body) is a miss.
-func (c *cluster) probeResult(peer, key string) (*Result, bool) {
-	resp, err := c.probe.Get(peer + "/result/" + key)
+// probeResult asks one peer's cache for a finished result: a cheap GET
+// bounded by a per-attempt context deadline that never triggers a
+// simulation. A 404 is a healthy miss; a transport error, timeout, 5xx,
+// or garbled body is a failure (breaker food).
+func (c *cluster) probeResult(peer, key string) (*Result, peerOutcome) {
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/result/"+key, nil)
 	if err != nil {
-		return nil, false
+		return nil, peerFail
+	}
+	resp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, peerFail
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, false
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		var res Result
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(&res); err != nil {
+			return nil, peerFail
+		}
+		return &res, peerOK
+	case resp.StatusCode >= 500:
+		return nil, peerFail
+	default:
+		// Drain the (small) error body so the connection is reusable.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, peerMiss
 	}
-	var res Result
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(&res); err != nil {
-		return nil, false
-	}
-	return &res, true
 }
 
-// forward re-posts the normalized request to its owner and returns the
-// owner's raw 200 response body for relaying. Any other outcome (owner
-// down, draining, overloaded, timed out) reports failure so the caller
-// degrades to local execution — a peer going down costs duplicated work,
-// never a failed request.
-func (c *cluster) forward(owner string, req Request) ([]byte, bool) {
+// forward re-posts the normalized request to its owner with a per-attempt
+// deadline (the simulation budget plus margin) and returns the owner's raw
+// 200 response body for relaying. A transport error or 5xx is a failure;
+// any other refusal (draining, overloaded) is healthy — in every non-OK
+// case the caller degrades to local execution, so a peer going down costs
+// duplicated work, never a failed request.
+func (c *cluster) forward(owner string, req Request) ([]byte, peerOutcome) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, false
+		return nil, peerMiss // our bug, not the peer's: no breaker penalty
 	}
-	hreq, err := http.NewRequest(http.MethodPost, owner+"/run", bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), c.fwdTTL)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/run", bytes.NewReader(body))
 	if err != nil {
-		return nil, false
+		return nil, peerMiss
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set(forwardHeader, "1")
-	resp, err := c.fwd.Do(hreq)
+	resp, err := c.client.Do(hreq)
 	if err != nil {
-		return nil, false
+		return nil, peerFail
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, false
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+		if err != nil {
+			return nil, peerFail
+		}
+		return b, peerOK
+	case resp.StatusCode >= 500:
+		return nil, peerFail
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, peerMiss
 	}
-	b, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
-	if err != nil {
-		return nil, false
+}
+
+// routeToOwner runs the peer leg of the decision ladder for a digest owned
+// elsewhere: breaker gate, cache probe, then owner forward. It returns the
+// owner's parsed result (probe hit) or raw relayed envelope (forward), or
+// neither — the caller falls back to local execution. An open breaker
+// skips the network entirely; a probe that failed at the transport level
+// skips the forward (the owner is down — one fast failure, not two slow
+// ones).
+func (s *Server) routeToOwner(cl *cluster, owner, key string, req Request) (res *Result, relay []byte, src string) {
+	pc := s.svc.peer(owner)
+	h := cl.health[owner]
+	if h != nil && !h.allow() {
+		pc.fastFails.Add(1)
+		return nil, nil, ""
 	}
-	return b, true
+	report := func(o peerOutcome) {
+		if h == nil {
+			return
+		}
+		if o == peerFail {
+			h.failure()
+		} else {
+			h.success()
+		}
+	}
+	res, o := cl.probeResult(owner, key)
+	report(o)
+	if o == peerOK {
+		pc.hits.Add(1)
+		return res, nil, srcPeer
+	}
+	pc.misses.Add(1)
+	if o == peerFail {
+		return nil, nil, "" // owner down: don't pay for a doomed forward
+	}
+	relay, o = cl.forward(owner, req)
+	report(o)
+	if o == peerOK {
+		pc.forwarded.Add(1)
+		return nil, relay, srcForward
+	}
+	pc.forwardErrors.Add(1)
+	return nil, nil, ""
 }
 
 // maxResponseBytes bounds relayed and probed peer responses (metrics

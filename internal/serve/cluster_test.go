@@ -112,9 +112,16 @@ func TestTwoReplicaCachePeering(t *testing.T) {
 	}
 	defer mresp.Body.Close()
 	mb, _ := io.ReadAll(mresp.Body)
-	want := `relief_serve_peer_hits_total{peer="` + ownerURL + `"} 1`
-	if !strings.Contains(string(mb), want) {
-		t.Errorf("/metrics missing %q", want)
+	for _, want := range []string{
+		`relief_serve_peer_hits_total{peer="` + ownerURL + `"} 1`,
+		`relief_serve_peer_breaker_state{peer="` + ownerURL + `"} 0`,
+		`relief_serve_peer_breaker_opens_total{peer="` + ownerURL + `"} 0`,
+		`relief_serve_peer_retries_total{peer="` + ownerURL + `"} 0`,
+		`relief_serve_peer_fast_fails_total{peer="` + ownerURL + `"} 0`,
+	} {
+		if !strings.Contains(string(mb), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
 	}
 }
 
@@ -189,10 +196,22 @@ func TestPeerDownFallsBackLocally(t *testing.T) {
 	if execs.Load() != 1 {
 		t.Errorf("local fallback executed %d simulations, want 1", execs.Load())
 	}
+	// The probe's transport failure marks the owner down, so the forward
+	// is skipped entirely: one fast probe failure, zero forward attempts.
 	pc := s.svc.peer(deadPeer)
-	if pc.misses.Load() != 1 || pc.forwardErrors.Load() != 1 {
-		t.Errorf("dead peer counters: misses=%d forward_errors=%d, want 1/1",
+	if pc.misses.Load() != 1 || pc.forwardErrors.Load() != 0 {
+		t.Errorf("dead peer counters: misses=%d forward_errors=%d, want 1/0",
 			pc.misses.Load(), pc.forwardErrors.Load())
+	}
+	if h := s.cluster.health[deadPeer]; h == nil {
+		t.Error("dead peer has no health tracker")
+	} else {
+		h.mu.Lock()
+		fails := h.fails
+		h.mu.Unlock()
+		if fails == 0 {
+			t.Error("probe failure did not feed the dead peer's breaker")
+		}
 	}
 
 	// A second request hits the local cache and never touches the peer.

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// newDiskServer builds a server with a counting stub runner and a spill
+// directory attached, returning it with its test listener.
+func newDiskServer(t *testing.T, dir string, cacheCap int, execs *atomic.Int32) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Workers: 2, CacheCap: cacheCap, Runner: countingStub(execs)})
+	if _, err := s.EnableDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestWarmRestartServesFromDisk: results computed before a "restart" (new
+// Server over the same directory) are served byte-identically from disk
+// without re-simulating, reported as "source": "disk", and counted on the
+// disk-hit counter.
+func TestWarmRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	var execs1 atomic.Int32
+	_, ts1 := newDiskServer(t, dir, 8, &execs1)
+
+	const body = `{"mix":"CGL"}`
+	resp, before := post(t, ts1.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-restart run: status=%d body=%s", resp.StatusCode, before)
+	}
+	if execs1.Load() != 1 {
+		t.Fatalf("pre-restart execs = %d, want 1", execs1.Load())
+	}
+	var beforeEnv struct {
+		Result
+	}
+	if err := json.Unmarshal(before, &beforeEnv); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// "Restart": a fresh process image over the same spill directory.
+	var execs2 atomic.Int32
+	s2, ts2 := newDiskServer(t, dir, 8, &execs2)
+	resp, after := post(t, ts2.URL, body)
+	src, res := decodeEnvelope(t, after)
+	if resp.StatusCode != http.StatusOK || src != srcDisk {
+		t.Fatalf("post-restart run: status=%d source=%q, want 200/%q", resp.StatusCode, src, srcDisk)
+	}
+	if execs2.Load() != 0 {
+		t.Errorf("post-restart execs = %d, want 0 (warm start)", execs2.Load())
+	}
+	if res.Text != beforeEnv.Text || res.Digest != beforeEnv.Digest {
+		t.Errorf("restarted result differs: %q vs %q", res.Text, beforeEnv.Text)
+	}
+	if hits := s2.disk.hits.Load(); hits != 1 {
+		t.Errorf("disk hits = %d, want 1", hits)
+	}
+
+	// The loaded entry was promoted into the memory LRU: round two is a
+	// plain cache hit, no second disk read.
+	resp, b := post(t, ts2.URL, body)
+	if src, _ := decodeEnvelope(t, b); resp.StatusCode != http.StatusOK || src != srcCache {
+		t.Fatalf("promoted repeat: status=%d source=%q, want 200/%q", resp.StatusCode, src, srcCache)
+	}
+	if hits := s2.disk.hits.Load(); hits != 1 {
+		t.Errorf("disk hits after promotion = %d, want still 1", hits)
+	}
+}
+
+// TestRestoredCountAndBound: EnableDiskCache reports how many spill files
+// survived from the previous process, and a restart with a smaller cap
+// prunes down to it.
+func TestRestoredCountAndBound(t *testing.T) {
+	dir := t.TempDir()
+	var execs atomic.Int32
+	s1, ts1 := newDiskServer(t, dir, 16, &execs)
+	for _, body := range []string{`{"mix":"C"}`, `{"mix":"D"}`, `{"mix":"G"}`, `{"mix":"L"}`} {
+		if resp, b := post(t, ts1.URL, body); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %s: status=%d body=%s", body, resp.StatusCode, b)
+		}
+	}
+	if got := s1.disk.entries(); got != 4 {
+		t.Fatalf("spill entries = %d, want 4", got)
+	}
+	ts1.Close()
+
+	s2 := New(Config{Workers: 1, CacheCap: 2, Runner: countingStub(&execs)})
+	restored, err := s2.EnableDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Errorf("restored = %d, want 2 (pruned to the new cap)", restored)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+spillExt))
+	if len(files) != 2 {
+		t.Errorf("spill files on disk = %d, want 2", len(files))
+	}
+}
+
+// TestCorruptedSpillRejected: a spill file whose payload was tampered with
+// fails its checksum on load — it is counted, deleted, and the scenario is
+// re-simulated instead of served corrupt.
+func TestCorruptedSpillRejected(t *testing.T) {
+	dir := t.TempDir()
+	var execs atomic.Int32
+	_, ts1 := newDiskServer(t, dir, 8, &execs)
+	const body = `{"mix":"CDH"}`
+	if resp, b := post(t, ts1.URL, body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed: status=%d body=%s", resp.StatusCode, b)
+	}
+	ts1.Close()
+
+	files, err := filepath.Glob(filepath.Join(dir, "*"+spillExt))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spill files = %v (err %v), want exactly 1", files, err)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the payload without breaking the JSON: the checksum must catch it.
+	tampered := strings.Replace(string(raw), "stub:CDH", "stub:EVIL", 1)
+	if tampered == string(raw) {
+		t.Fatal("tamper marker not found in spill payload")
+	}
+	if err := os.WriteFile(files[0], []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	execs.Store(0)
+	s2, ts2 := newDiskServer(t, dir, 8, &execs)
+	resp, b := post(t, ts2.URL, body)
+	src, res := decodeEnvelope(t, b)
+	if resp.StatusCode != http.StatusOK || src != srcRun {
+		t.Fatalf("tampered read: status=%d source=%q body=%s, want 200/%q (re-simulated)",
+			resp.StatusCode, src, b, srcRun)
+	}
+	if res.Text != "stub:CDH" {
+		t.Errorf("re-simulated text = %q", res.Text)
+	}
+	if execs.Load() != 1 {
+		t.Errorf("execs = %d, want 1 (re-simulation)", execs.Load())
+	}
+	if le := s2.disk.loadErrors.Load(); le != 1 {
+		t.Errorf("load errors = %d, want 1", le)
+	}
+}
+
+// TestGarbageSpillSchemaRejected: wrong schema or digest mismatch is
+// rejected just like a bad checksum.
+func TestGarbageSpillSchemaRejected(t *testing.T) {
+	dir := t.TempDir()
+	d, _, err := openDiskCache(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32)
+	if err := os.WriteFile(d.path(key), []byte(`{"schema":"bogus/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.load(key); ok {
+		t.Fatal("bogus-schema spill served")
+	}
+	if d.loadErrors.Load() != 1 {
+		t.Errorf("load errors = %d, want 1", d.loadErrors.Load())
+	}
+	if _, err := os.Stat(d.path(key)); !os.IsNotExist(err) {
+		t.Error("rejected spill file was not deleted")
+	}
+}
+
+// TestEvictionRemovesSpillFile: evicting an entry from the memory LRU
+// deletes its spill file too, keeping disk a mirror of (recent) cache
+// state rather than an unbounded archive.
+func TestEvictionRemovesSpillFile(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Config{Workers: 1, CacheCap: 2, Runner: countingStub(new(atomic.Int32))})
+	if _, err := s.EnableDiskCache(dir); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, 3)
+	for _, mix := range []string{"C", "D", "G"} {
+		req := Request{Mix: mix}
+		if err := req.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		key := req.Digest()
+		keys = append(keys, key)
+		if _, _, err := s.executeCell(context.Background(), req, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cap 2: the first key was evicted from memory and must be gone on disk.
+	if _, err := os.Stat(filepath.Join(dir, keys[0]+spillExt)); !os.IsNotExist(err) {
+		t.Error("evicted entry's spill file survived")
+	}
+	for _, key := range keys[1:] {
+		if _, err := os.Stat(filepath.Join(dir, key+spillExt)); err != nil {
+			t.Errorf("live entry %s missing its spill file: %v", key[:8], err)
+		}
+	}
+	if got := s.disk.entries(); got != 2 {
+		t.Errorf("spill entries = %d, want 2", got)
+	}
+}

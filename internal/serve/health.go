@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Circuit-breaker states. The numeric values are exported as the
+// relief_serve_peer_breaker_state gauge, so they are part of the metrics
+// contract: 0 closed (healthy), 1 half-open (one probe in flight after
+// backoff expiry), 2 open (failing fast).
+const (
+	breakerClosed int32 = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breakerStateName renders a state for /readyz detail lines.
+func breakerStateName(s int32) string {
+	switch s {
+	case breakerHalfOpen:
+		return "half-open"
+	case breakerOpen:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerConfig sizes one peer's circuit breaker. Zero values select
+// defaults.
+type breakerConfig struct {
+	// threshold is the number of consecutive failures that trips the
+	// breaker from closed to open (default 3).
+	threshold int
+	// base is the first open interval; each consecutive open doubles it
+	// up to max (defaults 250ms / 30s).
+	base time.Duration
+	max  time.Duration
+}
+
+func (c breakerConfig) withDefaults() breakerConfig {
+	if c.threshold <= 0 {
+		c.threshold = 3
+	}
+	if c.base <= 0 {
+		c.base = 250 * time.Millisecond
+	}
+	if c.max <= 0 {
+		c.max = 30 * time.Second
+	}
+	return c
+}
+
+// peerHealth is one peer's health tracker: a consecutive-failure circuit
+// breaker with bounded exponential backoff and deterministic jitter. A
+// dead owner costs one fast-failed probe per backoff window instead of a
+// connect timeout per request.
+//
+// The jitter PRNG is seeded from the peer's URL (ringHash), so a given
+// failure sequence produces the same retry schedule on every replica and
+// every run — the same seeded-determinism discipline as internal/fault,
+// extended to the serving layer.
+type peerHealth struct {
+	cfg breakerConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	state   int32
+	fails   int           // consecutive failures since the last success
+	backoff time.Duration // current open interval (0 until first open)
+	retryAt time.Time     // when an open breaker grants its next probe
+	rng     *rand.Rand    // deterministic jitter source
+
+	// stateG mirrors state for lock-free metric and readyz reads.
+	stateG atomic.Int32
+	// opens counts closed/half-open → open transitions.
+	opens atomic.Int64
+	// probes counts half-open probe grants (retries after backoff).
+	probes atomic.Int64
+}
+
+func newPeerHealth(peer string, cfg breakerConfig, now func() time.Time) *peerHealth {
+	if now == nil {
+		now = time.Now
+	}
+	return &peerHealth{
+		cfg: cfg.withDefaults(),
+		now: now,
+		rng: rand.New(rand.NewSource(int64(ringHash(peer)))),
+	}
+}
+
+// allow reports whether an attempt against the peer may proceed. Closed:
+// always. Open: fail fast until the backoff deadline passes, then grant
+// exactly one half-open probe. Half-open: fail fast while that probe is
+// outstanding.
+func (h *peerHealth) allow() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		return false
+	default: // open
+		if h.now().Before(h.retryAt) {
+			return false
+		}
+		h.setState(breakerHalfOpen)
+		h.probes.Add(1)
+		return true
+	}
+}
+
+// success records a healthy exchange (any response from the peer, even a
+// cache miss): the breaker closes and the backoff resets.
+func (h *peerHealth) success() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails = 0
+	h.backoff = 0
+	h.setState(breakerClosed)
+}
+
+// failure records a transport failure or 5xx. The breaker opens after
+// cfg.threshold consecutive failures, or immediately when a half-open
+// probe fails (with the backoff doubled).
+func (h *peerHealth) failure() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fails++
+	if h.state == breakerHalfOpen || h.fails >= h.cfg.threshold {
+		h.open()
+	}
+}
+
+// open (re)opens the breaker: double the bounded backoff and schedule the
+// next half-open probe at now + backoff + jitter, where jitter is a
+// deterministic draw in [0, backoff/4].
+func (h *peerHealth) open() {
+	if h.backoff == 0 {
+		h.backoff = h.cfg.base
+	} else if h.backoff < h.cfg.max {
+		h.backoff *= 2
+		if h.backoff > h.cfg.max {
+			h.backoff = h.cfg.max
+		}
+	}
+	jitter := time.Duration(h.rng.Int63n(int64(h.backoff)/4 + 1))
+	h.retryAt = h.now().Add(h.backoff + jitter)
+	if h.state != breakerOpen {
+		h.opens.Add(1)
+	}
+	h.setState(breakerOpen)
+}
+
+func (h *peerHealth) setState(s int32) {
+	h.state = s
+	h.stateG.Store(s)
+}

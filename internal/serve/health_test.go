@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) health(threshold int) *peerHealth {
+	return newPeerHealth("http://peer:1", breakerConfig{threshold: threshold}, c.now)
+}
+
+// TestBreakerOpensAfterThreshold: the breaker stays closed through
+// threshold-1 consecutive failures, opens on the threshold-th, and then
+// fails fast without consulting the network.
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	h := clk.health(3)
+	for i := 0; i < 2; i++ {
+		if !h.allow() {
+			t.Fatalf("breaker not closed after %d failures", i)
+		}
+		h.failure()
+	}
+	if h.stateG.Load() != breakerClosed {
+		t.Fatalf("state after 2/3 failures = %s, want closed", breakerStateName(h.stateG.Load()))
+	}
+	h.failure()
+	if h.stateG.Load() != breakerOpen {
+		t.Fatalf("state after 3/3 failures = %s, want open", breakerStateName(h.stateG.Load()))
+	}
+	if h.allow() {
+		t.Error("open breaker allowed an attempt before backoff expiry")
+	}
+	if h.opens.Load() != 1 {
+		t.Errorf("opens = %d, want 1", h.opens.Load())
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the backoff window the breaker grants
+// exactly one half-open probe; a success closes it, and the backoff resets.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	h := clk.health(1)
+	h.failure() // threshold 1: open immediately
+	if h.stateG.Load() != breakerOpen {
+		t.Fatal("breaker did not open")
+	}
+	// base 250ms + jitter ≤ base/4 → any attempt within base must fail fast.
+	if h.allow() {
+		t.Fatal("probe granted before backoff expired")
+	}
+	clk.advance(h.cfg.base + h.cfg.base/4) // past backoff + max jitter
+	if !h.allow() {
+		t.Fatal("no half-open probe after backoff expiry")
+	}
+	if h.stateG.Load() != breakerHalfOpen {
+		t.Fatalf("state during probe = %s, want half-open", breakerStateName(h.stateG.Load()))
+	}
+	// Only ONE probe: a second caller must fail fast while it is out.
+	if h.allow() {
+		t.Error("second concurrent half-open probe granted")
+	}
+	if h.probes.Load() != 1 {
+		t.Errorf("probes = %d, want 1", h.probes.Load())
+	}
+	h.success()
+	if h.stateG.Load() != breakerClosed || !h.allow() {
+		t.Error("successful probe did not close the breaker")
+	}
+	h.mu.Lock()
+	backoff := h.backoff
+	h.mu.Unlock()
+	if backoff != 0 {
+		t.Errorf("backoff after recovery = %v, want 0 (reset)", backoff)
+	}
+}
+
+// TestBreakerBackoffDoublesBounded: each failed half-open probe doubles the
+// open interval up to the max, never beyond.
+func TestBreakerBackoffDoublesBounded(t *testing.T) {
+	clk := newFakeClock()
+	h := clk.health(1)
+	prev := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		h.failure()
+		h.mu.Lock()
+		backoff := h.backoff
+		h.mu.Unlock()
+		if backoff > h.cfg.max {
+			t.Fatalf("round %d: backoff %v exceeds max %v", i, backoff, h.cfg.max)
+		}
+		if prev > 0 && backoff < prev {
+			t.Fatalf("round %d: backoff shrank %v → %v without a success", i, prev, backoff)
+		}
+		prev = backoff
+		// Walk time forward far enough to earn the next probe, fail it.
+		clk.advance(backoff + backoff/4 + time.Millisecond)
+		if !h.allow() {
+			t.Fatalf("round %d: no probe after full backoff", i)
+		}
+	}
+	if prev != h.cfg.max {
+		t.Errorf("backoff after 12 failed rounds = %v, want max %v", prev, h.cfg.max)
+	}
+}
+
+// TestBreakerDeterministicSchedule: two trackers for the same peer replay
+// the same failure sequence onto the same retry deadlines — the jitter is
+// seeded from the peer URL, not wall-clock entropy.
+func TestBreakerDeterministicSchedule(t *testing.T) {
+	run := func() []time.Time {
+		clk := newFakeClock()
+		h := clk.health(1)
+		var deadlines []time.Time
+		for i := 0; i < 8; i++ {
+			h.failure()
+			h.mu.Lock()
+			deadlines = append(deadlines, h.retryAt)
+			backoff := h.backoff
+			h.mu.Unlock()
+			clk.advance(backoff * 2)
+			h.allow()
+		}
+		return deadlines
+	}
+	a, b := run(), run()
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("retry deadline %d differs across identical runs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestBreakerSuccessResetsFailureStreak: interleaved successes keep a flaky
+// but mostly healthy peer's breaker closed — only *consecutive* failures
+// count toward the threshold.
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	clk := newFakeClock()
+	h := clk.health(3)
+	for i := 0; i < 10; i++ {
+		h.failure()
+		h.failure()
+		h.success()
+	}
+	if h.stateG.Load() != breakerClosed {
+		t.Errorf("state = %s, want closed (2-failure streaks never reach threshold 3)",
+			breakerStateName(h.stateG.Load()))
+	}
+	if h.opens.Load() != 0 {
+		t.Errorf("opens = %d, want 0", h.opens.Load())
+	}
+}

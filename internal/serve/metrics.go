@@ -38,13 +38,15 @@ type serviceMetrics struct {
 }
 
 // peerCounters tracks one peer's share of cluster traffic: cache probes
-// that hit/missed, requests forwarded to it as the owner, and forwards
-// that failed (peer down → local fallback).
+// that hit/missed, requests forwarded to it as the owner, forwards that
+// failed (peer down → local fallback), and requests that skipped the peer
+// without network I/O because its circuit breaker was open.
 type peerCounters struct {
 	hits          atomic.Int64
 	misses        atomic.Int64
 	forwarded     atomic.Int64
 	forwardErrors atomic.Int64
+	fastFails     atomic.Int64
 }
 
 // discardPeer absorbs counts for peers outside the configured fleet; it can
@@ -62,9 +64,10 @@ func (m *serviceMetrics) peer(url string) *peerCounters {
 
 // registerPeers creates and registers the per-peer cluster counters, one
 // labelled series per peer (`relief_serve_peer_hits_total{peer="..."}`,
-// ...). peers must be sorted and deduplicated (ConfigureCluster's fleet
-// normalization guarantees it).
-func (m *serviceMetrics) registerPeers(peers []string) {
+// ...), plus the circuit-breaker gauge and counters read from each peer's
+// health tracker. peers must be sorted and deduplicated (ConfigureCluster's
+// fleet normalization guarantees it).
+func (m *serviceMetrics) registerPeers(peers []string, health map[string]*peerHealth) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.peers = make(map[string]*peerCounters, len(peers))
@@ -83,7 +86,41 @@ func (m *serviceMetrics) registerPeers(peers []string) {
 			"Requests forwarded to this peer as the digest's ring owner.", count(&pc.forwarded))
 		m.reg.CounterFunc("relief_serve_forward_errors_total"+label,
 			"Forwards this peer failed to serve (request fell back to local execution).", count(&pc.forwardErrors))
+		m.reg.CounterFunc("relief_serve_peer_fast_fails_total"+label,
+			"Requests that skipped this peer without network I/O because its breaker was open.", count(&pc.fastFails))
+		h := health[p]
+		if h == nil {
+			continue
+		}
+		m.reg.GaugeFunc("relief_serve_peer_breaker_state"+label,
+			"Circuit-breaker state for this peer: 0 closed, 1 half-open, 2 open.",
+			func() float64 { return float64(h.stateG.Load()) })
+		m.reg.CounterFunc("relief_serve_peer_breaker_opens_total"+label,
+			"Transitions of this peer's circuit breaker to the open state.", count(&h.opens))
+		m.reg.CounterFunc("relief_serve_peer_retries_total"+label,
+			"Half-open probes granted against this peer after its backoff expired.", count(&h.probes))
 	}
+}
+
+// registerDisk registers the durable-cache counters once a spill directory
+// is attached (EnableDiskCache).
+func (m *serviceMetrics) registerDisk(d *diskCache) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	count := func(v *atomic.Int64) func() float64 {
+		return func() float64 { return float64(v.Load()) }
+	}
+	m.reg.CounterFunc("relief_serve_disk_cache_hits_total",
+		"Requests answered by loading a verified spill file from the cache directory.", count(&d.hits))
+	m.reg.CounterFunc("relief_serve_disk_cache_misses_total",
+		"Memory-cache misses that found no spill file on disk either.", count(&d.misses))
+	m.reg.CounterFunc("relief_serve_disk_cache_load_errors_total",
+		"Spill files rejected on load (bad schema, digest mismatch, failed checksum) and deleted.", count(&d.loadErrors))
+	m.reg.CounterFunc("relief_serve_disk_cache_spill_errors_total",
+		"Results that could not be spilled to disk (entry stayed memory-only).", count(&d.spillErrors))
+	m.reg.GaugeFunc("relief_serve_disk_cache_entries",
+		"Spill files currently held in the cache directory.",
+		func() float64 { return float64(d.entries()) })
 }
 
 func newServiceMetrics(cacheLen func() int) *serviceMetrics {

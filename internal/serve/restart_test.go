@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// serveProc is one relief-serve subprocess started on an ephemeral port.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:<port>
+}
+
+// startServeProc launches bin with the given extra flags and waits for its
+// "listening on" line to learn the ephemeral address.
+func startServeProc(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd}
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(10 * time.Second)
+	for p.base == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("relief-serve exited before listening")
+			}
+			if rest, found := strings.CutPrefix(line, "relief-serve: listening on "); found {
+				p.base = strings.TrimSpace(rest)
+			}
+		case <-deadline:
+			p.cmd.Process.Kill()
+			t.Fatal("relief-serve never reported its address")
+		}
+	}
+	// Keep draining so the child never blocks on a full pipe.
+	go func() {
+		for range lines {
+		}
+	}()
+	return p
+}
+
+// kill SIGKILLs the subprocess — no drain, no cleanup, the crash case.
+func (p *serveProc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait() // reap; exit error expected after SIGKILL
+}
+
+// getResult fetches the bare cached-result document for a digest.
+func getResult(t *testing.T, base, digest string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/result/" + digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /result/%s: %d %s", digest, resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestCrashRestartWarmStart is the end-to-end durability check: populate a
+// relief-serve replica's cache, SIGKILL the process (no drain), restart it
+// on the same -cache-dir, and the reloaded entry must (a) serve byte-
+// identically to the pre-crash result document and (b) be reported as a
+// disk hit, not a re-simulation.
+func TestCrashRestartWarmStart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI and runs subprocesses; skipped in -short")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain unavailable")
+	}
+	bin := filepath.Join(t.TempDir(), "relief-serve")
+	build := exec.Command(goBin, "build", "-o", bin, "relief/cmd/relief-serve")
+	build.Dir = "../.." // module root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building relief-serve: %v\n%s", err, out)
+	}
+	cacheDir := t.TempDir()
+
+	const body = `{"mix":"CG"}`
+	var req Request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	digest := req.Digest()
+
+	p1 := startServeProc(t, bin, "-cache-dir", cacheDir)
+	resp, b := post(t, p1.base, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-crash run: %d %s", resp.StatusCode, b)
+	}
+	if src, _ := decodeEnvelope(t, b); src != srcRun {
+		t.Fatalf("pre-crash source = %q, want %q", src, srcRun)
+	}
+	before := getResult(t, p1.base, digest)
+	p1.kill(t)
+
+	p2 := startServeProc(t, bin, "-cache-dir", cacheDir)
+	defer p2.kill(t)
+	resp, b = post(t, p2.base, body)
+	src, _ := decodeEnvelope(t, b)
+	if resp.StatusCode != http.StatusOK || src != srcDisk {
+		t.Fatalf("post-restart run: status=%d source=%q body=%.200s, want 200/%q",
+			resp.StatusCode, src, b, srcDisk)
+	}
+	after := getResult(t, p2.base, digest)
+	if string(before) != string(after) {
+		t.Errorf("restarted result document is not byte-identical:\n--- before ---\n%.300s\n--- after ---\n%.300s",
+			before, after)
+	}
+}

@@ -32,6 +32,13 @@ type Config struct {
 	// kernel). Benchmark harnesses substitute fixed-cost runners to
 	// measure the serving and distribution layers in isolation.
 	Runner func(ctx context.Context, req Request) (*Result, error)
+	// PeerTransport overrides the HTTP transport used for peer probes and
+	// forwards in cluster mode (nil = http.DefaultTransport). The chaos
+	// harness (NewChaosTransport) injects faults through it.
+	PeerTransport http.RoundTripper
+	// BreakerThreshold is the number of consecutive peer failures that
+	// opens a peer's circuit breaker (default 3).
+	BreakerThreshold int
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +118,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	cache    *cache
+	disk     *diskCache // nil = memory-only; published by EnableDiskCache
 	flights  map[string]*flight
 	cluster  *cluster // nil = single-node; published by ConfigureCluster
 	draining bool
@@ -161,6 +169,66 @@ func New(cfg Config) *Server {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// EnableDiskCache attaches a durable write-through spill directory to the
+// result cache: every completed result is persisted (atomic rename,
+// checksummed), memory-LRU evictions delete their spill files, and a
+// memory miss falls through to a verified disk load — so a crashed or
+// upgraded replica restarted with the same directory warm-starts its
+// share of the keyspace instead of re-simulating it. The directory is
+// bounded to CacheCap entries. Returns the number of spill files restored
+// from a previous process. Call before the server takes traffic.
+func (s *Server) EnableDiskCache(dir string) (int, error) {
+	d, restored, err := openDiskCache(dir, s.cfg.CacheCap)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.disk = d
+	s.mu.Unlock()
+	s.svc.registerDisk(d)
+	return restored, nil
+}
+
+// storeResult caches one completed result and mirrors it write-through to
+// the spill directory, deleting the files of any evicted entries.
+func (s *Server) storeResult(key string, res *Result) {
+	s.mu.Lock()
+	evicted := s.cache.add(key, res)
+	d := s.disk
+	s.mu.Unlock()
+	if d != nil {
+		// Evictions first, so the store's own over-cap safety prune (which
+		// works by recency, not LRU order) has nothing left to do.
+		d.remove(evicted...)
+		d.store(key, res)
+	}
+}
+
+// cachedResult answers key from the memory LRU or, on a miss, from the
+// spill directory (read-through: a verified disk load is promoted into
+// the LRU). The returned source is srcCache or srcDisk.
+func (s *Server) cachedResult(key string) (*Result, string, bool) {
+	s.mu.Lock()
+	res, ok := s.cache.get(key)
+	d := s.disk
+	s.mu.Unlock()
+	if ok {
+		return res, srcCache, true
+	}
+	if d == nil {
+		return nil, "", false
+	}
+	res, ok = d.load(key)
+	if !ok {
+		return nil, "", false
+	}
+	s.mu.Lock()
+	evicted := s.cache.add(key, res)
+	s.mu.Unlock()
+	d.remove(evicted...)
+	return res, srcDisk, true
+}
 
 // Serve accepts connections on l until Drain is called.
 func (s *Server) Serve(l net.Listener) error {
@@ -220,10 +288,10 @@ func (s *Server) worker() {
 		if res != nil {
 			res.Digest = fl.key
 		}
-		s.mu.Lock()
 		if err == nil {
-			s.cache.add(fl.key, res)
+			s.storeResult(fl.key, res)
 		}
+		s.mu.Lock()
 		delete(s.flights, fl.key)
 		s.mu.Unlock()
 		if err != nil {
@@ -240,7 +308,8 @@ func (s *Server) worker() {
 // Answer sources reported in the response envelope.
 const (
 	srcRun     = "run"     // simulated on this replica
-	srcCache   = "cache"   // this replica's result cache
+	srcCache   = "cache"   // this replica's in-memory result cache
+	srcDisk    = "disk"    // this replica's spill directory (warm restart)
 	srcPeer    = "peer"    // a peer replica's cache (probe hit)
 	srcForward = "forward" // computed by the digest's ring owner
 )
@@ -275,40 +344,38 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, errDraining)
 		return
 	}
-	if res, ok := s.cache.get(key); ok {
-		s.mu.Unlock()
+	s.mu.Unlock()
+	if res, src, ok := s.cachedResult(key); ok {
 		s.svc.hits.Add(1)
-		s.writeJSON(w, http.StatusOK, response{Cached: true, Source: srcCache, Result: res})
+		s.writeJSON(w, http.StatusOK, response{Cached: true, Source: src, Result: res})
 		return
 	}
+	s.mu.Lock()
 	cl := s.cluster
 	s.mu.Unlock()
 
 	// Cluster mode: a digest owned elsewhere is answered by its owner —
 	// probe its cache first (a result computed anywhere in the fleet is
 	// never re-simulated), then forward the full request. An unreachable
-	// owner degrades to local execution below.
+	// owner (or one behind an open circuit breaker) degrades to local
+	// execution below.
 	if cl != nil && r.Header.Get(forwardHeader) == "" {
 		if owner := cl.ring.owner(key); owner != cl.self {
-			pc := s.svc.peer(owner)
-			if res, ok := cl.probeResult(owner, key); ok {
-				pc.hits.Add(1)
-				s.writeJSON(w, http.StatusOK, response{Cached: false, Source: srcPeer, Result: res})
+			res, relay, src := s.routeToOwner(cl, owner, key, req)
+			switch {
+			case res != nil:
+				s.writeJSON(w, http.StatusOK, response{Cached: false, Source: src, Result: res})
 				return
-			}
-			pc.misses.Add(1)
-			if body, ok := cl.forward(owner, req); ok {
-				pc.forwarded.Add(1)
+			case relay != nil:
 				w.Header().Set("Content-Type", "application/json")
 				w.Header().Set(servedByHeader, owner)
 				w.WriteHeader(http.StatusOK)
-				if _, err := w.Write(body); err != nil {
+				if _, err := w.Write(relay); err != nil {
 					// Client gone mid-relay; nothing left to send.
 					return
 				}
 				return
 			}
-			pc.forwardErrors.Add(1)
 		}
 	}
 
@@ -435,32 +502,27 @@ func (s *Server) abandon(fl *flight) {
 // handleRun — local cache, peer probe, owner forward, local simulation
 // (blocking admission) — and reports where the answer came from.
 func (s *Server) executeCell(ctx context.Context, req Request, key string) (*Result, string, error) {
-	s.mu.Lock()
-	if res, ok := s.cache.get(key); ok {
-		s.mu.Unlock()
+	if res, src, ok := s.cachedResult(key); ok {
 		s.svc.hits.Add(1)
-		return res, srcCache, nil
+		return res, src, nil
 	}
+	s.mu.Lock()
 	cl := s.cluster
 	s.mu.Unlock()
 
 	if cl != nil {
 		if owner := cl.ring.owner(key); owner != cl.self {
-			pc := s.svc.peer(owner)
-			if res, ok := cl.probeResult(owner, key); ok {
-				pc.hits.Add(1)
-				return res, srcPeer, nil
-			}
-			pc.misses.Add(1)
-			if body, ok := cl.forward(owner, req); ok {
-				pc.forwarded.Add(1)
+			res, relay, src := s.routeToOwner(cl, owner, key, req)
+			switch {
+			case res != nil:
+				return res, src, nil
+			case relay != nil:
 				var env response
-				if err := json.Unmarshal(body, &env); err == nil && env.Result != nil {
-					return env.Result, srcForward, nil
+				if err := json.Unmarshal(relay, &env); err == nil && env.Result != nil {
+					return env.Result, src, nil
 				}
 				// Unparseable relay: fall through to local execution.
 			}
-			pc.forwardErrors.Add(1)
 		}
 	}
 
@@ -500,10 +562,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz is the readiness probe: load balancers and ring peers stop
-// routing to a replica once it reports 503 (draining).
+// routing to a replica once it reports 503 (draining). In cluster mode the
+// body carries one detail line per peer with its circuit-breaker state;
+// the first line stays exactly "ok"/"draining" so existing probes that
+// match the whole first line keep working.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	cl := s.cluster
 	s.mu.Unlock()
 	if draining {
 		w.WriteHeader(http.StatusServiceUnavailable)
@@ -511,6 +577,13 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ok")
+	if cl != nil {
+		for _, p := range cl.peers {
+			if h := cl.health[p]; h != nil {
+				fmt.Fprintf(w, "peer %s breaker=%s\n", p, breakerStateName(h.stateG.Load()))
+			}
+		}
+	}
 }
 
 // handleResult is the peer cache probe: a pure lookup that answers with the
@@ -519,9 +592,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // and spares the fleet a re-simulation.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("digest")
-	s.mu.Lock()
-	res, ok := s.cache.get(key)
-	s.mu.Unlock()
+	res, _, ok := s.cachedResult(key)
 	if !ok {
 		s.writeError(w, http.StatusNotFound, errors.New("serve: result not cached"))
 		return

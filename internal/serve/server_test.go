@@ -285,11 +285,15 @@ func TestClientDisconnectCancelsRun(t *testing.T) {
 }
 
 // TestMetricsEndpoint: /metrics speaks Prometheus text format and carries
-// the service counters.
+// the service counters, including the durable-cache families once a spill
+// directory is attached.
 func TestMetricsEndpoint(t *testing.T) {
 	s := New(Config{Workers: 1})
 	s.runner = func(ctx context.Context, req Request) (*Result, error) {
 		return &Result{Text: "x"}, nil
+	}
+	if _, err := s.EnableDiskCache(t.TempDir()); err != nil {
+		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
@@ -309,6 +313,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"relief_serve_queue_depth 0",
 		"relief_serve_request_latency_ms",
 		"# TYPE relief_serve_requests_total counter",
+		"relief_serve_disk_cache_hits_total 0",
+		"relief_serve_disk_cache_misses_total 1", // the one cold miss checked disk too
+		"relief_serve_disk_cache_load_errors_total 0",
+		"relief_serve_disk_cache_spill_errors_total 0",
+		"relief_serve_disk_cache_entries 1",
+		"# TYPE relief_serve_disk_cache_entries gauge",
 	} {
 		if !bytes.Contains(b, []byte(want)) {
 			t.Errorf("/metrics missing %q", want)

@@ -79,10 +79,10 @@ func TestSweepValidation(t *testing.T) {
 	defer ts.Close()
 
 	for name, spec := range map[string]string{
-		"empty grid":        `{}`,
+		"empty grid":         `{}`,
 		"unknown contention": `{"contention":["extreme"]}`,
-		"bad mix":           `{"mixes":["QQ"]}`,
-		"unknown field":     `{"mixez":["C"]}`,
+		"bad mix":            `{"mixes":["QQ"]}`,
+		"unknown field":      `{"mixez":["C"]}`,
 	} {
 		resp, b := postSweep(t, ts.URL, spec)
 		if resp.StatusCode != http.StatusBadRequest {

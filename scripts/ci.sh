@@ -161,6 +161,131 @@ else
 	echo "curl not installed; skipping"
 fi
 
+echo "== warm-restart smoke"
+# Durable-cache contract over real processes: populate the cache, SIGKILL
+# the replica (no drain), restart it on the same -cache-dir, and the entry
+# must come back as a verified disk hit instead of a re-simulation.
+if command -v curl >/dev/null 2>&1; then
+	test -x "$tmp/relief-serve" || go build -o "$tmp/relief-serve" ./cmd/relief-serve
+	spill="$tmp/spill"
+	"$tmp/relief-serve" -addr 127.0.0.1:0 -cache-dir "$spill" >"$tmp/restart1.log" 2>&1 &
+	restart_pid=$!
+	raddr=""
+	for _ in $(seq 1 100); do
+		raddr="$(sed -n 's|^relief-serve: listening on http://||p' "$tmp/restart1.log")"
+		[ -n "$raddr" ] && break
+		sleep 0.1
+	done
+	test -n "$raddr"
+	curl -sf -X POST "http://$raddr/run" -d '{"mix":"CG","policy":"RELIEF"}' >"$tmp/restart_run1.json"
+	grep -q '"source": "run"' "$tmp/restart_run1.json"
+	kill -KILL "$restart_pid"
+	wait "$restart_pid" 2>/dev/null || true
+
+	"$tmp/relief-serve" -addr 127.0.0.1:0 -cache-dir "$spill" >"$tmp/restart2.log" 2>&1 &
+	restart_pid=$!
+	raddr=""
+	for _ in $(seq 1 100); do
+		raddr="$(sed -n 's|^relief-serve: listening on http://||p' "$tmp/restart2.log")"
+		[ -n "$raddr" ] && break
+		sleep 0.1
+	done
+	test -n "$raddr"
+	grep -q '^relief-serve: disk cache .* (1 entries restored)$' "$tmp/restart2.log"
+	curl -sf -X POST "http://$raddr/run" -d '{"policy":"RELIEF","mix":"CG"}' >"$tmp/restart_run2.json"
+	grep -q '"source": "disk"' "$tmp/restart_run2.json"
+	curl -sf "http://$raddr/metrics" | grep -q '^relief_serve_disk_cache_hits_total 1$'
+	kill -TERM "$restart_pid"
+	wait "$restart_pid"
+	grep -q '^relief-serve: stopped$' "$tmp/restart2.log"
+else
+	echo "curl not installed; skipping"
+fi
+
+echo "== chaos smoke"
+# Resilience contract over real processes: three peered replicas, one
+# SIGKILLed mid-sweep. The streamed sweep must finish every cell with zero
+# error lines, the relief-sweep client's merged document over the two
+# survivors must be byte-identical to a solo server's, and the killed
+# peer's circuit breaker must be observably open on a survivor.
+if command -v curl >/dev/null 2>&1; then
+	test -x "$tmp/relief-serve" || go build -o "$tmp/relief-serve" ./cmd/relief-serve
+	test -x "$tmp/relief-sweep" || go build -o "$tmp/relief-sweep" ./cmd/relief-sweep
+	ports="$(go run ./scripts/freeports 3)"
+	c1="$(echo "$ports" | sed -n 1p)"
+	c2="$(echo "$ports" | sed -n 2p)"
+	c3="$(echo "$ports" | sed -n 3p)"
+	v1="http://127.0.0.1:$c1"
+	v2="http://127.0.0.1:$c2"
+	v3="http://127.0.0.1:$c3"
+	fleet="$v1,$v2,$v3"
+	"$tmp/relief-serve" -addr "127.0.0.1:$c1" -peers "$fleet" -breaker-threshold 1 >"$tmp/chaos1.log" 2>&1 &
+	chaos1_pid=$!
+	"$tmp/relief-serve" -addr "127.0.0.1:$c2" -peers "$fleet" -breaker-threshold 1 >"$tmp/chaos2.log" 2>&1 &
+	chaos2_pid=$!
+	"$tmp/relief-serve" -addr "127.0.0.1:$c3" -peers "$fleet" -breaker-threshold 1 >"$tmp/chaos3.log" 2>&1 &
+	chaos3_pid=$!
+	for log in chaos1.log chaos2.log chaos3.log; do
+		for _ in $(seq 1 100); do
+			grep -q '^relief-serve: listening on ' "$tmp/$log" && break
+			sleep 0.1
+		done
+		grep -q '^relief-serve: listening on ' "$tmp/$log"
+	done
+
+	# Stream a sweep through replica 1 and SIGKILL replica 3 once cells
+	# start landing: no client-visible cell error is allowed.
+	chaos_spec='{"mixes":["C","D","G","L"],"policies":["FCFS","RELIEF"]}'
+	chaos_stream='{"mixes":["C","D","G","L"],"policies":["FCFS","RELIEF"],"stream":true}'
+	curl -sfN -X POST "$v1/sweep" -d "$chaos_stream" >"$tmp/chaos_stream.ndjson" &
+	stream_pid=$!
+	for _ in $(seq 1 200); do
+		[ "$(wc -l <"$tmp/chaos_stream.ndjson")" -ge 3 ] && break
+		sleep 0.05
+	done
+	kill -KILL "$chaos3_pid"
+	wait "$chaos3_pid" 2>/dev/null || true
+	wait "$stream_pid"
+	grep -q '"done":true' "$tmp/chaos_stream.ndjson"
+	grep -q '"errors":0' "$tmp/chaos_stream.ndjson"
+	! grep -q '"error":' "$tmp/chaos_stream.ndjson"
+
+	# Force a request whose digest the dead replica owns: the survivor must
+	# answer locally and open the dead peer's breaker (threshold 1), visible
+	# on /metrics and in the readyz detail lines.
+	dead_owned=""
+	for seed in $(seq 1 40); do
+		cand="{\"mix\":\"C\",\"fault_rate\":0.01,\"fault_seed\":$seed}"
+		curl -sf -X POST "$v1/run" -d "$cand" >"$tmp/chaos_probe.json"
+		cdigest="$(sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p' "$tmp/chaos_probe.json" | head -n 1)"
+		cowner="$(curl -sf "$v1/owner/$cdigest" | sed -n 's/.*"owner": "\([^"]*\)".*/\1/p')"
+		if [ "$cowner" = "$v3" ]; then dead_owned="$cand"; break; fi
+	done
+	test -n "$dead_owned"
+	curl -sf "$v1/metrics" | grep -q "^relief_serve_peer_breaker_opens_total{peer=\"$v3\"} [1-9]"
+	curl -sf "$v1/readyz" | grep -q "^peer $v3 breaker=\(open\|half-open\)$"
+
+	# The surviving fleet still produces the canonical merged document:
+	# byte-identical to a solo server's sweep of the same grid.
+	"$tmp/relief-serve" -addr 127.0.0.1:0 >"$tmp/chaos_solo.log" 2>&1 &
+	chaos_solo_pid=$!
+	solo2_addr=""
+	for _ in $(seq 1 100); do
+		solo2_addr="$(sed -n 's|^relief-serve: listening on http://||p' "$tmp/chaos_solo.log")"
+		[ -n "$solo2_addr" ] && break
+		sleep 0.1
+	done
+	test -n "$solo2_addr"
+	curl -sf -X POST "http://$solo2_addr/sweep" -d "$chaos_spec" >"$tmp/chaos_solo.json"
+	echo "$chaos_spec" | "$tmp/relief-sweep" -replicas "$v1,$v2" -q -out "$tmp/chaos_fleet.json"
+	cmp "$tmp/chaos_fleet.json" "$tmp/chaos_solo.json"
+
+	kill -TERM "$chaos1_pid" "$chaos2_pid" "$chaos_solo_pid"
+	wait "$chaos1_pid" "$chaos2_pid" "$chaos_solo_pid"
+else
+	echo "curl not installed; skipping"
+fi
+
 echo "== bench report smoke"
 go build -o "$tmp/relief-bench" ./cmd/relief-bench
 # Pin the report filename: "auto" names the file BENCH_<date>.json, which
