@@ -13,6 +13,11 @@
 // re-simulating them. -chaos injects seeded faults into outbound peer
 // traffic for resilience drills (see "Resilience" in docs/SERVING.md).
 //
+// Every request runs under a distributed trace (X-Relief-Trace); spans are
+// logged as structured records (-log-format json for machine-readable
+// output) and served on GET /trace/{id}. -debug-addr exposes net/http/pprof
+// on a separate listener (see "Service tracing" in docs/OBSERVABILITY.md).
+//
 // Usage:
 //
 //	relief-serve -addr 127.0.0.1:8080
@@ -20,6 +25,7 @@
 //	relief-serve -addr 127.0.0.1:8081 -peers http://127.0.0.1:8082,http://127.0.0.1:8083
 //	relief-serve -addr 127.0.0.1:8080 -cache-dir /var/lib/relief/cache
 //	relief-serve -peers ... -chaos '{"seed":7,"drop_rate":0.1,"error_rate":0.05}'
+//	relief-serve -log-format json -debug-addr 127.0.0.1:6060
 package main
 
 import (
@@ -27,8 +33,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"relief/internal/serve"
+	"relief/internal/svctrace"
 )
 
 func main() {
@@ -50,7 +59,15 @@ func main() {
 	self := flag.String("self", "", "this replica's advertised base URL in cluster mode (default http://<listen addr>)")
 	breaker := flag.Int("breaker-threshold", 0, "consecutive peer failures that open its circuit breaker (0 = default 3)")
 	chaos := flag.String("chaos", "", "JSON chaos plan injected into outbound peer traffic, e.g. '{\"seed\":7,\"drop_rate\":0.1}'")
+	logFormat := flag.String("log-format", "text", "log output format: text (grep-friendly lines) or json (one slog record per line)")
+	traceCap := flag.Int("trace-cap", 0, "finished traces retained for GET /trace/{id} (0 = default 256)")
+	debugAddr := flag.String("debug-addr", "", "listen address for the net/http/pprof debug server (off when empty)")
 	flag.Parse()
+
+	if *logFormat != "text" && *logFormat != "json" {
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
+	log := svctrace.NewLogger(os.Stdout, *logFormat, "relief-serve")
 
 	var transport http.RoundTripper
 	if *chaos != "" {
@@ -59,7 +76,7 @@ func main() {
 			fatal(fmt.Errorf("parsing -chaos plan: %w", err))
 		}
 		transport = serve.NewChaosTransport(plan, nil)
-		fmt.Printf("relief-serve: chaos plan active: %s\n", *chaos)
+		log.Info("chaos plan active: " + *chaos)
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -73,13 +90,18 @@ func main() {
 		Timeout:          *timeout,
 		PeerTransport:    transport,
 		BreakerThreshold: *breaker,
+		Logger:           log,
+		TraceCap:         *traceCap,
 	})
 	if *cacheDir != "" {
 		restored, err := s.EnableDiskCache(*cacheDir)
 		if err != nil {
 			fatal(fmt.Errorf("opening -cache-dir: %w", err))
 		}
-		fmt.Printf("relief-serve: disk cache %s (%d entries restored)\n", *cacheDir, restored)
+		// The count rides as a structured attribute so monitors assert on
+		// restored=N instead of parsing prose.
+		log.Info(fmt.Sprintf("disk cache %s (%d entries restored)", *cacheDir, restored),
+			"dir", *cacheDir, "restored", restored)
 	}
 	if *peers != "" {
 		adv := *self
@@ -93,11 +115,16 @@ func main() {
 			}
 		}
 		s.ConfigureCluster(adv, ps)
-		fmt.Printf("relief-serve: cluster mode, self=%s peers=%s\n", adv, strings.Join(ps, ","))
+		log.Info(fmt.Sprintf("cluster mode, self=%s peers=%s", adv, strings.Join(ps, ",")))
 	}
-	// Printed before serving so scripts using an ephemeral port can scrape
-	// the actual address.
-	fmt.Printf("relief-serve: listening on http://%s\n", l.Addr())
+	if *debugAddr != "" {
+		startDebugServer(log, *debugAddr)
+	}
+	// Logged before serving so scripts using an ephemeral port can scrape
+	// the actual address. The address stays in the message (no attrs) so
+	// the existing "listening on " sed extraction keeps working in both
+	// log formats' text form.
+	log.Info(fmt.Sprintf("listening on http://%s", l.Addr()))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -107,19 +134,40 @@ func main() {
 	select {
 	case <-ctx.Done():
 		stop() // a second signal kills the process the default way
-		fmt.Println("relief-serve: draining")
+		log.Info("draining")
 		dctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := s.Drain(dctx); err != nil {
 			fatal(err)
 		}
 		<-errCh // http.ErrServerClosed
-		fmt.Println("relief-serve: stopped")
+		log.Info("stopped")
 	case err := <-errCh:
 		if err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}
 	}
+}
+
+// startDebugServer serves net/http/pprof on its own listener, kept apart
+// from the service mux so profiling is never exposed on the service port.
+func startDebugServer(log *slog.Logger, addr string) {
+	dl, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("opening -debug-addr: %w", err))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Info(fmt.Sprintf("debug listening on http://%s", dl.Addr()))
+	go func() {
+		if err := http.Serve(dl, mux); err != nil {
+			log.Warn("debug server stopped", "err", err.Error())
+		}
+	}()
 }
 
 func fatal(err error) {

@@ -31,6 +31,7 @@ import (
 
 	"relief/internal/exp"
 	"relief/internal/serve"
+	"relief/internal/svctrace"
 )
 
 // maxPasses bounds how many full rounds over the replica list the client
@@ -120,10 +121,14 @@ type sweeper struct {
 	total    int // grid size from the stream header; -1 until seen
 	quiet    bool
 	bySource map[string]int
+	// traceID is the sweep's one distributed trace ID, minted client-side
+	// and sent as X-Relief-Trace on every attempt, so one failed-over sweep
+	// correlates across every coordinator's logs and GET /trace/{id} docs.
+	traceID string
 }
 
 func newSweeper(quiet bool) *sweeper {
-	return &sweeper{have: map[string]exp.Cell{}, total: -1, quiet: quiet, bySource: map[string]int{}}
+	return &sweeper{have: map[string]exp.Cell{}, total: -1, quiet: quiet, bySource: map[string]int{}, traceID: svctrace.NewID()}
 }
 
 // complete reports whether every grid cell has landed.
@@ -145,6 +150,9 @@ func (sw *sweeper) cells() []exp.Cell {
 // every cell has landed.
 func fleetSweep(ctx context.Context, replicas []string, body []byte, quiet bool) ([]exp.Cell, error) {
 	sw := newSweeper(quiet)
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "relief-sweep: trace %s\n", sw.traceID)
+	}
 	var lastErr error
 	for pass := 0; pass < maxPasses; pass++ {
 		for _, replica := range replicas {
@@ -161,8 +169,8 @@ func fleetSweep(ctx context.Context, replicas []string, body []byte, quiet bool)
 			}
 			if err != nil {
 				lastErr = err
-				fmt.Fprintf(os.Stderr, "relief-sweep: %s: %v — %d/%d cells held, resuming on next replica\n",
-					replica, err, len(sw.have), sw.total)
+				fmt.Fprintf(os.Stderr, "relief-sweep: %s: %v — %d/%d cells held, resuming on next replica (trace %s)\n",
+					replica, err, len(sw.have), sw.total, sw.traceID)
 				continue
 			}
 			if len(sw.have) == before {
@@ -188,6 +196,7 @@ func (sw *sweeper) stream(ctx context.Context, replica string, body []byte) erro
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(svctrace.Header, sw.traceID)
 	resp, err := sweepClient.Do(req)
 	if err != nil {
 		return err
@@ -222,7 +231,10 @@ func (sw *sweeper) stream(ctx context.Context, replica string, body []byte) erro
 			seen++
 			if l.Error != "" {
 				cellErrs++
-				fmt.Fprintf(os.Stderr, "relief-sweep: cell %d (%.12s) failed: %s (will retry)\n", *l.Index, l.Digest, l.Error)
+				// The replica URL and trace ID name which coordinator's logs
+				// (and GET /trace/{id} doc) explain this cell's failure.
+				fmt.Fprintf(os.Stderr, "relief-sweep: cell %d (%.12s) failed on %s: %s (will retry, trace %s)\n",
+					*l.Index, l.Digest, replica, l.Error, sw.traceID)
 				continue
 			}
 			if l.Result == nil || l.Result.Cell == nil {

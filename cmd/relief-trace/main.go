@@ -6,16 +6,25 @@
 //
 // It prints the schedule trace for a chosen policy and a comparison table
 // across all policies.
+//
+// With -serve-trace it instead renders a relief-svctrace/1 service-trace
+// document (GET /trace/{id} from relief-serve) as one timeline: the serving
+// pipeline's wall-clock stage spans on a "service" lane alongside the
+// kernel-level simulation events the request recorded, in the same Chrome
+// trace-event or text formats.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 
 	"relief"
+	"relief/internal/svctrace"
 	"relief/internal/trace"
 )
 
@@ -63,7 +72,16 @@ func main() {
 	out := flag.String("o", "", "also record a full event timeline for the traced policy and write it here (.json = Chrome trace-event format, else text)")
 	kinds := flag.String("kinds", "", "comma-separated event kinds to keep in -o output (e.g. compute,forward); empty = all")
 	maxEvents := flag.Int("max-events", 0, "cap recorded trace events (0 = unbounded); dropped events are counted and reported")
+	serveTrace := flag.String("serve-trace", "", `render a relief-svctrace/1 document from this file ("-" = stdin) instead of the built-in example`)
 	flag.Parse()
+
+	if *serveTrace != "" {
+		if err := renderServiceTrace(*serveTrace, *out, *kinds); err != nil {
+			fmt.Fprintf(os.Stderr, "relief-trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Println("Motivating example: three 4-node chains on one elem-matrix accelerator")
 	fmt.Println()
@@ -138,5 +156,56 @@ func writeTimeline(rec *relief.TraceRecorder, path, kindsCSV string) error {
 		msg += fmt.Sprintf(" (%d dropped at the recorder cap)", d)
 	}
 	fmt.Println(msg)
+	return nil
+}
+
+// renderServiceTrace reads a relief-svctrace/1 document (as served by GET
+// /trace/{id}) and writes its combined service + kernel timeline: Chrome
+// trace-event JSON when the destination ends in .json, text otherwise,
+// stdout when -o is empty.
+func renderServiceTrace(src, dst, kindsCSV string) error {
+	var data []byte
+	var err error
+	if src == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return err
+	}
+	var doc svctrace.Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("parsing service trace: %w", err)
+	}
+	if doc.Schema != svctrace.Schema {
+		return fmt.Errorf("unexpected schema %q (want %s)", doc.Schema, svctrace.Schema)
+	}
+	events := doc.Events()
+	if kindsCSV != "" {
+		ks, err := trace.ParseKinds(kindsCSV)
+		if err != nil {
+			return err
+		}
+		events = trace.Filter(events, ks...)
+	}
+	if dst == "" {
+		return trace.WriteTextEvents(os.Stdout, events)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(dst, ".json") {
+		err = trace.WriteChromeEvents(f, events)
+	} else {
+		err = trace.WriteTextEvents(f, events)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s: %d spans + %d kernel events → %d timeline events written to %s\n",
+		doc.TraceID, len(doc.Spans), len(doc.KernelEvents), len(events), dst)
 	return nil
 }

@@ -1,7 +1,7 @@
 // Package lint implements relief-lint: project-specific static analyzers
 // that enforce the simulator's determinism, hot-path, and API invariants.
 //
-// The six analyzers (see docs/LINTING.md for the full contract):
+// The seven analyzers (see docs/LINTING.md for the full contract):
 //
 //   - nodeterm:  no wall-clock time or unseeded global randomness in
 //     simulation packages — runs must be bit-for-bit reproducible.
@@ -19,6 +19,9 @@
 //     per-attempt context deadline — no http.Get, no http.DefaultClient,
 //     no context-free requests; slow peers must trip breakers, not wedge
 //     request goroutines.
+//   - svcimport: only the serving layer (internal/serve, cmd/*) may
+//     import internal/svctrace — wall-clock service tracing never leaks
+//     into simulation packages.
 //
 // A finding can be suppressed with a directive comment on the same line
 // or the line directly above:
@@ -46,7 +49,7 @@ const modulePath = "relief"
 
 // All returns the full analyzer suite in stable order.
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{NoDeterm, MapOrder, HotAlloc, NoPanic, WeakEvent, PeerCtx}
+	return []*analysis.Analyzer{NoDeterm, MapOrder, HotAlloc, NoPanic, WeakEvent, PeerCtx, SvcImport}
 }
 
 // Finding is one reported, non-suppressed diagnostic.

@@ -35,6 +35,12 @@ func TestPeerCtx(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.PeerCtx, "relief/internal/serve")
 }
 
+// TestSvcImport checks both sides of the import fence: the sim fixture's
+// svctrace import is flagged, the cmd fixture's identical import is not.
+func TestSvcImport(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.SvcImport, "relief/internal/sim", "relief/cmd/relief-serve")
+}
+
 // TestSuiteCleanOnRealKernel runs the whole suite over the real event
 // kernel package through the production loader: the annotated hot paths
 // and their //lint:allow opt-outs must lint clean, which also exercises

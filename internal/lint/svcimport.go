@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+
+	"relief/internal/lint/analysis"
+)
+
+// svcImportPkg is the wall-clock service-tracing package whose spread this
+// analyzer bounds.
+const svcImportPkg = "internal/svctrace"
+
+// svcImportAllowed lists the module-relative packages permitted to import
+// internal/svctrace directly. Everything under cmd/ is also allowed (CLIs
+// run on wall clock by nature); every other package — and in particular
+// every simulation package — is not.
+var svcImportAllowed = []string{
+	"internal/svctrace", "internal/serve",
+}
+
+// SvcImport keeps wall-clock service tracing out of the simulator:
+// internal/svctrace spans are real-time (time.Now durations, crypto/rand
+// IDs), so any simulation package importing it would put wall-clock state
+// one call away from the deterministic sim path. Only the serving layer
+// (internal/serve) and the CLIs may import it.
+var SvcImport = &analysis.Analyzer{
+	Name: "svcimport",
+	Doc: "forbid importing relief/internal/svctrace outside the serving layer; " +
+		"wall-clock tracing stays out of simulation packages",
+	Run: runSvcImport,
+}
+
+func runSvcImport(pass *analysis.Pass) error {
+	path := pass.Pkg.Path()
+	if pkgIn(path, svcImportAllowed...) ||
+		strings.HasPrefix(path, modulePath+"/cmd/") || strings.HasPrefix(path, "cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == modulePath+"/"+svcImportPkg {
+				pass.Reportf(imp.Pos(),
+					"package %s imports %s: wall-clock service tracing is restricted to "+
+						"internal/serve and cmd/* so simulated time stays the only clock on the sim path",
+					path, p)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,9 @@
+// svcimport fixture, allowed side: cmd/* packages run on wall clock by
+// nature, so importing the service-tracing package draws no diagnostic.
+package main
+
+import (
+	_ "relief/internal/svctrace"
+)
+
+func main() {}

@@ -3,6 +3,10 @@
 // method calls against the real receiver type and package path.
 package sim
 
+import (
+	_ "relief/internal/svctrace" // want `package relief/internal/sim imports relief/internal/svctrace`
+)
+
 // Time mirrors the simulation timestamp type.
 type Time int64
 

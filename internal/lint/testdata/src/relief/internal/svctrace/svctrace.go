@@ -1,0 +1,7 @@
+// Package svctrace is a fixture stub of relief/internal/svctrace: just the
+// package path matters — the svcimport analyzer flags any import of it from
+// outside the serving layer.
+package svctrace
+
+// Header mirrors the trace-propagation header name.
+const Header = "X-Relief-Trace"

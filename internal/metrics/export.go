@@ -178,8 +178,24 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		} {
 			fmt.Fprintf(&b, "%s %s\n", withLabel(h.name, "quantile", q.label), fmtFloat(q.v))
 		}
-		fmt.Fprintf(&b, "%s_sum %s\n", h.name, fmtFloat(h.Sum()))
-		fmt.Fprintf(&b, "%s_count %d\n", h.name, h.Count())
+		fmt.Fprintf(&b, "%s %s\n", suffixed(h.name, "_sum"), fmtFloat(h.Sum()))
+		fmt.Fprintf(&b, "%s %d\n", suffixed(h.name, "_count"), h.Count())
+	}
+	lastFamily = ""
+	for _, h := range r.sortedBucketHists() {
+		fam := familyOf(h.name)
+		if fam != lastFamily {
+			lastFamily = fam
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", fam, h.help, fam)
+		}
+		var cum uint64
+		for i, ub := range h.bounds {
+			cum += h.counts[i]
+			fmt.Fprintf(&b, "%s %d\n", withLabel(suffixed(h.name, "_bucket"), "le", fmtFloat(ub)), cum)
+		}
+		fmt.Fprintf(&b, "%s %d\n", withLabel(suffixed(h.name, "_bucket"), "le", "+Inf"), h.count)
+		fmt.Fprintf(&b, "%s %s\n", suffixed(h.name, "_sum"), fmtFloat(h.sum))
+		fmt.Fprintf(&b, "%s %d\n", suffixed(h.name, "_count"), h.count)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
@@ -195,10 +211,69 @@ func familyOf(name string) string {
 	return name
 }
 
+// EscapeLabelValue escapes a label value per the Prometheus text exposition
+// format: exactly backslash, double-quote, and line-feed are escaped —
+// nothing else. (strconv.Quote is not spec-conformant here: it would also
+// escape tabs, control bytes, and non-ASCII runes, which Prometheus expects
+// raw.)
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// Label renders a metric name with baked-in labels, escaping values per the
+// exposition spec: Label("x", "peer", u) -> `x{peer="..."}`. kvs alternate
+// key, value; keys must already be valid label names.
+func Label(name string, kvs ...string) string {
+	if len(kvs) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kvs); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kvs[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kvs[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 // withLabel appends (or merges) one label into a possibly-labelled name.
 func withLabel(name, key, val string) string {
+	esc := `"` + EscapeLabelValue(val) + `"`
 	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
-		return name[:len(name)-1] + "," + key + "=" + strconv.Quote(val) + "}"
+		return name[:len(name)-1] + "," + key + "=" + esc + "}"
 	}
-	return name + "{" + key + "=" + strconv.Quote(val) + "}"
+	return name + "{" + key + "=" + esc + "}"
+}
+
+// suffixed inserts a family suffix before a baked-in label set:
+// suffixed(`x{peer="p"}`, "_sum") -> `x_sum{peer="p"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
 }

@@ -1,6 +1,9 @@
 package metrics
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // histBuckets is the number of power-of-two buckets. Bucket 0 covers
 // (-inf, 1]; bucket i covers (2^(i-1), 2^i]. 64 buckets span every value a
@@ -88,6 +91,58 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return h.sum / float64(h.count)
+}
+
+// BucketHistogram is an explicit-bounds histogram exported in Prometheus
+// TYPE histogram form: cumulative `_bucket{le="..."}` series plus `_sum`
+// and `_count`. Unlike Histogram (log-2 sketch exported as a summary), the
+// bucket bounds are chosen by the caller — the serving layer uses
+// latency-tuned millisecond bounds for its per-stage histograms. It lives
+// in the Prometheus exposition only: WriteJSON/WriteCSV ignore it, so the
+// relief-metrics/1 golden digests are unaffected. Methods are no-ops on a
+// nil receiver.
+type BucketHistogram struct {
+	name, help string
+	bounds     []float64 // sorted upper bounds, exclusive of +Inf
+	counts     []uint64  // len(bounds)+1; last is the +Inf overflow
+	count      uint64
+	sum        float64
+}
+
+// Name returns the histogram's registered name.
+func (h *BucketHistogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// Observe records one value into its (non-cumulative) bucket; export
+// accumulates.
+func (h *BucketHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i]++
+}
+
+// Count returns the number of observations.
+func (h *BucketHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *BucketHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
 }
 
 // Quantile estimates the q-quantile (q in [0,1]): the upper bound of the

@@ -78,10 +78,12 @@ func (g *Gauge) Set(v float64) {
 type Registry struct {
 	policy string
 
-	metrics    []*metric
-	byName     map[string]*metric
-	hists      []*Histogram
-	histByName map[string]*Histogram
+	metrics     []*metric
+	byName      map[string]*metric
+	hists       []*Histogram
+	histByName  map[string]*Histogram
+	bhists      []*BucketHistogram
+	bhistByName map[string]*BucketHistogram
 
 	// Probe time series: cols is the column snapshot taken at the first
 	// sample, rows one value slice per probe tick.
@@ -101,8 +103,9 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		byName:     make(map[string]*metric),
-		histByName: make(map[string]*Histogram),
+		byName:      make(map[string]*metric),
+		histByName:  make(map[string]*Histogram),
+		bhistByName: make(map[string]*BucketHistogram),
 	}
 }
 
@@ -189,6 +192,40 @@ func (r *Registry) Histogram(name, help string) *Histogram {
 	h := &Histogram{name: name, help: help}
 	r.hists = append(r.hists, h)
 	r.histByName[name] = h
+	return h
+}
+
+// BucketHistogram registers (or fetches) an explicit-bounds histogram
+// exported in Prometheus TYPE histogram form (export only: it never
+// appears in the JSON/CSV documents, so golden digests are unaffected).
+// bounds must be sorted ascending; a +Inf overflow bucket is implicit.
+// Re-registering a name with different bounds is a programmer error.
+func (r *Registry) BucketHistogram(name, help string, bounds []float64) *BucketHistogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.bhistByName[name]; ok {
+		if len(h.bounds) != len(bounds) {
+			panic(fmt.Sprintf("metrics: %s re-registered with different bounds", name))
+		}
+		for i := range bounds {
+			if h.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("metrics: %s re-registered with different bounds", name))
+			}
+		}
+		return h
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("metrics: %s bucket bounds not sorted", name))
+	}
+	h := &BucketHistogram{
+		name:   name,
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.bhists = append(r.bhists, h)
+	r.bhistByName[name] = h
 	return h
 }
 
@@ -284,6 +321,15 @@ func (r *Registry) sortedMetrics() []*metric {
 func (r *Registry) sortedHists() []*Histogram {
 	hs := make([]*Histogram, len(r.hists))
 	copy(hs, r.hists)
+	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
+	return hs
+}
+
+// sortedBucketHists returns the registered bucket histograms ordered by
+// name.
+func (r *Registry) sortedBucketHists() []*BucketHistogram {
+	hs := make([]*BucketHistogram, len(r.bhists))
+	copy(hs, r.bhists)
 	sort.Slice(hs, func(i, j int) bool { return hs[i].name < hs[j].name })
 	return hs
 }

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"relief/internal/svctrace"
 )
 
 // forwardHeader marks a request already forwarded once by a peer; the
@@ -34,6 +36,18 @@ const (
 	peerMiss
 	peerFail
 )
+
+// String names an outcome for span events and log records.
+func (o peerOutcome) String() string {
+	switch o {
+	case peerOK:
+		return "ok"
+	case peerMiss:
+		return "miss"
+	default:
+		return "fail"
+	}
+}
 
 // cluster is one replica's view of the fleet: its own advertised base URL,
 // its peers, the consistent-hash ring that places every digest on exactly
@@ -77,7 +91,15 @@ func (s *Server) ConfigureCluster(self string, peers []string) {
 	bc := breakerConfig{threshold: s.cfg.BreakerThreshold}
 	health := make(map[string]*peerHealth, len(ps))
 	for _, p := range ps {
-		health[p] = newPeerHealth(p, bc, time.Now)
+		h := newPeerHealth(p, bc, time.Now)
+		peer := p
+		h.notify = func(from, to int32) {
+			s.log.Warn("breaker state change",
+				"peer", peer,
+				"from", breakerStateName(from),
+				"to", breakerStateName(to))
+		}
+		health[p] = h
 	}
 	c := &cluster{
 		self:   self,
@@ -97,12 +119,15 @@ func (s *Server) ConfigureCluster(self string, peers []string) {
 // bounded by a per-attempt context deadline that never triggers a
 // simulation. A 404 is a healthy miss; a transport error, timeout, 5xx,
 // or garbled body is a failure (breaker food).
-func (c *cluster) probeResult(peer, key string) (*Result, peerOutcome) {
+func (c *cluster) probeResult(peer, key, traceID string) (*Result, peerOutcome) {
 	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/result/"+key, nil)
 	if err != nil {
 		return nil, peerFail
+	}
+	if traceID != "" {
+		hreq.Header.Set(svctrace.Header, traceID)
 	}
 	resp, err := c.client.Do(hreq)
 	if err != nil {
@@ -131,7 +156,7 @@ func (c *cluster) probeResult(peer, key string) (*Result, peerOutcome) {
 // any other refusal (draining, overloaded) is healthy — in every non-OK
 // case the caller degrades to local execution, so a peer going down costs
 // duplicated work, never a failed request.
-func (c *cluster) forward(owner string, req Request) ([]byte, peerOutcome) {
+func (c *cluster) forward(owner string, req Request, traceID string) ([]byte, peerOutcome) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, peerMiss // our bug, not the peer's: no breaker penalty
@@ -144,6 +169,9 @@ func (c *cluster) forward(owner string, req Request) ([]byte, peerOutcome) {
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set(forwardHeader, "1")
+	if traceID != "" {
+		hreq.Header.Set(svctrace.Header, traceID)
+	}
 	resp, err := c.client.Do(hreq)
 	if err != nil {
 		return nil, peerFail
@@ -171,10 +199,15 @@ func (c *cluster) forward(owner string, req Request) ([]byte, peerOutcome) {
 // skips the network entirely; a probe that failed at the transport level
 // skips the forward (the owner is down — one fast failure, not two slow
 // ones).
-func (s *Server) routeToOwner(cl *cluster, owner, key string, req Request) (res *Result, relay []byte, src string) {
+func (s *Server) routeToOwner(tr *svctrace.Trace, cl *cluster, owner, key string, req Request) (res *Result, relay []byte, src string) {
 	pc := s.svc.peer(owner)
 	h := cl.health[owner]
 	if h != nil && !h.allow() {
+		sp := tr.StartSpan(stageBreaker)
+		sp.Set("peer", owner)
+		sp.Set("digest", key)
+		sp.Event("state", breakerStateName(h.stateG.Load()))
+		s.endSpan(stageBreaker, sp)
 		pc.fastFails.Add(1)
 		return nil, nil, ""
 	}
@@ -188,8 +221,13 @@ func (s *Server) routeToOwner(cl *cluster, owner, key string, req Request) (res 
 			h.success()
 		}
 	}
-	res, o := cl.probeResult(owner, key)
+	sp := tr.StartSpan(stageProbe)
+	sp.Set("peer", owner)
+	sp.Set("digest", key)
+	res, o := cl.probeResult(owner, key, tr.ID())
 	report(o)
+	sp.Event("outcome", o.String())
+	s.endSpan(stageProbe, sp)
 	if o == peerOK {
 		pc.hits.Add(1)
 		return res, nil, srcPeer
@@ -198,8 +236,13 @@ func (s *Server) routeToOwner(cl *cluster, owner, key string, req Request) (res 
 	if o == peerFail {
 		return nil, nil, "" // owner down: don't pay for a doomed forward
 	}
-	relay, o = cl.forward(owner, req)
+	fsp := tr.StartSpan(stageForward)
+	fsp.Set("peer", owner)
+	fsp.Set("digest", key)
+	relay, o = cl.forward(owner, req, tr.ID())
 	report(o)
+	fsp.Event("outcome", o.String())
+	s.endSpan(stageForward, fsp)
 	if o == peerOK {
 		pc.forwarded.Add(1)
 		return nil, relay, srcForward

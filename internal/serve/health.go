@@ -80,6 +80,11 @@ type peerHealth struct {
 	opens atomic.Int64
 	// probes counts half-open probe grants (retries after backoff).
 	probes atomic.Int64
+
+	// notify, when set (before the breaker takes traffic), observes every
+	// state transition — ConfigureCluster hooks it to the structured log.
+	// Called under mu with the pre-transition state.
+	notify func(from, to int32)
 }
 
 func newPeerHealth(peer string, cfg breakerConfig, now func() time.Time) *peerHealth {
@@ -158,6 +163,9 @@ func (h *peerHealth) open() {
 }
 
 func (h *peerHealth) setState(s int32) {
+	if h.state != s && h.notify != nil {
+		h.notify(h.state, s)
+	}
 	h.state = s
 	h.stateG.Store(s)
 }

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"io"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -32,9 +31,10 @@ type serviceMetrics struct {
 	// traffic, read-only afterwards.
 	peers map[string]*peerCounters
 
-	mu  sync.Mutex
-	reg *metrics.Registry
-	lat *metrics.Histogram
+	mu     sync.Mutex
+	reg    *metrics.Registry
+	lat    *metrics.Histogram
+	stages map[string]*metrics.BucketHistogram
 }
 
 // peerCounters tracks one peer's share of cluster traffic: cache probes
@@ -77,7 +77,7 @@ func (m *serviceMetrics) registerPeers(peers []string, health map[string]*peerHe
 	for _, p := range peers {
 		pc := &peerCounters{}
 		m.peers[p] = pc
-		label := "{peer=" + strconv.Quote(p) + "}"
+		label := "{peer=\"" + metrics.EscapeLabelValue(p) + "\"}"
 		m.reg.CounterFunc("relief_serve_peer_hits_total"+label,
 			"Peer cache probes answered from this peer's result cache.", count(&pc.hits))
 		m.reg.CounterFunc("relief_serve_peer_misses_total"+label,
@@ -124,7 +124,10 @@ func (m *serviceMetrics) registerDisk(d *diskCache) {
 }
 
 func newServiceMetrics(cacheLen func() int) *serviceMetrics {
-	m := &serviceMetrics{cacheLen: cacheLen}
+	m := &serviceMetrics{
+		cacheLen: cacheLen,
+		stages:   make(map[string]*metrics.BucketHistogram),
+	}
 	r := metrics.NewRegistry()
 	count := func(v *atomic.Int64) func() float64 {
 		return func() float64 { return float64(v.Load()) }
@@ -156,6 +159,24 @@ func newServiceMetrics(cacheLen func() int) *serviceMetrics {
 func (m *serviceMetrics) observeLatency(d time.Duration) {
 	m.mu.Lock()
 	m.lat.Observe(float64(d) / float64(time.Millisecond))
+	m.mu.Unlock()
+}
+
+// observeStage feeds one pipeline-stage duration into its per-stage
+// bucketed latency histogram (`relief_serve_stage_latency_ms{stage=...}`),
+// registering the stage's series on first use. The registry is not itself
+// thread-safe, so registration and observation stay under mu.
+func (m *serviceMetrics) observeStage(stage string, d time.Duration) {
+	m.mu.Lock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = m.reg.BucketHistogram(
+			metrics.Label("relief_serve_stage_latency_ms", "stage", stage),
+			"Wall-clock latency of one serving pipeline stage, labelled by stage (admission, cache, disk, probe, forward, breaker, run, stream), in milliseconds.",
+			stageBounds)
+		m.stages[stage] = h
+	}
+	h.Observe(float64(d) / float64(time.Millisecond))
 	m.mu.Unlock()
 }
 

@@ -54,6 +54,14 @@ type Request struct {
 	// delivery knob, not part of the scenario: it is excluded from the
 	// digest, and deduplicated joiners share the first requester's budget.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace captures the kernel's simulated-time events for this request's
+	// distributed trace (GET /trace/{id} returns them alongside the
+	// wall-clock service spans). Like TimeoutMS it is a delivery knob,
+	// excluded from the digest: it changes what is recorded, never what is
+	// simulated, and joiners share the creating request's setting. Events
+	// are only captured when the request actually runs the kernel locally
+	// (source "run") — cache, disk, and peer answers have no kernel leg.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Normalize rewrites defaultable fields to their canonical spelling and

@@ -8,6 +8,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -16,6 +17,34 @@ import (
 type serveProc struct {
 	cmd  *exec.Cmd
 	base string // http://127.0.0.1:<port>
+
+	mu  sync.Mutex
+	out []string // every log line the process has emitted so far
+}
+
+// lines snapshots the process's log output so far.
+func (p *serveProc) lines() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.out...)
+}
+
+// listenAddr extracts the listen address from a startup line, in either
+// log format: the text handler's "relief-serve: listening on <url>" or the
+// JSON handler's {"msg":"listening on <url>", ...} record.
+func listenAddr(line string) string {
+	if rest, ok := strings.CutPrefix(line, "relief-serve: listening on "); ok {
+		return strings.TrimSpace(rest)
+	}
+	var rec struct {
+		Msg string `json:"msg"`
+	}
+	if strings.HasPrefix(line, "{") && json.Unmarshal([]byte(line), &rec) == nil {
+		if rest, ok := strings.CutPrefix(rec.Msg, "listening on "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
 }
 
 // startServeProc launches bin with the given extra flags and waits for its
@@ -47,8 +76,11 @@ func startServeProc(t *testing.T, bin string, args ...string) *serveProc {
 			if !ok {
 				t.Fatalf("relief-serve exited before listening")
 			}
-			if rest, found := strings.CutPrefix(line, "relief-serve: listening on "); found {
-				p.base = strings.TrimSpace(rest)
+			p.mu.Lock()
+			p.out = append(p.out, line)
+			p.mu.Unlock()
+			if addr := listenAddr(line); addr != "" {
+				p.base = addr
 			}
 		case <-deadline:
 			p.cmd.Process.Kill()
@@ -57,7 +89,10 @@ func startServeProc(t *testing.T, bin string, args ...string) *serveProc {
 	}
 	// Keep draining so the child never blocks on a full pipe.
 	go func() {
-		for range lines {
+		for line := range lines {
+			p.mu.Lock()
+			p.out = append(p.out, line)
+			p.mu.Unlock()
 		}
 	}()
 	return p
@@ -129,8 +164,32 @@ func TestCrashRestartWarmStart(t *testing.T) {
 	before := getResult(t, p1.base, digest)
 	p1.kill(t)
 
-	p2 := startServeProc(t, bin, "-cache-dir", cacheDir)
+	// The restarted replica logs as JSON so the restore count can be
+	// asserted as a structured attribute rather than parsed out of prose.
+	p2 := startServeProc(t, bin, "-cache-dir", cacheDir, "-log-format", "json")
 	defer p2.kill(t)
+
+	var restored *int
+	for _, line := range p2.lines() {
+		var rec struct {
+			Msg      string `json:"msg"`
+			Dir      string `json:"dir"`
+			Restored *int   `json:"restored"`
+		}
+		if json.Unmarshal([]byte(line), &rec) != nil || rec.Restored == nil {
+			continue
+		}
+		if rec.Dir != cacheDir {
+			t.Errorf("restore record dir = %q, want %q", rec.Dir, cacheDir)
+		}
+		restored = rec.Restored
+	}
+	if restored == nil {
+		t.Errorf("no structured restore record in restart logs:\n%s", strings.Join(p2.lines(), "\n"))
+	} else if *restored != 1 {
+		t.Errorf("restore record restored = %d, want 1", *restored)
+	}
+
 	resp, b = post(t, p2.base, body)
 	src, _ := decodeEnvelope(t, b)
 	if resp.StatusCode != http.StatusOK || src != srcDisk {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
@@ -14,6 +15,8 @@ import (
 
 	"relief/internal/exp"
 	"relief/internal/metrics"
+	"relief/internal/svctrace"
+	"relief/internal/trace"
 )
 
 // Config sizes the service. Zero values select defaults.
@@ -39,6 +42,13 @@ type Config struct {
 	// BreakerThreshold is the number of consecutive peer failures that
 	// opens a peer's circuit breaker (default 3).
 	BreakerThreshold int
+	// Logger receives the service's structured records (access logs,
+	// breaker transitions). nil discards them — library users and tests
+	// stay quiet by default.
+	Logger *slog.Logger
+	// TraceCap bounds the finished-trace store backing GET /trace/{id}
+	// (default svctrace.DefaultStoreCap).
+	TraceCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +93,11 @@ type Result struct {
 type response struct {
 	Cached bool   `json:"cached"`
 	Source string `json:"source,omitempty"`
+	// TraceID names the request's distributed trace — GET /trace/{id} on
+	// the replica that served it returns the span document. Forwarded
+	// requests relay the owner's envelope, whose trace ID is the same
+	// (propagated via X-Relief-Trace), so the ID is valid on both sides.
+	TraceID string `json:"trace_id,omitempty"`
 	*Result
 }
 
@@ -103,14 +118,26 @@ type flight struct {
 	res     *Result
 	err     error
 	waiters int
+
+	// Wall-clock trace timing, written by submit (enqueueAt) and the
+	// worker (startAt, runDur) before done closes; waiters read after done
+	// and copy the admission/run spans into their own traces. rec captures
+	// the kernel's simulated-time events when the creating request asked
+	// for them ("trace": true).
+	enqueueAt time.Time
+	startAt   time.Time
+	runDur    time.Duration
+	rec       *trace.Recorder
 }
 
 // Server is the simulation service. Create with New, expose via Handler
 // (or Serve), stop with Drain.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
-	svc *serviceMetrics
+	cfg    Config
+	mux    *http.ServeMux
+	svc    *serviceMetrics
+	log    *slog.Logger
+	traces *svctrace.Store
 
 	// runner executes one simulation; tests stub it to observe scheduling
 	// behavior without paying for real runs.
@@ -142,9 +169,14 @@ func New(cfg Config) *Server {
 		flights: make(map[string]*flight),
 		drainCh: make(chan struct{}),
 		runner:  runSimulation,
+		traces:  svctrace.NewStore(cfg.TraceCap),
+		log:     cfg.Logger,
 	}
 	if s.cfg.Runner != nil {
 		s.runner = s.cfg.Runner
+	}
+	if s.log == nil {
+		s.log = svctrace.Discard()
 	}
 	s.jobs = make(chan *flight, s.cfg.QueueCap)
 	s.svc = newServiceMetrics(func() int {
@@ -160,6 +192,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /result/{digest}", s.handleResult)
 	s.mux.HandleFunc("GET /owner/{digest}", s.handleOwner)
+	s.mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
@@ -207,19 +240,33 @@ func (s *Server) storeResult(key string, res *Result) {
 
 // cachedResult answers key from the memory LRU or, on a miss, from the
 // spill directory (read-through: a verified disk load is promoted into
-// the LRU). The returned source is srcCache or srcDisk.
-func (s *Server) cachedResult(key string) (*Result, string, bool) {
+// the LRU). The returned source is srcCache or srcDisk. The lookup records
+// cache/disk spans on tr (nil = untraced) and feeds the per-stage latency
+// histograms.
+func (s *Server) cachedResult(tr *svctrace.Trace, key string) (*Result, string, bool) {
+	sp := tr.StartSpan(stageCache)
+	sp.Set("digest", key)
 	s.mu.Lock()
 	res, ok := s.cache.get(key)
 	d := s.disk
 	s.mu.Unlock()
+	if ok {
+		sp.Event("source", "mem")
+	}
+	s.endSpan(stageCache, sp)
 	if ok {
 		return res, srcCache, true
 	}
 	if d == nil {
 		return nil, "", false
 	}
+	dsp := tr.StartSpan(stageDisk)
+	dsp.Set("digest", key)
 	res, ok = d.load(key)
+	if ok {
+		dsp.Event("source", "disk")
+	}
+	s.endSpan(stageDisk, dsp)
 	if !ok {
 		return nil, "", false
 	}
@@ -228,6 +275,16 @@ func (s *Server) cachedResult(key string) (*Result, string, bool) {
 	s.mu.Unlock()
 	d.remove(evicted...)
 	return res, srcDisk, true
+}
+
+// endSpan closes a span and feeds its stage's latency histogram. Nil spans
+// (untraced callers) produce no sample.
+func (s *Server) endSpan(stage string, sp *svctrace.Span) time.Duration {
+	d := sp.End()
+	if sp != nil {
+		s.svc.observeStage(stage, d)
+	}
+	return d
 }
 
 // Serve accepts connections on l until Drain is called.
@@ -284,7 +341,17 @@ func (s *Server) worker() {
 		s.svc.queueDepth.Add(-1)
 		s.svc.running.Add(1)
 		start := time.Now()
-		res, err := s.runner(fl.ctx, fl.request)
+		// Stage timing is recorded once per execution here (not per
+		// waiter): admission covers enqueue to pickup, run the kernel.
+		fl.startAt = start
+		s.svc.observeStage(stageAdmission, start.Sub(fl.enqueueAt))
+		ctx := fl.ctx
+		if fl.rec != nil {
+			ctx = withRecorder(ctx, fl.rec)
+		}
+		res, err := s.runner(ctx, fl.request)
+		fl.runDur = time.Since(start)
+		s.svc.observeStage(stageRun, fl.runDur)
 		if res != nil {
 			res.Digest = fl.key
 		}
@@ -321,33 +388,48 @@ var (
 )
 
 // handleRun admits, deduplicates, cache-serves, or (cluster mode) routes
-// one simulation request to the digest's ring owner.
+// one simulation request to the digest's ring owner. Every request runs
+// under a trace (joined from X-Relief-Trace or freshly minted) whose spans
+// record each rung of the ladder.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	tr := s.beginTrace(w, r)
+	defer s.finishTrace(tr, "/run")
+	key := ""
+	fail := func(status int, err error) {
+		tr.SetResult(key, "", status)
+		s.writeError(w, status, err)
+	}
+	serve := func(env response) {
+		env.TraceID = tr.ID()
+		tr.SetResult(key, env.Source, http.StatusOK)
+		s.writeJSON(w, http.StatusOK, env)
+	}
+
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		fail(http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
 	if err := req.Normalize(); err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		fail(http.StatusBadRequest, err)
 		return
 	}
-	key := req.Digest()
+	key = req.Digest()
 	s.svc.requests.Add(1)
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, errDraining)
+		fail(http.StatusServiceUnavailable, errDraining)
 		return
 	}
 	s.mu.Unlock()
-	if res, src, ok := s.cachedResult(key); ok {
+	if res, src, ok := s.cachedResult(tr, key); ok {
 		s.svc.hits.Add(1)
-		s.writeJSON(w, http.StatusOK, response{Cached: true, Source: src, Result: res})
+		serve(response{Cached: true, Source: src, Result: res})
 		return
 	}
 	s.mu.Lock()
@@ -361,12 +443,15 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// execution below.
 	if cl != nil && r.Header.Get(forwardHeader) == "" {
 		if owner := cl.ring.owner(key); owner != cl.self {
-			res, relay, src := s.routeToOwner(cl, owner, key, req)
+			res, relay, src := s.routeToOwner(tr, cl, owner, key, req)
 			switch {
 			case res != nil:
-				s.writeJSON(w, http.StatusOK, response{Cached: false, Source: src, Result: res})
+				serve(response{Cached: false, Source: src, Result: res})
 				return
 			case relay != nil:
+				// The relayed envelope already carries the shared trace ID:
+				// the owner served this request under the ID we forwarded.
+				tr.SetResult(key, srcForward, http.StatusOK)
 				w.Header().Set("Content-Type", "application/json")
 				w.Header().Set(servedByHeader, owner)
 				w.WriteHeader(http.StatusOK)
@@ -387,24 +472,26 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		} else {
 			w.Header().Set("Retry-After", "5")
 		}
-		s.writeError(w, errStatus(err), err)
+		fail(errStatus(err), err)
 		return
 	case res != nil: // cache hit raced in between the fast path and submit
 		s.svc.hits.Add(1)
-		s.writeJSON(w, http.StatusOK, response{Cached: true, Source: srcCache, Result: res})
+		serve(response{Cached: true, Source: srcCache, Result: res})
 		return
 	}
 
 	select {
 	case <-fl.done:
+		attachFlightSpans(tr, fl)
 		if fl.err != nil {
-			s.writeError(w, errStatus(fl.err), fl.err)
+			fail(errStatus(fl.err), fl.err)
 			return
 		}
-		s.writeJSON(w, http.StatusOK, response{Cached: false, Source: srcRun, Result: fl.res})
+		serve(response{Cached: false, Source: srcRun, Result: fl.res})
 	case <-r.Context().Done():
 		// Client gone: release our claim; the last departing waiter
 		// cancels the simulation so an abandoned run stops mid-flight.
+		tr.SetResult(key, "", 499) // nginx's "client closed request"
 		s.abandon(fl)
 	}
 }
@@ -440,6 +527,15 @@ func (s *Server) submit(ctx context.Context, req Request, key string, block bool
 	fl := &flight{
 		key: key, request: req, ctx: fctx, cancel: cancel,
 		done: make(chan struct{}), waiters: 1,
+		enqueueAt: time.Now(),
+	}
+	if req.Trace {
+		// Capture the kernel's simulated-time events for the combined
+		// service+simulator timeline. Like TimeoutMS, the trace flag is a
+		// delivery knob excluded from the digest: joiners share whatever
+		// the flight's creator asked for.
+		fl.rec = trace.NewRecorder()
+		fl.rec.SetMaxEvents(maxKernelEvents)
 	}
 	if !block {
 		select {
@@ -502,7 +598,8 @@ func (s *Server) abandon(fl *flight) {
 // handleRun — local cache, peer probe, owner forward, local simulation
 // (blocking admission) — and reports where the answer came from.
 func (s *Server) executeCell(ctx context.Context, req Request, key string) (*Result, string, error) {
-	if res, src, ok := s.cachedResult(key); ok {
+	tr := traceFrom(ctx) // the sweep coordinator's trace; cell spans carry digest attrs
+	if res, src, ok := s.cachedResult(tr, key); ok {
 		s.svc.hits.Add(1)
 		return res, src, nil
 	}
@@ -512,7 +609,7 @@ func (s *Server) executeCell(ctx context.Context, req Request, key string) (*Res
 
 	if cl != nil {
 		if owner := cl.ring.owner(key); owner != cl.self {
-			res, relay, src := s.routeToOwner(cl, owner, key, req)
+			res, relay, src := s.routeToOwner(tr, cl, owner, key, req)
 			switch {
 			case res != nil:
 				return res, src, nil
@@ -536,6 +633,7 @@ func (s *Server) executeCell(ctx context.Context, req Request, key string) (*Res
 	}
 	select {
 	case <-fl.done:
+		attachFlightSpans(tr, fl)
 		if fl.err != nil {
 			return nil, "", fl.err
 		}
@@ -591,12 +689,16 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // keeps serving through drain — handing out finished results costs nothing
 // and spares the fleet a re-simulation.
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	tr := s.beginTrace(w, r)
+	defer s.finishTrace(tr, "/result")
 	key := r.PathValue("digest")
-	res, _, ok := s.cachedResult(key)
+	res, src, ok := s.cachedResult(tr, key)
 	if !ok {
+		tr.SetResult(key, "", http.StatusNotFound)
 		s.writeError(w, http.StatusNotFound, errors.New("serve: result not cached"))
 		return
 	}
+	tr.SetResult(key, src, http.StatusOK)
 	s.writeJSON(w, http.StatusOK, res)
 }
 
@@ -672,6 +774,12 @@ func runSimulation(ctx context.Context, req Request) (*Result, error) {
 		reg = metrics.NewRegistry()
 		sc.Metrics = reg
 	}
+	// A traced request records the kernel's simulated-time events through
+	// the standard recorder; the events join the wall-clock service spans
+	// in the trace document. Recording never perturbs the simulation
+	// (nil-safe recorder, no extra kernel events), so digests stay
+	// bit-identical.
+	sc.Trace = recorderFrom(ctx)
 	res, err := exp.RunContext(ctx, sc)
 	if err != nil {
 		return nil, err

@@ -177,16 +177,22 @@ type sweepTrailer struct {
 // either stream per-cell NDJSON or return one merged document identical to
 // a single-process sweep dump.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	tr := s.beginTrace(w, r)
+	defer s.finishTrace(tr, "/sweep")
+	fail := func(status int, err error) {
+		tr.SetResult("", "", status)
+		s.writeError(w, status, err)
+	}
 	var spec SweepSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
+		fail(http.StatusBadRequest, fmt.Errorf("decoding sweep spec: %w", err))
 		return
 	}
 	cells, err := spec.expand()
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		fail(http.StatusBadRequest, err)
 		return
 	}
 	s.mu.Lock()
@@ -195,7 +201,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	if draining {
 		w.Header().Set("Retry-After", "5")
-		s.writeError(w, http.StatusServiceUnavailable, errDraining)
+		fail(http.StatusServiceUnavailable, errDraining)
 		return
 	}
 
@@ -221,7 +227,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		res    *Result
 		err    error
 	}
-	ctx := r.Context()
+	// Every cell records its spans (cache/disk/probe/forward/admission/run,
+	// digest-attributed) into the sweep's one trace, so a slow sweep can be
+	// decomposed cell by cell from GET /trace/{id}.
+	ctx := withTrace(r.Context(), tr)
 	outCh := make(chan outcome)
 	sem := make(chan struct{}, parallel)
 	go func() {
@@ -241,6 +250,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	if spec.Stream {
+		ssp := tr.StartSpan(stageStream)
+		defer func() { s.endSpan(stageStream, ssp) }()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w) // compact: one JSON value per line
 		flusher, _ := w.(http.Flusher)
@@ -273,6 +284,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		flush()
+		tr.SetResult("", "", http.StatusOK)
 		return
 	}
 
@@ -292,9 +304,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if firstErr != nil {
-		s.writeError(w, errStatus(firstErr), firstErr)
+		fail(errStatus(firstErr), firstErr)
 		return
 	}
+	tr.SetResult("", "", http.StatusOK)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	if err := exp.WriteCells(w, merged); err != nil {

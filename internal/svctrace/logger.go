@@ -1,0 +1,98 @@
+package svctrace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// NewLogger builds the serving-layer logger. format selects the handler:
+//
+//   - "json": stdlib slog JSON records, one object per line — what the
+//     ci.sh tracing smoke and log pipelines consume.
+//   - "text" (default): legacy-compatible lines "<prefix>: <msg> k=v ...",
+//     so existing greps over relief-serve output keep working. Records at
+//     levels other than INFO carry a "level=..." attribute.
+//
+// prefix is the program name stamped on text lines ("relief-serve").
+func NewLogger(w io.Writer, format, prefix string) *slog.Logger {
+	if format == "json" {
+		return slog.New(slog.NewJSONHandler(w, nil))
+	}
+	return slog.New(&textHandler{w: w, prefix: prefix})
+}
+
+// Discard returns a logger that drops every record — the default when a
+// serve.Config carries no Logger, keeping library users and tests quiet.
+func Discard() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// textHandler renders "<prefix>: <msg> k=v ..." lines. It deliberately
+// omits timestamps: relief-serve has always logged bare lines, and smoke
+// scripts sed/grep them by exact prefix.
+type textHandler struct {
+	mu     sync.Mutex
+	w      io.Writer
+	prefix string
+	attrs  []slog.Attr
+}
+
+func (h *textHandler) Enabled(_ context.Context, _ slog.Level) bool { return true }
+
+func (h *textHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := &textHandler{w: h.w, prefix: h.prefix}
+	nh.attrs = append(append(nh.attrs, h.attrs...), attrs...)
+	return nh
+}
+
+// WithGroup flattens groups: the text form stays a single k=v namespace.
+func (h *textHandler) WithGroup(string) slog.Handler { return h }
+
+func (h *textHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if h.prefix != "" {
+		b.WriteString(h.prefix)
+		b.WriteString(": ")
+	}
+	b.WriteString(r.Message)
+	if r.Level != slog.LevelInfo {
+		fmt.Fprintf(&b, " level=%s", strings.ToLower(r.Level.String()))
+	}
+	for _, a := range h.attrs {
+		writeAttr(&b, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// writeAttr appends " k=v", quoting values that would break whitespace
+// tokenisation.
+func writeAttr(b *strings.Builder, a slog.Attr) {
+	v := a.Value.String()
+	b.WriteByte(' ')
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	if strings.ContainsAny(v, " \t\n\"=") {
+		fmt.Fprintf(b, "%q", v)
+	} else {
+		b.WriteString(v)
+	}
+}

@@ -1,0 +1,316 @@
+package svctrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+
+	"relief/internal/sim"
+	"relief/internal/trace"
+)
+
+func TestNewIDFormat(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 64; i++ {
+		id := NewID()
+		if !ValidID(id) {
+			t.Fatalf("NewID() = %q, not a valid trace ID", id)
+		}
+		if seen[id] {
+			t.Fatalf("NewID() repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidID(t *testing.T) {
+	cases := []struct {
+		id string
+		ok bool
+	}{
+		{strings.Repeat("a", 32), true},
+		{strings.Repeat("0", 32), true},
+		{"0123456789abcdef0123456789abcdef", true},
+		{"", false},
+		{strings.Repeat("a", 31), false},
+		{strings.Repeat("a", 33), false},
+		{strings.Repeat("A", 32), false},          // uppercase
+		{strings.Repeat("g", 32), false},          // non-hex
+		{strings.Repeat("a", 30) + "\r\n", false}, // header injection
+	}
+	for _, c := range cases {
+		if got := ValidID(c.id); got != c.ok {
+			t.Errorf("ValidID(%q) = %v, want %v", c.id, got, c.ok)
+		}
+	}
+}
+
+// TestNilSafety: every method must be callable through nil receivers so
+// call sites need no tracing-enabled branches.
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	var st *Store
+	sp := tr.StartSpan("cache")
+	sp.Set("k", "v")
+	sp.Event("source", "mem")
+	sp.Fail(errors.New("x"))
+	if d := sp.End(); d != 0 {
+		t.Errorf("nil span End() = %v, want 0", d)
+	}
+	tr.AddSpan("run", time.Now(), time.Millisecond)
+	tr.SetResult("d", "run", 200)
+	tr.AttachKernel([]trace.Event{{}})
+	tr.Finish()
+	if id := tr.ID(); id != "" {
+		t.Errorf("nil trace ID() = %q", id)
+	}
+	if doc := tr.Document(); doc.Schema != Schema || len(doc.Spans) != 0 {
+		t.Errorf("nil trace Document() = %+v", doc)
+	}
+	st.Add(New("x"))
+	if got := st.Get("x"); got != nil {
+		t.Errorf("nil store Get() = %v", got)
+	}
+	if n := st.Len(); n != 0 {
+		t.Errorf("nil store Len() = %d", n)
+	}
+}
+
+func TestDocumentSpans(t *testing.T) {
+	id := strings.Repeat("ab", 16)
+	tr := New(id)
+	s1 := tr.StartSpan("cache")
+	s1.Event("source", "mem")
+	s1.Set("digest", "deadbeef")
+	s1.End()
+	s2 := tr.StartSpan("probe")
+	s2.Set("peer", "http://peer:1")
+	s2.Fail(errors.New("connection refused"))
+	s2.End()
+	tr.AddSpan("admission", time.Now().Add(-time.Millisecond), time.Millisecond, "queue", "0")
+	tr.SetResult("deadbeef", "run", 200)
+	total := tr.Finish()
+
+	doc := tr.Document()
+	if doc.Schema != Schema || doc.TraceID != id {
+		t.Fatalf("doc header = %q %q", doc.Schema, doc.TraceID)
+	}
+	if doc.Digest != "deadbeef" || doc.Source != "run" || doc.Status != 200 {
+		t.Fatalf("doc result = %q %q %d", doc.Digest, doc.Source, doc.Status)
+	}
+	if len(doc.Spans) != 3 {
+		t.Fatalf("doc has %d spans, want 3", len(doc.Spans))
+	}
+	// Spans sorted by start offset: admission started ~1ms before the trace.
+	if doc.Spans[0].Stage != "admission" {
+		t.Errorf("first span = %q, want admission", doc.Spans[0].Stage)
+	}
+	var sum float64
+	byStage := map[string]SpanDoc{}
+	for _, s := range doc.Spans {
+		byStage[s.Stage] = s
+		if s.DurUS < 0 {
+			t.Errorf("span %s has negative duration %v", s.Stage, s.DurUS)
+		}
+		sum += s.DurUS
+	}
+	if got := byStage["cache"].Events; len(got) != 1 || got[0].Name != "source" || got[0].Value != "mem" {
+		t.Errorf("cache span events = %+v", got)
+	}
+	if byStage["cache"].Attrs["digest"] != "deadbeef" {
+		t.Errorf("cache span attrs = %+v", byStage["cache"].Attrs)
+	}
+	if byStage["probe"].Error != "connection refused" {
+		t.Errorf("probe span error = %q", byStage["probe"].Error)
+	}
+	if doc.TotalUS <= 0 || doc.TotalUS != us(total) {
+		t.Errorf("TotalUS = %v, Finish returned %v", doc.TotalUS, us(total))
+	}
+	// Wall-time sanity: non-admission spans lie inside the trace window.
+	if sum <= 0 {
+		t.Errorf("span durations sum to %v", sum)
+	}
+}
+
+// TestDocumentOpenSpansClosedAtEnd: a span never End()ed is clamped to the
+// trace end instead of extending to infinity.
+func TestDocumentOpenSpansClosedAtEnd(t *testing.T) {
+	tr := New(strings.Repeat("1", 32))
+	tr.StartSpan("forward") // never ended
+	time.Sleep(time.Millisecond)
+	tr.Finish()
+	doc := tr.Document()
+	if len(doc.Spans) != 1 {
+		t.Fatalf("spans = %d", len(doc.Spans))
+	}
+	if doc.Spans[0].DurUS > doc.TotalUS {
+		t.Errorf("open span duration %v exceeds trace total %v", doc.Spans[0].DurUS, doc.TotalUS)
+	}
+}
+
+func TestDocEventsCombinesServiceAndKernel(t *testing.T) {
+	tr := New(strings.Repeat("2", 32))
+	sp := tr.StartSpan("run")
+	time.Sleep(100 * time.Microsecond)
+	sp.End()
+	tr.AttachKernel([]trace.Event{{
+		Kind:  trace.TaskCompute,
+		Name:  "node0",
+		Lane:  "em#0",
+		Start: sim.Microsecond,
+		End:   3 * sim.Microsecond,
+		Meta:  map[string]string{"app": "CG"},
+	}})
+	tr.Finish()
+	doc := tr.Document()
+	if len(doc.KernelEvents) != 1 {
+		t.Fatalf("kernel events = %d", len(doc.KernelEvents))
+	}
+	if doc.KernelEvents[0].Kind != "compute" || doc.KernelEvents[0].DurUS != 2 {
+		t.Errorf("kernel event = %+v", doc.KernelEvents[0])
+	}
+
+	evs := doc.Events()
+	if len(evs) != 2 {
+		t.Fatalf("combined events = %d, want 2", len(evs))
+	}
+	var haveSvc, haveKern bool
+	for _, e := range evs {
+		if e.Meta["trace_id"] != doc.TraceID {
+			t.Errorf("event %s missing trace_id meta: %+v", e.Name, e.Meta)
+		}
+		switch e.Kind {
+		case trace.Service:
+			haveSvc = true
+			if e.Lane != ServiceLane || e.Name != "run" {
+				t.Errorf("service event = %+v", e)
+			}
+		case trace.TaskCompute:
+			haveKern = true
+			if e.Meta["app"] != "CG" {
+				t.Errorf("kernel meta lost: %+v", e.Meta)
+			}
+		}
+	}
+	if !haveSvc || !haveKern {
+		t.Fatalf("missing service (%v) or kernel (%v) event", haveSvc, haveKern)
+	}
+
+	// The combined set must render through the shared Chrome writer.
+	var buf bytes.Buffer
+	if err := trace.WriteChromeEvents(&buf, evs); err != nil {
+		t.Fatalf("WriteChromeEvents: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"service"`) || !strings.Contains(out, `"compute"`) {
+		t.Errorf("chrome output missing categories:\n%s", out)
+	}
+}
+
+func TestStoreBoundedFIFO(t *testing.T) {
+	st := NewStore(3)
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = strings.Repeat(fmt.Sprintf("%x", i), 32)[:32]
+		st.Add(New(ids[i]))
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	for _, id := range ids[:2] {
+		if st.Get(id) != nil {
+			t.Errorf("evicted trace %q still present", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if st.Get(id) == nil {
+			t.Errorf("recent trace %q missing", id)
+		}
+	}
+	// Re-adding an existing ID replaces without consuming capacity.
+	st.Add(New(ids[4]))
+	if st.Len() != 3 {
+		t.Errorf("Len after re-add = %d, want 3", st.Len())
+	}
+}
+
+func TestTextLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "text", "relief-serve")
+	lg.Info("listening on http://127.0.0.1:8080")
+	lg.Info("request", "trace_id", strings.Repeat("a", 32), "dur_ms", 1.5)
+	lg.Warn("breaker open", "peer", "http://p:1")
+	lg.Info("spaced", "msg2", "a b")
+	out := buf.String()
+	wants := []string{
+		"relief-serve: listening on http://127.0.0.1:8080\n",
+		"relief-serve: request trace_id=" + strings.Repeat("a", 32) + " dur_ms=1.5\n",
+		"relief-serve: breaker open level=warn peer=http://p:1\n",
+		"relief-serve: spaced msg2=\"a b\"\n",
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("text log missing %q in:\n%s", w, out)
+		}
+	}
+}
+
+func TestTextLoggerWithAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "text", "relief-serve").With("peer", "http://p:1")
+	lg.Info("probe", "outcome", "miss")
+	if got, want := buf.String(), "relief-serve: probe peer=http://p:1 outcome=miss\n"; got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestJSONLoggerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "json", "relief-serve")
+	lg.Info("request", "trace_id", strings.Repeat("b", 32), "restored", 3)
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log is not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "request" || rec["trace_id"] != strings.Repeat("b", 32) {
+		t.Errorf("record = %v", rec)
+	}
+	if n, ok := rec["restored"].(float64); !ok || n != 3 {
+		t.Errorf("restored attr = %v (%T)", rec["restored"], rec["restored"])
+	}
+}
+
+func TestDiscardLogger(t *testing.T) {
+	lg := Discard()
+	if lg.Enabled(nil, slog.LevelError) {
+		t.Error("discard logger claims to be enabled")
+	}
+	lg.Info("dropped") // must not panic
+}
+
+func TestTraceConcurrency(t *testing.T) {
+	tr := New(strings.Repeat("c", 32))
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			sp := tr.StartSpan(fmt.Sprintf("stage%d", i))
+			sp.Set("k", "v")
+			sp.Event("e", "v")
+			sp.End()
+			tr.Document()
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	tr.Finish()
+	if got := len(tr.Document().Spans); got != 8 {
+		t.Fatalf("spans = %d, want 8", got)
+	}
+}

@@ -32,6 +32,7 @@ const (
 	Watchdog                // watchdog expiry that triggered recovery
 	Retry                   // task re-dispatch backoff window
 	Abort                   // DAG cancelled by the recovery machinery
+	Service                 // serving-layer pipeline stage (wall clock, svctrace)
 )
 
 var kindNames = [...]string{
@@ -46,6 +47,7 @@ var kindNames = [...]string{
 	Watchdog:    "watchdog",
 	Retry:       "retry",
 	Abort:       "abort",
+	Service:     "service",
 }
 
 func (k Kind) String() string {

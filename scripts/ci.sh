@@ -191,13 +191,98 @@ if command -v curl >/dev/null 2>&1; then
 		sleep 0.1
 	done
 	test -n "$raddr"
-	grep -q '^relief-serve: disk cache .* (1 entries restored)$' "$tmp/restart2.log"
+	# The prose keeps its shape; the line now also carries structured
+	# dir=/restored= attributes, so no $ anchor.
+	grep -q '^relief-serve: disk cache .* (1 entries restored)' "$tmp/restart2.log"
 	curl -sf -X POST "http://$raddr/run" -d '{"policy":"RELIEF","mix":"CG"}' >"$tmp/restart_run2.json"
 	grep -q '"source": "disk"' "$tmp/restart_run2.json"
 	curl -sf "http://$raddr/metrics" | grep -q '^relief_serve_disk_cache_hits_total 1$'
 	kill -TERM "$restart_pid"
 	wait "$restart_pid"
 	grep -q '^relief-serve: stopped$' "$tmp/restart2.log"
+else
+	echo "curl not installed; skipping"
+fi
+
+echo "== tracing smoke"
+# Distributed-trace contract over real processes: a request forwarded
+# between two peered replicas runs under one client-supplied trace ID —
+# the same ID lands in both replicas' structured JSON logs and the entry
+# replica's GET /trace/{id} document shows the forward span. "trace": true
+# additionally captures kernel events, rendered by relief-trace into one
+# service + kernel Chrome timeline, and -debug-addr serves net/http/pprof
+# on its own listener.
+if command -v curl >/dev/null 2>&1; then
+	test -x "$tmp/relief-serve" || go build -o "$tmp/relief-serve" ./cmd/relief-serve
+	ports="$(go run ./scripts/freeports 2)"
+	t1="$(echo "$ports" | sed -n 1p)"
+	t2="$(echo "$ports" | sed -n 2p)"
+	w1="http://127.0.0.1:$t1"
+	w2="http://127.0.0.1:$t2"
+	"$tmp/relief-serve" -addr "127.0.0.1:$t1" -peers "$w2" -log-format json -debug-addr 127.0.0.1:0 >"$tmp/trace1.log" 2>&1 &
+	trace1_pid=$!
+	"$tmp/relief-serve" -addr "127.0.0.1:$t2" -peers "$w1" -log-format json >"$tmp/trace2.log" 2>&1 &
+	trace2_pid=$!
+	for log in trace1.log trace2.log; do
+		for _ in $(seq 1 100); do
+			grep -q '"msg":"listening on ' "$tmp/$log" && break
+			sleep 0.1
+		done
+		grep -q '"msg":"listening on ' "$tmp/$log"
+	done
+	curl -sf "$w1/readyz" >/dev/null
+	curl -sf "$w2/readyz" >/dev/null
+
+	# Hunt a scenario whose digest replica 2 owns: posted to replica 1
+	# under a fixed trace ID, it must leave a forward span in replica 1's
+	# trace document (about half the seeds land on either owner).
+	tid=""
+	for seed in $(seq 1 40); do
+		cand="$(printf '%032x' "$seed")"
+		curl -sf -X POST "$w1/run" -H "X-Relief-Trace: $cand" \
+			-d "{\"mix\":\"C\",\"fault_rate\":0.01,\"fault_seed\":$seed}" >/dev/null
+		if curl -sf "$w1/trace/$cand" | grep -q '"stage": "forward"'; then
+			tid="$cand"
+			break
+		fi
+	done
+	test -n "$tid"
+
+	# One distributed trace: the same ID in both replicas' structured logs.
+	grep -q "\"trace_id\":\"$tid\"" "$tmp/trace1.log"
+	grep -q "\"trace_id\":\"$tid\"" "$tmp/trace2.log"
+
+	# "trace": true captures kernel events on whichever replica ran the
+	# request; its service-trace document renders through relief-trace.
+	ktid="$(printf '%032x' 4242)"
+	curl -sf -X POST "$w1/run" -H "X-Relief-Trace: $ktid" \
+		-d '{"mix":"CG","trace":true}' >/dev/null
+	curl -sf "$w1/trace/$ktid" >"$tmp/svctrace1.json" || true
+	curl -sf "$w2/trace/$ktid" >"$tmp/svctrace2.json" || true
+	if grep -q '"kernel_events"' "$tmp/svctrace1.json" 2>/dev/null; then
+		svcdoc="$tmp/svctrace1.json"
+	else
+		svcdoc="$tmp/svctrace2.json"
+	fi
+	grep -q '"kernel_events"' "$svcdoc"
+	go build -o "$tmp/relief-trace" ./cmd/relief-trace
+	"$tmp/relief-trace" -serve-trace "$svcdoc" -o "$tmp/svctimeline.json" >/dev/null
+	grep -q '"service"' "$tmp/svctimeline.json"
+	grep -q '"compute"' "$tmp/svctimeline.json"
+	# The server renders the same combined timeline itself.
+	curl -sf "$w1/trace/$tid?format=chrome" | grep -q '"service"'
+
+	# pprof answers on the separate -debug-addr listener, never the
+	# service port.
+	dbg="$(sed -n 's|.*"msg":"debug listening on http://\([^"]*\)".*|\1|p' "$tmp/trace1.log" | head -n 1)"
+	test -n "$dbg"
+	curl -sf "http://$dbg/debug/pprof/cmdline" >/dev/null
+	! curl -sf "$w1/debug/pprof/cmdline" >/dev/null 2>&1
+
+	kill -TERM "$trace1_pid" "$trace2_pid"
+	wait "$trace1_pid" "$trace2_pid"
+	grep -q '"msg":"stopped"' "$tmp/trace1.log"
+	grep -q '"msg":"stopped"' "$tmp/trace2.log"
 else
 	echo "curl not installed; skipping"
 fi
