@@ -3,10 +3,12 @@
 //
 // Standalone, over package patterns:
 //
-//	go run ./cmd/relief-lint ./...          # human-readable, exit 1 on findings
-//	go run ./cmd/relief-lint -json ./...    # machine-readable findings array
+//	go run ./cmd/relief-lint ./...               # human-readable, exit 1 on findings
+//	go run ./cmd/relief-lint -json ./...         # machine-readable findings array
+//	go run ./cmd/relief-lint -format sarif ./... # SARIF 2.1.0 log for code-scanning UIs
 //
-// As a vet tool, speaking cmd/go's unitchecker protocol:
+// As a vet tool, speaking cmd/go's unitchecker protocol (cross-package
+// facts flow through the .cfg PackageVetx/VetxOutput files):
 //
 //	go build -o relief-lint ./cmd/relief-lint
 //	go vet -vettool=$PWD/relief-lint ./...
@@ -29,6 +31,7 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file, line, col, analyzer, message)")
+	format := flag.String("format", "", "output format: text (default), json, or sarif")
 	vFlag := flag.String("V", "", "if 'full', print the tool version for cmd/go's build cache and exit")
 	flagsFlag := flag.Bool("flags", false, "print the tool's flag definitions as JSON (cmd/go vet handshake) and exit")
 	flag.Usage = usage
@@ -53,6 +56,18 @@ func main() {
 		return
 	}
 
+	mode := "text"
+	switch {
+	case *format != "":
+		mode = *format
+	case *jsonOut:
+		mode = "json"
+	}
+	if mode != "text" && mode != "json" && mode != "sarif" {
+		fmt.Fprintf(os.Stderr, "relief-lint: unknown -format %q (want text, json, or sarif)\n", mode)
+		os.Exit(2)
+	}
+
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -62,25 +77,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "relief-lint:", err)
 		os.Exit(2)
 	}
-	var findings []lint.Finding
-	for _, pkg := range pkgs {
-		fs, err := lint.RunPackage(fset, pkg.Files, pkg.Types, pkg.TypesInfo, lint.All())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "relief-lint:", err)
-			os.Exit(2)
-		}
-		findings = append(findings, fs...)
+	findings, err := lint.RunPackages(fset, pkgs, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relief-lint:", err)
+		os.Exit(2)
 	}
-	emit(findings, *jsonOut)
-	if len(findings) > 0 && !*jsonOut {
+	emit(findings, mode)
+	if len(findings) > 0 && mode == "text" {
 		os.Exit(1)
 	}
 }
 
 // emit prints findings with file paths relative to the working directory
-// when possible. In -json mode the output is always a well-formed array
-// (possibly empty) so CI can parse it unconditionally.
-func emit(findings []lint.Finding, jsonOut bool) {
+// when possible. In json and sarif modes the output is always a
+// well-formed document (possibly with zero results) so CI can parse it
+// unconditionally.
+func emit(findings []lint.Finding, mode string) {
 	if cwd, err := os.Getwd(); err == nil {
 		for i := range findings {
 			if rel, err := filepath.Rel(cwd, findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
@@ -88,7 +100,8 @@ func emit(findings []lint.Finding, jsonOut bool) {
 			}
 		}
 	}
-	if jsonOut {
+	switch mode {
+	case "json":
 		if findings == nil {
 			findings = []lint.Finding{}
 		}
@@ -98,15 +111,20 @@ func emit(findings []lint.Finding, jsonOut bool) {
 			fmt.Fprintln(os.Stderr, "relief-lint:", err)
 			os.Exit(2)
 		}
-		return
-	}
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	case "sarif":
+		if err := writeSARIF(os.Stdout, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "relief-lint:", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: relief-lint [-json] [packages...]
+	fmt.Fprintf(os.Stderr, `usage: relief-lint [-json] [-format text|json|sarif] [packages...]
 
 Analyzers:
 `)

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relief/internal/lint"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSARIFGolden pins the emitted SARIF 2.1.0 document byte-for-byte:
+// schema and version header, the full ten-rule table, and one result per
+// finding with its physical location. Regenerate with `go test
+// ./cmd/relief-lint -run SARIF -update` after a deliberate format change.
+func TestSARIFGolden(t *testing.T) {
+	findings := []lint.Finding{
+		{
+			File: "internal/sim/sim.go", Line: 42, Col: 7,
+			Analyzer: "hotalloc",
+			Message:  "make() allocates in hotpath function push",
+		},
+		{
+			File: "internal/serve/cache.go", Line: 9, Col: 2,
+			Analyzer: "lockcheck",
+			Message:  "s.cache is guarded by s.mu, which is not held here",
+		},
+	}
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "findings.sarif")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("SARIF output drifted from %s:\ngot:\n%s\nwant:\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestSARIFEmpty checks the zero-findings document stays a well-formed
+// log: a non-null results array and the complete rule table, so CI can
+// upload it unconditionally.
+func TestSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeSARIF(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("emitted SARIF is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	if got := len(log.Runs[0].Tool.Driver.Rules); got != len(lint.All()) {
+		t.Errorf("rule table has %d entries, want %d (one per analyzer)", got, len(lint.All()))
+	}
+	if string(log.Runs[0].Results) != "[]" {
+		t.Errorf("results = %s, want [] (never null)", log.Runs[0].Results)
+	}
+}

@@ -12,13 +12,15 @@ import (
 	"strings"
 
 	"relief/internal/lint"
+	"relief/internal/lint/analysis"
 	"relief/internal/lint/load"
 )
 
 // unitConfig mirrors the JSON configuration cmd/go vet writes for each
 // package unit when driving a -vettool (the x/tools unitchecker wire
-// format). Fields the relief analyzers do not need (facts, vetx files of
-// dependencies) are accepted and ignored.
+// format). PackageVetx names the fact files of the unit's dependencies;
+// VetxOutput is where this unit's facts go; VetxOnly marks a dependency
+// unit analyzed only so its facts exist for dependents.
 type unitConfig struct {
 	ID                        string
 	Compiler                  string
@@ -49,17 +51,22 @@ func unitcheck(cfgFile string, jsonOut bool) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatalf("parsing config %s: %v", cfgFile, err)
 	}
-	// The driver has no cross-package facts, but cmd/go expects the
-	// output file to exist for every unit, including VetxOnly ones.
+	// cmd/go expects the vetx output file to exist for every unit; write
+	// it empty up front and overwrite with real facts once computed.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
 			fatalf("writing vetx output: %v", err)
 		}
 	}
-	if cfg.VetxOnly {
+	// Facts are computed for module packages only. Standard-library
+	// dependency units (which this loader could not typecheck from source
+	// anyway — think cgo in net or runtime) keep their empty vetx files;
+	// stdlib callees are vouched for by the allow-table instead.
+	if cfg.VetxOnly && !moduleUnit(cfg.ImportPath) {
 		return
 	}
 
+	analysis.RegisterFactTypes(lint.Expand(lint.All()))
 	fset := token.NewFileSet()
 	var names []string
 	for _, f := range cfg.GoFiles {
@@ -90,12 +97,36 @@ func unitcheck(cfgFile string, jsonOut bool) {
 		}
 		fatalf("%v", err)
 	}
-	findings, err := lint.RunPackage(fset, files, pkg, info, lint.All())
+	// Dependencies' facts arrive through the vetx files cmd/go names;
+	// missing or empty ones (stdlib units) decode as no facts.
+	facts := analysis.NewFactSet()
+	for _, vetx := range cfg.PackageVetx {
+		blob, err := os.ReadFile(vetx)
+		if err != nil {
+			fatalf("reading facts: %v", err)
+		}
+		if err := facts.Decode(blob); err != nil {
+			fatalf("decoding facts from %s: %v", vetx, err)
+		}
+	}
+	findings, err := lint.RunPackage(fset, files, pkg, info, lint.All(), facts)
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if cfg.VetxOutput != "" {
+		blob, err := facts.Encode()
+		if err != nil {
+			fatalf("encoding facts: %v", err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, blob, 0o666); err != nil {
+			fatalf("writing vetx output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return // facts-only dependency unit: report nothing
+	}
 	if jsonOut {
-		emit(findings, true)
+		emit(findings, "json")
 		return
 	}
 	for _, f := range findings {
@@ -104,6 +135,14 @@ func unitcheck(cfgFile string, jsonOut bool) {
 	if len(findings) > 0 {
 		os.Exit(2)
 	}
+}
+
+// moduleUnit reports whether the unit's import path belongs to this
+// module, including the `pkg.test` and `pkg [pkg.test]` variants cmd/go
+// synthesizes for test units.
+func moduleUnit(importPath string) bool {
+	return importPath == "relief" || strings.HasPrefix(importPath, "relief/") ||
+		strings.HasPrefix(importPath, "relief.")
 }
 
 // mappedImporter applies cmd/go's ImportMap (vendor and module version

@@ -1,0 +1,323 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"relief/internal/lint/analysis"
+)
+
+// AllocFreeFact marks a function proven never to allocate: no allocating
+// construct in its own body (sites opted out with //lint:allow hotalloc
+// count as amortized-free) and every statically-resolved callee itself
+// proven alloc-free. Exported for every proven function — including
+// unexported ones, since a proven exported wrapper may call them — and
+// consumed by hotalloc across package boundaries.
+type AllocFreeFact struct{}
+
+func (*AllocFreeFact) AFact() {}
+
+func (*AllocFreeFact) String() string { return "allocFree" }
+
+// AllocFree is the facts half of the interprocedural hot-path check: it
+// reports nothing itself, but proves functions allocation-free bottom-up
+// over the call graph (optimistic fixpoint within a package, so clean
+// recursion stays clean; imported AllocFree facts plus a small standard-
+// library allow-table across packages) and exports an AllocFree fact per
+// proven function.
+var AllocFree = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "prove functions allocation-free (directly and through static callees) " +
+		"and export AllocFree facts for hotalloc",
+	FactTypes: []analysis.Fact{&AllocFreeFact{}},
+	Run:       runAllocFree,
+}
+
+// allocKind classifies one allocating construct.
+type allocKind int
+
+const (
+	allocClosure  allocKind = iota // func literal
+	allocAndLit                    // &T{...} composite (non-slice/map)
+	allocSliceMap                  // slice or map literal
+	allocMake
+	allocNew
+	allocAppend
+	allocConvBox // explicit conversion to interface type
+	allocArgBox  // concrete argument boxed into interface parameter
+)
+
+// scanBody walks a function body in syntax order, reporting every
+// allocating construct to onAlloc and every statically-resolved call
+// target to onCall. Closure bodies are not entered: the closure's
+// creation is itself reported as an allocation, and its body runs on
+// whatever path later invokes the value. Dynamic calls — func values,
+// interface methods — resolve to no *types.Func and are not reported;
+// they are the kernel's dispatch points and are exempt by design (the
+// event functions themselves are checked where they are declared).
+func scanBody(info *types.Info, body ast.Node, onAlloc func(pos token.Pos, kind allocKind), onCall func(pos token.Pos, fn *types.Func)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			onAlloc(e.Pos(), allocClosure)
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && !compositeIsSliceOrMap(info, lit) {
+					// Slice/map literals are reported by the CompositeLit
+					// case below; avoid double-reporting &[]T{...}.
+					onAlloc(e.Pos(), allocAndLit)
+				}
+			}
+		case *ast.CompositeLit:
+			if compositeIsSliceOrMap(info, e) {
+				onAlloc(e.Pos(), allocSliceMap)
+			}
+		case *ast.CallExpr:
+			scanCall(info, e, onAlloc, onCall)
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call expression: allocating builtins, interface
+// conversions, per-argument boxing, and the static callee if resolvable.
+func scanCall(info *types.Info, call *ast.CallExpr, onAlloc func(token.Pos, allocKind), onCall func(token.Pos, *types.Func)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isB := info.Uses[id].(*types.Builtin); isB {
+			switch id.Name {
+			case "make":
+				onAlloc(call.Pos(), allocMake)
+			case "new":
+				onAlloc(call.Pos(), allocNew)
+			case "append":
+				onAlloc(call.Pos(), allocAppend)
+			}
+			// The remaining builtins (len, cap, copy, delete, panic, ...)
+			// never heap-allocate on behalf of the caller.
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	// Explicit conversion to an interface type boxes the operand.
+	if tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if atv, ok := info.Types[call.Args[0]]; ok && atv.Type != nil && !types.IsInterface(atv.Type) {
+				onAlloc(call.Pos(), allocConvBox)
+			}
+		}
+		return
+	}
+	// Implicit boxing: a concrete argument passed for an interface-typed
+	// parameter (including ...any variadics, e.g. fmt.Sprintf).
+	if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+		params := sig.Params()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= params.Len()-1:
+				if call.Ellipsis.IsValid() {
+					continue // slice passed through; no per-arg boxing
+				}
+				pt = params.At(params.Len() - 1).Type()
+				if s, ok := pt.Underlying().(*types.Slice); ok {
+					pt = s.Elem()
+				}
+			case i < params.Len():
+				pt = params.At(i).Type()
+			default:
+				continue
+			}
+			if pt == nil || !types.IsInterface(pt) {
+				continue
+			}
+			atv, ok := info.Types[arg]
+			if !ok || atv.Type == nil || types.IsInterface(atv.Type) {
+				continue
+			}
+			if b, ok := atv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+				continue
+			}
+			onAlloc(arg.Pos(), allocArgBox)
+		}
+	}
+	// The static callee, when the call is not through a func value or an
+	// interface method.
+	if fn := funcObj(info, call); fn != nil && !isInterfaceMethod(fn) {
+		onCall(call.Pos(), fn)
+	}
+}
+
+func compositeIsSliceOrMap(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface type —
+// a dynamic dispatch site with no single body to prove anything about.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// stdlibAllocFree is the allow-table for standard-library callees: the
+// loader never parses stdlib sources, so these are trusted by name. Each
+// entry is either "pkgpath.*" (every function and method of the package)
+// or an exact "pkgpath.Func" / "pkgpath.Type.Method". Kept deliberately
+// small: only what deterministic hot paths plausibly call.
+var stdlibAllocFree = map[string]bool{
+	"math.*":      true, // pure float kernels
+	"math/bits.*": true, // pure integer kernels
+	"sort.Search": true, // binary search over a caller-supplied closure
+}
+
+// provenAllocFree reports whether a callee outside the current package is
+// proven alloc-free: by an imported AllocFree fact (module packages) or
+// by the standard-library allow-table.
+func provenAllocFree(facts *analysis.FactSet, fn *types.Func) bool {
+	var fact AllocFreeFact
+	if facts.ImportObjectFact(fn, &fact) {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if stdlibAllocFree[pkg.Path()+".*"] {
+		return true
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return stdlibAllocFree[pkg.Path()+"."+name]
+}
+
+// callableName renders a callee for diagnostics: pkg.Func or
+// pkg.Type.Method, with the receiver package elided for same-package
+// calls.
+func callableName(current *types.Package, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != current {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func runAllocFree(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return nil // fact-less harness run: nothing to prove into
+	}
+	allows := collectAllows(pass.Fset, pass.Files)
+
+	type funcInfo struct {
+		obj     *types.Func
+		dirty   bool // allocates directly (unsuppressed site)
+		callees []*types.Func
+	}
+	var fns []*funcInfo
+	index := make(map[*types.Func]*funcInfo)
+	for _, file := range pass.Files {
+		// Test files are exempt suite-wide; keeping their helpers out of
+		// the proof set just means no facts about them, which is correct:
+		// shipped code cannot call them.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &funcInfo{obj: obj}
+			scanBody(pass.TypesInfo, fd.Body,
+				func(pos token.Pos, kind allocKind) {
+					if !allowsHotAlloc(allows, pass.Fset.Position(pos)) {
+						fi.dirty = true
+					}
+				},
+				func(pos token.Pos, fn *types.Func) {
+					// An allowed call edge is quarantined at its site: a cold
+					// path into allocating code (e.g. a conflict fold-back)
+					// does not dirty the containing function.
+					if allowsHotAlloc(allows, pass.Fset.Position(pos)) {
+						return
+					}
+					fi.callees = append(fi.callees, fn)
+				})
+			fns = append(fns, fi)
+			index[obj] = fi
+		}
+	}
+
+	// Optimistic fixpoint: every function starts as clean as its own body;
+	// dirtiness then propagates along call edges until stable, so a cycle
+	// of mutually-recursive non-allocating functions remains clean.
+	for {
+		changed := false
+		for _, fi := range fns {
+			if fi.dirty {
+				continue
+			}
+			for _, callee := range fi.callees {
+				if local, ok := index[callee]; ok {
+					if local.dirty {
+						fi.dirty = true
+						changed = true
+						break
+					}
+					continue
+				}
+				if !provenAllocFree(pass.Facts, callee) {
+					fi.dirty = true
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	for _, fi := range fns {
+		if !fi.dirty {
+			pass.ExportObjectFact(fi.obj, &AllocFreeFact{})
+		}
+	}
+	return nil
+}

@@ -3,11 +3,17 @@
 //
 // The container this project builds in has no module proxy access, so the
 // real x/tools framework cannot be vendored; this package keeps the same
-// shape (Analyzer, Pass, Diagnostic, a Run function returning diagnostics)
-// so the analyzers in internal/lint can be ported to the upstream
-// framework mechanically if x/tools ever becomes available. Facts,
-// analyzer dependencies, and suggested fixes are intentionally out of
-// scope: the relief analyzers are all single-pass syntax+types checks.
+// shape (Analyzer, Pass, Diagnostic, a Run function returning diagnostics,
+// typed Facts with gob serialization, Requires ordering) so the analyzers
+// in internal/lint can be ported to the upstream framework mechanically if
+// x/tools ever becomes available. Suggested fixes remain out of scope.
+//
+// Facts (see facts.go) let an analyzer export typed observations about
+// exported objects — "this function never allocates", "this field is
+// guarded by that mutex" — which the driver feeds, bottom-up over the
+// dependency graph, to the analyses of every importing package. The same
+// gob stream rides cmd/go's unitchecker protocol (.cfg PackageVetx /
+// VetxOutput files), so facts survive `go vet -vettool` too.
 package analysis
 
 import (
@@ -26,6 +32,17 @@ type Analyzer struct {
 	// Doc is a one-paragraph description of what the analyzer checks.
 	Doc string
 
+	// Requires lists analyzers that must run before this one on every
+	// package, typically because they export facts this one consumes.
+	// The driver expands and orders the suite accordingly.
+	Requires []*Analyzer
+
+	// FactTypes lists prototype values (pointers to structs) of every
+	// fact type this analyzer exports or imports, so the driver can
+	// register them with gob. An analyzer with FactTypes runs on VetxOnly
+	// dependency units too; one without is skipped there.
+	FactTypes []Fact
+
 	// Run applies the analyzer to a package. It reports findings via
 	// pass.Report and returns an error only for internal failures (a
 	// package that fails to load is handled before Run is called).
@@ -43,6 +60,30 @@ type Pass struct {
 	// Report records a diagnostic. It may be called concurrently only if
 	// the analyzer itself is concurrent (none of relief's are).
 	Report func(Diagnostic)
+
+	// Facts is the pass's fact store: imports from dependency packages
+	// plus exports of earlier analyzers on this package. Nil when the
+	// driver runs without facts (single-package harness paths).
+	Facts *FactSet
+}
+
+// ExportObjectFact exports fact about obj, which must belong to the
+// package under analysis. No-op when the pass runs without a fact store
+// or the object belongs to another package.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.Facts == nil || obj == nil || obj.Pkg() != p.Pkg {
+		return
+	}
+	p.Facts.ExportObjectFact(obj, fact)
+}
+
+// ImportObjectFact copies into *fact the fact exported about obj by this
+// package or any analyzed dependency, reporting whether one exists.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.Facts == nil {
+		return false
+	}
+	return p.Facts.ImportObjectFact(obj, fact)
 }
 
 // Reportf is a convenience wrapper constructing a Diagnostic from a

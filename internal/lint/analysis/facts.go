@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// A Fact is a typed, serializable observation an analyzer exports about an
+// object (a function, type, or struct field) so that analyses of packages
+// that import the object can consume it — the go/analysis Facts model.
+// Concrete fact types are pointers to structs, must be gob-encodable, and
+// must be listed in their analyzer's FactTypes so the engine can register
+// them with gob before any package is analyzed.
+type Fact interface {
+	// AFact is a marker method; it has no behavior.
+	AFact()
+}
+
+// objectPath encodes an object as a package-relative path the facts engine
+// can resolve identically from either side of an export-data boundary:
+//
+//	F           package-level func, var, or type name
+//	T.M         method M of named type T (pointer or value receiver)
+//	T.F         field F of struct type T
+//
+// Objects that have no such path (locals, fields of anonymous structs,
+// interface methods obtained via embedding, ...) report ok=false; facts
+// about them cannot cross package boundaries, which is fine — importers
+// can only name path-addressable objects anyway.
+func objectPath(obj types.Object) (string, bool) {
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		sig, ok := o.Type().(*types.Signature)
+		if !ok {
+			return "", false
+		}
+		if recv := sig.Recv(); recv != nil {
+			rt := recv.Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			named, ok := rt.(*types.Named)
+			if !ok {
+				return "", false
+			}
+			return named.Obj().Name() + "." + o.Name(), true
+		}
+		if o.Pkg().Scope().Lookup(o.Name()) != obj {
+			return "", false
+		}
+		return o.Name(), true
+	case *types.TypeName, *types.Const:
+		if o.Pkg().Scope().Lookup(o.Name()) != obj {
+			return "", false
+		}
+		return o.Name(), true
+	case *types.Var:
+		if !o.IsField() {
+			if o.Pkg().Scope().Lookup(o.Name()) != obj {
+				return "", false
+			}
+			return o.Name(), true
+		}
+		// A field's owner is found by scanning the package scope for the
+		// named struct type that declares this exact object.
+		scope := o.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == obj {
+					return tn.Name() + "." + o.Name(), true
+				}
+			}
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// factKey identifies one stored fact: the object's package and path plus
+// the concrete fact type (one object may carry facts of several types).
+type factKey struct {
+	pkg string // package import path
+	obj string // objectPath within the package
+	typ string // concrete fact type name
+}
+
+// FactSet is the engine's store for one package's analysis: the facts
+// imported from dependencies plus the facts the current pass exports. The
+// zero value is not usable; call NewFactSet.
+type FactSet struct {
+	m map[factKey]Fact
+}
+
+// NewFactSet returns an empty fact store.
+func NewFactSet() *FactSet {
+	return &FactSet{m: make(map[factKey]Fact)}
+}
+
+func factTypeName(fact Fact) string {
+	t := reflect.TypeOf(fact)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.String()
+}
+
+// ExportObjectFact associates fact with obj. The object must belong to the
+// package under analysis (enforced by the Pass wrapper); objects without a
+// stable path are silently skipped, mirroring the upstream contract that
+// facts on unexported locals simply do not propagate.
+func (s *FactSet) ExportObjectFact(obj types.Object, fact Fact) {
+	if s == nil || obj == nil || obj.Pkg() == nil {
+		return
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		return
+	}
+	s.m[factKey{obj.Pkg().Path(), path, factTypeName(fact)}] = fact
+}
+
+// ImportObjectFact copies the stored fact about obj (from this package or
+// any analyzed dependency) into *fact and reports whether one was found.
+// fact must be a pointer of the same concrete type the producer exported.
+func (s *FactSet) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if s == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	path, ok := objectPath(obj)
+	if !ok {
+		return false
+	}
+	stored, ok := s.m[factKey{obj.Pkg().Path(), path, factTypeName(fact)}]
+	if !ok {
+		return false
+	}
+	dv := reflect.ValueOf(fact)
+	sv := reflect.ValueOf(stored)
+	if dv.Kind() != reflect.Pointer || sv.Kind() != reflect.Pointer || dv.Type() != sv.Type() {
+		return false
+	}
+	dv.Elem().Set(sv.Elem())
+	return true
+}
+
+// wireFact is the gob wire form of one fact. Obj is the objectPath within
+// PkgPath; Fact is the concrete registered type.
+type wireFact struct {
+	PkgPath string
+	Obj     string
+	Fact    Fact
+}
+
+// Encode serializes every fact in the set — the package's own and those
+// inherited from its dependencies — so that a dependent package needs only
+// its direct imports' fact files to see the whole transitive closure (the
+// same re-export scheme x/tools' facts package uses). The stream is sorted
+// for deterministic bytes.
+func (s *FactSet) Encode() ([]byte, error) {
+	if s == nil || len(s.m) == 0 {
+		return nil, nil
+	}
+	wire := make([]wireFact, 0, len(s.m))
+	for k, f := range s.m {
+		wire = append(wire, wireFact{PkgPath: k.pkg, Obj: k.obj, Fact: f})
+	}
+	sort.Slice(wire, func(i, j int) bool {
+		a, b := wire[i], wire[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		if a.Obj != b.Obj {
+			return a.Obj < b.Obj
+		}
+		return factTypeName(a.Fact) < factTypeName(b.Fact)
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("analysis: encoding facts: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges a fact stream produced by Encode into the set. Empty input
+// (a dependency that exported nothing, or a driver that wrote a bare
+// placeholder file) is valid and a no-op.
+func (s *FactSet) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var wire []wireFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&wire); err != nil {
+		return fmt.Errorf("analysis: decoding facts: %v", err)
+	}
+	for _, w := range wire {
+		if w.Fact == nil {
+			continue
+		}
+		s.m[factKey{w.PkgPath, w.Obj, factTypeName(w.Fact)}] = w.Fact
+	}
+	return nil
+}
+
+// RegisterFactTypes registers every fact prototype declared by the given
+// analyzers with gob, so Encode/Decode can carry them through the Fact
+// interface. Safe to call repeatedly (duplicate registration of the same
+// type is idempotent for identical concrete types).
+func RegisterFactTypes(analyzers []*Analyzer) {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			name := factTypeName(f)
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			gob.Register(f)
+		}
+	}
+}
+
+// DebugString renders the set's contents for tests ("pkg.obj: fact", one
+// per line, sorted), so fixtures can assert fact propagation directly.
+func (s *FactSet) DebugString() string {
+	if s == nil {
+		return ""
+	}
+	lines := make([]string, 0, len(s.m))
+	for k, f := range s.m {
+		lines = append(lines, fmt.Sprintf("%s.%s: %s=%+v", k.pkg, k.obj, k.typ, f))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

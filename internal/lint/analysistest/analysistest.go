@@ -35,8 +35,14 @@ import (
 	"relief/internal/lint/load"
 )
 
-// Run applies one analyzer to each fixture package and reports any
-// mismatch between its findings and the // want annotations.
+// Run applies one analyzer (plus its Requires closure) to each fixture
+// package and reports any mismatch between its findings and the // want
+// annotations. The analyzer runs over every loaded fixture package in
+// dependency order with the same gob-serialized fact pipeline the real
+// drivers use — facts exported by a dependency fixture survive an
+// encode/decode round-trip before the dependent package sees them — but
+// want annotations are checked only for the named packages (dependency
+// fixtures may carry wants for other analyzers' tests).
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	src, err := filepath.Abs(filepath.Join(testdata, "src"))
@@ -44,16 +50,37 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		t.Fatalf("analysistest: %v", err)
 	}
 	ld := &loader{src: src, fset: token.NewFileSet(), pkgs: make(map[string]*fixturePkg)}
+	named := make(map[string]bool, len(pkgPaths))
 	for _, path := range pkgPaths {
-		pkg, err := ld.load(path)
-		if err != nil {
+		named[path] = true
+		if _, err := ld.load(path); err != nil {
 			t.Fatalf("analysistest: loading fixture %s: %v", path, err)
 		}
-		findings, err := lint.RunPackage(ld.fset, pkg.files, pkg.types, pkg.info, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("analysistest: running %s on %s: %v", a.Name, path, err)
+	}
+	analyzers := []*analysis.Analyzer{a}
+	analysis.RegisterFactTypes(lint.Expand(analyzers))
+	blobs := make(map[string][]byte)
+	for _, pkg := range ld.order {
+		facts := analysis.NewFactSet()
+		for _, imp := range pkg.imports {
+			if blob, ok := blobs[imp]; ok {
+				if err := facts.Decode(blob); err != nil {
+					t.Fatalf("analysistest: decoding %s facts for %s: %v", imp, pkg.path, err)
+				}
+			}
 		}
-		checkWants(t, pkg, findings)
+		findings, err := lint.RunPackage(ld.fset, pkg.files, pkg.types, pkg.info, analyzers, facts)
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, pkg.path, err)
+		}
+		blob, err := facts.Encode()
+		if err != nil {
+			t.Fatalf("analysistest: encoding %s facts: %v", pkg.path, err)
+		}
+		blobs[pkg.path] = blob
+		if named[pkg.path] {
+			checkWants(t, pkg, findings)
+		}
 	}
 }
 
@@ -64,6 +91,7 @@ type fixturePkg struct {
 	files     []*ast.File
 	types     *types.Package
 	info      *types.Info
+	imports   []string
 }
 
 // loader resolves fixture import paths under src, falling back to the
@@ -72,6 +100,7 @@ type loader struct {
 	src     string
 	fset    *token.FileSet
 	pkgs    map[string]*fixturePkg
+	order   []*fixturePkg // completion order: every package after its imports
 	loading []string
 
 	stdOnce sync.Once
@@ -114,8 +143,21 @@ func (l *loader) load(path string) (*fixturePkg, error) {
 	if err != nil {
 		return nil, err
 	}
-	pkg := &fixturePkg{path: path, dir: dir, fileNames: names, files: files, types: tpkg, info: info}
+	var imports []string
+	seen := make(map[string]bool)
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && !seen[p] {
+				seen[p] = true
+				imports = append(imports, p)
+			}
+		}
+	}
+	pkg := &fixturePkg{path: path, dir: dir, fileNames: names, files: files, types: tpkg, info: info, imports: imports}
 	l.pkgs[path] = pkg
+	// Type-checking resolves fixture imports recursively, so by the time a
+	// package lands here everything it imports is already in the order.
+	l.order = append(l.order, pkg)
 	return pkg, nil
 }
 

@@ -22,14 +22,22 @@ const hotpathDirective = "//relief:hotpath"
 
 // HotAlloc flags allocation-causing constructs inside functions annotated
 // //relief:hotpath: closures, composite literals that allocate (&T{...},
-// slice and map literals), make/new/append calls, and interface boxing of
-// concrete values at call sites. Amortized or pool-refill allocations that
-// are intentional carry a //lint:allow hotalloc directive with a reason.
+// slice and map literals), make/new/append calls, interface boxing of
+// concrete values at call sites — and, interprocedurally, any static call
+// to a callee not proven alloc-free by the allocfree facts (same-package
+// helpers, module packages via exported facts, standard library via a
+// small allow-table). Calls through func values and interface methods are
+// exempt by design: they are the kernel's dispatch points, and the event
+// functions are checked where they are declared. Amortized or pool-refill
+// allocations that are intentional carry a //lint:allow hotalloc
+// directive with a reason.
 var HotAlloc = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc: "forbid allocations (composite literals, make/new/append, closures, " +
-		"interface conversions) in functions annotated //relief:hotpath",
-	Run: runHotAlloc,
+		"interface conversions) and calls to not-proven-alloc-free callees " +
+		"in functions annotated //relief:hotpath",
+	Requires: []*analysis.Analyzer{AllocFree},
+	Run:      runHotAlloc,
 }
 
 func runHotAlloc(pass *analysis.Pass) error {
@@ -62,103 +70,48 @@ func isHotpath(fd *ast.FuncDecl) bool {
 
 func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
 	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch e := n.(type) {
-		case *ast.FuncLit:
-			pass.Reportf(e.Pos(), "closure allocated in hotpath function %s; hoist it to a field or package-level func", name)
-			return false // the closure body runs later; it is not this hot path
-		case *ast.UnaryExpr:
-			if e.Op == token.AND {
-				if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok && !litIsSliceOrMap(pass, lit) {
-					// Slice/map literals are reported by the CompositeLit
-					// case below; avoid double-reporting &[]T{...}.
-					pass.Reportf(e.Pos(), "&composite literal escapes to the heap in hotpath function %s", name)
-				}
+	self, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	scanBody(pass.TypesInfo, fd.Body,
+		func(pos token.Pos, kind allocKind) {
+			switch kind {
+			case allocClosure:
+				pass.Reportf(pos, "closure allocated in hotpath function %s; hoist it to a field or package-level func", name)
+			case allocAndLit:
+				pass.Reportf(pos, "&composite literal escapes to the heap in hotpath function %s", name)
+			case allocSliceMap:
+				pass.Reportf(pos, "slice/map literal allocates in hotpath function %s", name)
+			case allocMake:
+				pass.Reportf(pos, "make() allocates in hotpath function %s", name)
+			case allocNew:
+				pass.Reportf(pos, "new() allocates in hotpath function %s", name)
+			case allocAppend:
+				pass.Reportf(pos, "append may grow the backing array in hotpath function %s", name)
+			case allocConvBox:
+				pass.Reportf(pos, "conversion to interface boxes its operand in hotpath function %s", name)
+			case allocArgBox:
+				pass.Reportf(pos, "argument boxed into interface parameter in hotpath function %s", name)
 			}
-		case *ast.CompositeLit:
-			if litIsSliceOrMap(pass, e) {
-				pass.Reportf(e.Pos(), "slice/map literal allocates in hotpath function %s", name)
+		},
+		func(pos token.Pos, fn *types.Func) {
+			if fn == self {
+				return // direct recursion: this body is being checked here
 			}
-		case *ast.CallExpr:
-			checkHotCall(pass, name, e)
-		}
-		return true
-	})
+			if callAllocFree(pass, fn) {
+				return
+			}
+			pass.Reportf(pos, "call to %s, which is not proven alloc-free, in hotpath function %s",
+				callableName(pass.Pkg, fn), name)
+		})
 }
 
-func litIsSliceOrMap(pass *analysis.Pass, lit *ast.CompositeLit) bool {
-	tv, ok := pass.TypesInfo.Types[lit]
-	if !ok {
-		return false
-	}
-	switch tv.Type.Underlying().(type) {
-	case *types.Slice, *types.Map:
+// callAllocFree reports whether the callee is proven alloc-free — via the
+// allocfree facts (which cover this package's own functions too, since
+// AllocFree runs first on every package) or the stdlib allow-table. With
+// no fact store (fact-less harness runs), calls are not checked at all:
+// the syntactic checks still apply, interprocedural ones need the engine.
+func callAllocFree(pass *analysis.Pass, fn *types.Func) bool {
+	if pass.Facts == nil {
 		return true
 	}
-	return false
-}
-
-func checkHotCall(pass *analysis.Pass, fname string, call *ast.CallExpr) {
-	info := pass.TypesInfo
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if _, isB := info.Uses[id].(*types.Builtin); isB {
-			switch id.Name {
-			case "make":
-				pass.Reportf(call.Pos(), "make() allocates in hotpath function %s", fname)
-			case "new":
-				pass.Reportf(call.Pos(), "new() allocates in hotpath function %s", fname)
-			case "append":
-				pass.Reportf(call.Pos(), "append may grow the backing array in hotpath function %s", fname)
-			}
-			return
-		}
-	}
-	tv, ok := info.Types[call.Fun]
-	if !ok || tv.Type == nil {
-		return
-	}
-	// Explicit conversion to an interface type boxes the operand.
-	if tv.IsType() {
-		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
-			if atv, ok := info.Types[call.Args[0]]; ok && atv.Type != nil && !types.IsInterface(atv.Type) {
-				pass.Reportf(call.Pos(), "conversion to interface boxes its operand in hotpath function %s", fname)
-			}
-		}
-		return
-	}
-	// Implicit boxing: a concrete argument passed for an interface-typed
-	// parameter (including ...any variadics, e.g. fmt.Sprintf).
-	sig, ok := tv.Type.Underlying().(*types.Signature)
-	if !ok {
-		return
-	}
-	params := sig.Params()
-	for i, arg := range call.Args {
-		var pt types.Type
-		switch {
-		case sig.Variadic() && i >= params.Len()-1:
-			if call.Ellipsis.IsValid() {
-				continue // slice passed through; no per-arg boxing
-			}
-			pt = params.At(params.Len() - 1).Type()
-			if s, ok := pt.Underlying().(*types.Slice); ok {
-				pt = s.Elem()
-			}
-		case i < params.Len():
-			pt = params.At(i).Type()
-		default:
-			continue
-		}
-		if pt == nil || !types.IsInterface(pt) {
-			continue
-		}
-		atv, ok := info.Types[arg]
-		if !ok || atv.Type == nil || types.IsInterface(atv.Type) {
-			continue
-		}
-		if b, ok := atv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
-			continue
-		}
-		pass.Reportf(arg.Pos(), "argument boxed into interface parameter in hotpath function %s", fname)
-	}
+	return provenAllocFree(pass.Facts, fn)
 }

@@ -1,15 +1,19 @@
 // Package lint implements relief-lint: project-specific static analyzers
 // that enforce the simulator's determinism, hot-path, and API invariants.
 //
-// The seven analyzers (see docs/LINTING.md for the full contract):
+// The ten analyzers (see docs/LINTING.md for the full contract):
 //
 //   - nodeterm:  no wall-clock time or unseeded global randomness in
 //     simulation packages — runs must be bit-for-bit reproducible.
 //   - maporder:  no order-sensitive work inside `range` over a map —
 //     Go's map iteration order is randomized and silently breaks
 //     golden digests.
+//   - allocfree: facts-only; proves functions allocation-free (directly
+//     and through their static callees) and exports an AllocFree fact
+//     per proven function for hotalloc to consume across packages.
 //   - hotalloc:  functions annotated //relief:hotpath must not allocate
-//     (composite literals, make/new/append, closures, interface boxing).
+//     (composite literals, make/new/append, closures, interface boxing)
+//     and may only call callees proven alloc-free by allocfree facts.
 //   - nopanic:   the public facade and workload builders report errors,
 //     never panic (Must* helpers excepted by convention).
 //   - weakevent: observability code schedules only weak events
@@ -22,11 +26,18 @@
 //   - svcimport: only the serving layer (internal/serve, cmd/*) may
 //     import internal/svctrace — wall-clock service tracing never leaks
 //     into simulation packages.
+//   - lockcheck: struct fields annotated //relief:guardedby <mu> may only
+//     be accessed with the named sibling mutex held (facts carry the
+//     annotation across packages).
+//   - twoclock:  no value-level mixing of simulated time (sim.Time and
+//     types derived from it, tracked by facts) with wall-clock
+//     time.Time/time.Duration — conversions and mixed arithmetic are
+//     flagged wherever both clocks are in scope.
 //
 // A finding can be suppressed with a directive comment on the same line
-// or the line directly above:
+// or the line directly above (no intervening blank line):
 //
-//	//lint:allow <analyzer> <reason>
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
 //
 // The reason is mandatory; a bare //lint:allow <analyzer> does not
 // suppress anything.
@@ -40,6 +51,7 @@ import (
 	"strings"
 
 	"relief/internal/lint/analysis"
+	"relief/internal/lint/load"
 )
 
 // modulePath is the import path of the facade package this suite guards.
@@ -47,9 +59,35 @@ import (
 // keyed off this constant.
 const modulePath = "relief"
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order (fact producers
+// before their consumers, matching the Requires edges).
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{NoDeterm, MapOrder, HotAlloc, NoPanic, WeakEvent, PeerCtx, SvcImport}
+	return []*analysis.Analyzer{
+		NoDeterm, MapOrder, AllocFree, HotAlloc, NoPanic,
+		WeakEvent, PeerCtx, SvcImport, LockCheck, TwoClock,
+	}
+}
+
+// Expand returns analyzers plus the transitive closure of their Requires
+// edges, ordered so every analyzer follows everything it requires.
+func Expand(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	seen := make(map[*analysis.Analyzer]bool)
+	var add func(a *analysis.Analyzer)
+	add = func(a *analysis.Analyzer) {
+		if seen[a] {
+			return
+		}
+		seen[a] = true
+		for _, r := range a.Requires {
+			add(r)
+		}
+		out = append(out, a)
+	}
+	for _, a := range analyzers {
+		add(a)
+	}
+	return out
 }
 
 // Finding is one reported, non-suppressed diagnostic.
@@ -61,13 +99,16 @@ type Finding struct {
 	Message  string `json:"message"`
 }
 
-// RunPackage applies analyzers to one type-checked package and returns the
-// findings that survive //lint:allow directive filtering, sorted by
-// position.
-func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]Finding, error) {
+// RunPackage applies analyzers (expanded with their Requires closure) to
+// one type-checked package and returns the findings that survive
+// //lint:allow directive filtering, sorted by position. facts carries the
+// dependency packages' fact streams in and this package's exports out; a
+// nil facts runs the pass fact-less (facts-only analyzers then report
+// nothing).
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer, facts *analysis.FactSet) ([]Finding, error) {
 	allowed := collectAllows(fset, files)
 	var out []Finding
-	for _, a := range analyzers {
+	for _, a := range Expand(analyzers) {
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -76,6 +117,7 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, err
@@ -117,6 +159,51 @@ func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info
 	return out, nil
 }
 
+// RunPackages drives the whole-module facts pipeline: packages arrive in
+// dependency order (load.Packages), each one is analyzed with exactly its
+// direct imports' fact streams decoded into a fresh store, and its own
+// exports are gob-encoded for its dependents — the same serialization the
+// unitchecker path uses, so facts that survive here survive `go vet
+// -vettool` too. Findings are reported for Target packages only;
+// dependencies run just the fact-producing analyzers.
+func RunPackages(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	expanded := Expand(analyzers)
+	analysis.RegisterFactTypes(expanded)
+	var factual []*analysis.Analyzer
+	for _, a := range expanded {
+		if len(a.FactTypes) > 0 {
+			factual = append(factual, a)
+		}
+	}
+	blobs := make(map[string][]byte, len(pkgs))
+	var out []Finding
+	for _, pkg := range pkgs {
+		facts := analysis.NewFactSet()
+		for _, imp := range pkg.Imports {
+			if err := facts.Decode(blobs[imp]); err != nil {
+				return nil, err
+			}
+		}
+		run := factual
+		if pkg.Target {
+			run = expanded
+		}
+		findings, err := RunPackage(fset, pkg.Files, pkg.Types, pkg.TypesInfo, run, facts)
+		if err != nil {
+			return nil, err
+		}
+		if pkg.Target {
+			out = append(out, findings...)
+		}
+		blob, err := facts.Encode()
+		if err != nil {
+			return nil, err
+		}
+		blobs[pkg.ImportPath] = blob
+	}
+	return out, nil
+}
+
 // allowKey identifies one (file, line, analyzer) suppression.
 type allowKey struct {
 	file     string
@@ -125,9 +212,10 @@ type allowKey struct {
 }
 
 // collectAllows scans comments for //lint:allow directives. A directive
-// suppresses findings of the named analyzer on its own line and on the
-// line immediately below (covering both trailing and leading placement).
-// The reason text after the analyzer name is required.
+// suppresses findings of the named analyzers (one, or several separated
+// by commas) on its own line and on the line immediately below (covering
+// both trailing and leading placement; an intervening blank line breaks
+// the association). The reason text after the analyzer list is required.
 func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 	allows := make(map[allowKey]bool)
 	for _, f := range files {
@@ -142,11 +230,28 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[allowKey]bool {
 					continue // no reason given: directive is inert
 				}
 				pos := fset.Position(c.Pos())
-				allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "" {
+						continue
+					}
+					allows[allowKey{pos.Filename, pos.Line, name}] = true
+				}
 			}
 		}
 	}
 	return allows
+}
+
+// allowsHotAlloc reports whether an allocation at pos is opted out via a
+// //lint:allow hotalloc directive. The allocfree fact computation shares
+// the suppression rule with the diagnostic filter: an allowed allocation
+// is treated as amortized-free, so the containing function can still be
+// proven alloc-free for its callers.
+func allowsHotAlloc(allows map[allowKey]bool, pos token.Position) bool {
+	// The analyzer name is spelled out: referring to HotAlloc here would
+	// create an initialization cycle through its Requires edge.
+	return allows[allowKey{pos.Filename, pos.Line, "hotalloc"}] ||
+		allows[allowKey{pos.Filename, pos.Line - 1, "hotalloc"}]
 }
 
 // pkgIn reports whether path is one of the listed packages, where each

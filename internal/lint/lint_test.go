@@ -23,6 +23,29 @@ func TestHotAlloc(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.HotAlloc, "relief/internal/dram")
 }
 
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockCheck,
+		"relief/internal/guard", "relief/internal/guarduser")
+}
+
+func TestTwoClock(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.TwoClock, "relief/internal/mixer")
+}
+
+// TestAllowEdgeCases pins the //lint:allow placement rules: same line and
+// line-above suppress, an intervening blank line or a missing reason does
+// not.
+func TestAllowEdgeCases(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotAlloc, "relief/internal/allow")
+}
+
+// TestAllowMulti runs both analyzers named in a comma-list directive over
+// the same fixture line; neither may report.
+func TestAllowMulti(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotAlloc, "relief/internal/allowmulti")
+	analysistest.Run(t, "testdata", lint.TwoClock, "relief/internal/allowmulti")
+}
+
 func TestNoPanic(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.NoPanic, "relief", "relief/internal/workload")
 }
@@ -50,10 +73,35 @@ func TestSuiteCleanOnRealKernel(t *testing.T) {
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
 	}
-	findings, err := lint.RunPackage(fset, pkgs[0].Files, pkgs[0].Types, pkgs[0].TypesInfo, lint.All())
+	findings, err := lint.RunPackages(fset, pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+	}
+}
+
+// TestSuiteCleanOnWholeModule is the repo-wide regression gate: the full
+// ten-analyzer suite — interprocedural hotalloc, lockcheck over the
+// annotated serving structs, twoclock, and all — reports nothing on the
+// real tree, with facts flowing bottom-up across every module package.
+func TestSuiteCleanOnWholeModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is not short")
+	}
+	fset, pkgs, err := load.Packages("", "relief/...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	suite := lint.All()
+	if len(suite) != 10 {
+		t.Fatalf("suite has %d analyzers, want 10", len(suite))
+	}
+	findings, err := lint.RunPackages(fset, pkgs, suite)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

@@ -25,13 +25,22 @@ import (
 	"path/filepath"
 )
 
-// Package is one parsed, type-checked lint target.
+// Package is one parsed, type-checked lint target or module dependency.
 type Package struct {
 	ImportPath string
 	Dir        string
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+
+	// Target marks a package named by the load patterns (findings are
+	// reported for targets); false for module dependencies loaded only so
+	// fact-producing analyzers can run over them bottom-up.
+	Target bool
+
+	// Imports lists the package's direct imports, so a facts driver can
+	// feed each package exactly its dependencies' fact streams.
+	Imports []string
 }
 
 // listEntry is the subset of `go list -json` output the loader consumes.
@@ -44,19 +53,25 @@ type listEntry struct {
 	DepOnly    bool
 	GoFiles    []string
 	CgoFiles   []string
+	Imports    []string
 	Error      *struct{ Err string }
 }
 
 // Packages lists, parses, and type-checks the packages matching patterns
-// (relative to dir; empty dir means the current directory). Dependencies
-// are resolved through build-cache export data, so the module must build.
+// (relative to dir; empty dir means the current directory), plus every
+// in-module dependency of theirs, so fact-producing analyzers can run
+// bottom-up over the whole module slice. Packages come back in dependency
+// order (`go list -deps` post-order: a package after everything it
+// imports) with Target set on the pattern-named ones. Standard-library
+// dependencies are resolved through build-cache export data only, so the
+// module must build.
 func Packages(dir string, patterns ...string) (*token.FileSet, []*Package, error) {
 	entries, err := goList(dir, patterns...)
 	if err != nil {
 		return nil, nil, err
 	}
 	exports := make(map[string]string, len(entries))
-	var targets []*listEntry
+	var module []*listEntry
 	for _, e := range entries {
 		if e.Error != nil {
 			return nil, nil, fmt.Errorf("load: %s: %s", e.ImportPath, e.Error.Err)
@@ -64,15 +79,15 @@ func Packages(dir string, patterns ...string) (*token.FileSet, []*Package, error
 		if e.Export != "" {
 			exports[e.ImportPath] = e.Export
 		}
-		if !e.DepOnly && !e.Standard {
-			targets = append(targets, e)
+		if !e.Standard {
+			module = append(module, e)
 		}
 	}
 
 	fset := token.NewFileSet()
 	imp := ExportImporter(fset, exports)
 	var pkgs []*Package
-	for _, e := range targets {
+	for _, e := range module {
 		if len(e.CgoFiles) > 0 {
 			// cgo files need preprocessing the loader does not do; the
 			// repo has none, so refuse loudly rather than lint half a
@@ -83,6 +98,8 @@ func Packages(dir string, patterns ...string) (*token.FileSet, []*Package, error
 		if err != nil {
 			return nil, nil, err
 		}
+		pkg.Target = !e.DepOnly
+		pkg.Imports = e.Imports
 		pkgs = append(pkgs, pkg)
 	}
 	return fset, pkgs, nil

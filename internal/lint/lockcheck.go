@@ -1,0 +1,471 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"relief/internal/lint/analysis"
+)
+
+// guardedByDirective annotates a struct field with the sibling mutex that
+// must be held to touch it:
+//
+//	mu    sync.Mutex
+//	cache *cache //relief:guardedby mu
+//
+// The directive goes in the field's doc comment or trailing line comment.
+// A method known to be called with the lock already held opts out of
+// re-acquisition either by the *Locked name-suffix convention or with a
+// //relief:holds mu directive in its doc comment.
+const (
+	guardedByDirective = "//relief:guardedby"
+	holdsDirective     = "//relief:holds"
+)
+
+// GuardedByFact records, for one struct field, the name of the sibling
+// mutex field that guards it. Exported for every annotated field so
+// packages that import the struct check their own accesses too.
+type GuardedByFact struct {
+	Mutex string
+}
+
+func (*GuardedByFact) AFact() {}
+
+func (f *GuardedByFact) String() string { return "guardedBy(" + f.Mutex + ")" }
+
+// LockCheck enforces mutex discipline on annotated struct fields: a field
+// carrying //relief:guardedby mu may only be read while `mu` (or its
+// read side, for an RWMutex) is held on the same value, and only written
+// under the exclusive lock. The lock set is tracked intra-procedurally:
+// x.mu.Lock()/RLock() add, Unlock()/RUnlock() remove, deferred unlocks
+// keep the lock held to function exit, and branch-local acquisitions do
+// not leak past their block. Closures start with an empty lock set (they
+// may run on another goroutine). Accesses rooted at a variable declared
+// inside the function body — a value under construction that no other
+// goroutine can see yet — are exempt.
+var LockCheck = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "fields annotated //relief:guardedby mu may only be accessed while " +
+		"the named sibling mutex is held (RLock suffices for reads)",
+	FactTypes: []analysis.Fact{&GuardedByFact{}},
+	Run:       runLockCheck,
+}
+
+// lockKind is the strength of a held lock.
+type lockKind int
+
+const (
+	lockRead  lockKind = iota + 1 // RLock: reads only
+	lockWrite                     // Lock: reads and writes
+)
+
+type lockSet map[string]lockKind // "base.mu" -> strength
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type lockChecker struct {
+	pass   *analysis.Pass
+	guards map[*types.Var]string // local annotated fields -> mutex name
+}
+
+func runLockCheck(pass *analysis.Pass) error {
+	c := &lockChecker{pass: pass, guards: collectGuards(pass)}
+	for field, mutex := range c.guards {
+		pass.ExportObjectFact(field, &GuardedByFact{Mutex: mutex})
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil
+}
+
+// collectGuards finds //relief:guardedby annotations on struct fields and
+// resolves them to field objects.
+func collectGuards(pass *analysis.Pass) map[*types.Var]string {
+	guards := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				mutex := guardDirective(f.Doc, f.Comment)
+				if mutex == "" {
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guards[v] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardDirective extracts the mutex name from a field's comments.
+func guardDirective(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, guardedByDirective+" ")
+			if !ok {
+				continue
+			}
+			if fields := strings.Fields(rest); len(fields) > 0 {
+				return fields[0]
+			}
+		}
+	}
+	return ""
+}
+
+// guardOf reports the guarding mutex name for a field object: local
+// annotations first, then imported facts for fields of foreign structs.
+func (c *lockChecker) guardOf(field *types.Var) (string, bool) {
+	if m, ok := c.guards[field]; ok {
+		return m, true
+	}
+	if c.pass.Facts != nil {
+		var fact GuardedByFact
+		if c.pass.Facts.ImportObjectFact(field, &fact) {
+			return fact.Mutex, true
+		}
+	}
+	return "", false
+}
+
+// checkFunc walks one function body with lock-set tracking.
+func (c *lockChecker) checkFunc(fd *ast.FuncDecl) {
+	held := make(lockSet)
+	// Pre-seed locks the function is documented (or named) to be called
+	// under: //relief:holds mu grants recv.mu; the *Locked name-suffix
+	// convention grants every guard mutex of the receiver type.
+	if recv := receiverName(fd); recv != "" {
+		if fd.Doc != nil {
+			for _, cm := range fd.Doc.List {
+				rest, ok := strings.CutPrefix(cm.Text, holdsDirective+" ")
+				if !ok {
+					continue
+				}
+				for _, m := range strings.Fields(rest) {
+					held[recv+"."+m] = lockWrite
+				}
+			}
+		}
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			for _, m := range c.receiverGuards(fd) {
+				held[recv+"."+m] = lockWrite
+			}
+		}
+	}
+	c.walkStmts(fd.Body.List, held, fd)
+}
+
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// receiverGuards lists the distinct mutex names guarding any field of the
+// method's receiver type.
+func (c *lockChecker) receiverGuards(fd *ast.FuncDecl) []string {
+	recv := fd.Recv.List[0]
+	tv, ok := c.pass.TypesInfo.Types[recv.Type]
+	if !ok {
+		return nil
+	}
+	rt := tv.Type
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	st, ok := rt.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var names []string
+	seen := make(map[string]bool)
+	for i := 0; i < st.NumFields(); i++ {
+		if m, ok := c.guardOf(st.Field(i)); ok && !seen[m] {
+			seen[m] = true
+			names = append(names, m)
+		}
+	}
+	return names
+}
+
+// walkStmts processes a statement list sequentially, mutating held as
+// locks are taken and released at this nesting level. Nested blocks get a
+// clone, so a branch-local acquisition never appears held afterwards.
+func (c *lockChecker) walkStmts(stmts []ast.Stmt, held lockSet, fd *ast.FuncDecl) {
+	for _, stmt := range stmts {
+		c.walkStmt(stmt, held, fd)
+	}
+}
+
+func (c *lockChecker) walkStmt(stmt ast.Stmt, held lockSet, fd *ast.FuncDecl) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if key, kind, isOp, locks := lockOp(c.pass.TypesInfo, s.X); isOp {
+			if locks {
+				held[key] = kind
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		c.checkExpr(s.X, held, fd, false)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held through every path to
+		// return; a deferred anything-else is checked like a call (its
+		// arguments evaluate now) but its body runs under unknown locks.
+		if _, _, isOp, locks := lockOp(c.pass.TypesInfo, s.Call); isOp && !locks {
+			return
+		}
+		c.checkExpr(s.Call, held, fd, false)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, held, fd, false)
+		}
+		for _, lhs := range s.Lhs {
+			c.checkExpr(lhs, held, fd, true)
+		}
+	case *ast.IncDecStmt:
+		c.checkExpr(s.X, held, fd, true)
+	case *ast.SendStmt:
+		c.checkExpr(s.Chan, held, fd, false)
+		c.checkExpr(s.Value, held, fd, false)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, held, fd, false)
+		}
+	case *ast.IfStmt:
+		inner := held.clone()
+		if s.Init != nil {
+			c.walkStmt(s.Init, inner, fd)
+		}
+		c.checkExpr(s.Cond, inner, fd, false)
+		c.walkStmts(s.Body.List, inner.clone(), fd)
+		if s.Else != nil {
+			c.walkStmt(s.Else, inner.clone(), fd)
+		}
+	case *ast.ForStmt:
+		inner := held.clone()
+		if s.Init != nil {
+			c.walkStmt(s.Init, inner, fd)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond, inner, fd, false)
+		}
+		if s.Post != nil {
+			c.walkStmt(s.Post, inner.clone(), fd)
+		}
+		c.walkStmts(s.Body.List, inner.clone(), fd)
+	case *ast.RangeStmt:
+		inner := held.clone()
+		c.checkExpr(s.X, inner, fd, false)
+		c.walkStmts(s.Body.List, inner.clone(), fd)
+	case *ast.BlockStmt:
+		c.walkStmts(s.List, held.clone(), fd)
+	case *ast.SwitchStmt:
+		inner := held.clone()
+		if s.Init != nil {
+			c.walkStmt(s.Init, inner, fd)
+		}
+		if s.Tag != nil {
+			c.checkExpr(s.Tag, inner, fd, false)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					c.checkExpr(e, inner, fd, false)
+				}
+				c.walkStmts(cc.Body, inner.clone(), fd)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		inner := held.clone()
+		if s.Init != nil {
+			c.walkStmt(s.Init, inner, fd)
+		}
+		c.walkStmt(s.Assign, inner, fd)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.walkStmts(cc.Body, inner.clone(), fd)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				inner := held.clone()
+				if cc.Comm != nil {
+					c.walkStmt(cc.Comm, inner, fd)
+				}
+				c.walkStmts(cc.Body, inner, fd)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.walkStmt(s.Stmt, held, fd)
+	case *ast.GoStmt:
+		// The goroutine body runs concurrently; closures are checked with
+		// an empty lock set by checkExpr's FuncLit case.
+		c.checkExpr(s.Call, held, fd, false)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.checkExpr(v, held, fd, false)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkExpr walks an expression, reporting guarded-field accesses made
+// without the required lock. write marks the outermost selector as a
+// mutation (assignment target or ++/--).
+func (c *lockChecker) checkExpr(expr ast.Expr, held lockSet, fd *ast.FuncDecl, write bool) {
+	if expr == nil {
+		return
+	}
+	outer := ast.Expr(nil)
+	if write {
+		// The written-to selector is the expression itself, stripped of
+		// parens; everything beneath it is read.
+		outer = ast.Unparen(expr)
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			// Closures may run later on another goroutine: their bodies
+			// are checked against an empty lock set.
+			c.walkStmts(e.Body.List, make(lockSet), fd)
+			return false
+		case *ast.SelectorExpr:
+			c.checkSelector(e, held, fd, e == outer)
+		}
+		return true
+	})
+}
+
+func (c *lockChecker) checkSelector(sel *ast.SelectorExpr, held lockSet, fd *ast.FuncDecl, write bool) {
+	field, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || field.Kind() != types.FieldVal {
+		return
+	}
+	v, ok := field.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	mutex, guarded := c.guardOf(v)
+	if !guarded {
+		return
+	}
+	base := renderChain(sel.X)
+	if base == "" {
+		return // base too complex to match against lock operations
+	}
+	if c.rootIsBodyLocal(sel.X, fd) {
+		return // value under construction; not visible to other goroutines
+	}
+	kind := held[base+"."+mutex]
+	switch {
+	case kind == 0:
+		c.pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s.%s, which is not held here",
+			base, sel.Sel.Name, base, mutex)
+	case write && kind == lockRead:
+		c.pass.Reportf(sel.Sel.Pos(), "%s.%s is written while %s.%s is only read-locked",
+			base, sel.Sel.Name, base, mutex)
+	}
+}
+
+// rootIsBodyLocal reports whether the leftmost identifier of the access
+// chain is a variable declared inside this function's body (not a
+// parameter or receiver): a freshly constructed value that cannot yet be
+// shared, so its guarded fields may be initialized lock-free.
+func (c *lockChecker) rootIsBodyLocal(expr ast.Expr, fd *ast.FuncDecl) bool {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.Ident:
+			v, ok := c.pass.TypesInfo.Uses[e].(*types.Var)
+			if !ok {
+				return false
+			}
+			return v.Pos() > fd.Body.Pos() && v.Pos() < fd.Body.End()
+		default:
+			return false
+		}
+	}
+}
+
+// renderChain renders a plain selector chain ("s", "h.inner") for lock
+// matching; anything with calls, indexing, or dereferences renders empty.
+func renderChain(expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := renderChain(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// lockOp decodes expr as a mutex operation `base.mu.Lock()` (or RLock /
+// Unlock / RUnlock) on a sync.Mutex or sync.RWMutex, returning the held-
+// set key ("base.mu"), the strength, whether it was a lock operation at
+// all, and whether it acquires (true) or releases (false).
+func lockOp(info *types.Info, expr ast.Expr) (key string, kind lockKind, isOp, locks bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", 0, false, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", 0, false, false
+	}
+	key = renderChain(sel.X)
+	if key == "" {
+		return "", 0, false, false
+	}
+	switch fn.Name() {
+	case "Lock":
+		return key, lockWrite, true, true
+	case "RLock":
+		return key, lockRead, true, true
+	case "Unlock", "RUnlock":
+		return key, 0, true, false
+	}
+	return "", 0, false, false
+}

@@ -1,0 +1,41 @@
+// Suppression edge-case fixture for //lint:allow placement rules: the
+// directive works on the finding's own line or the line directly above,
+// and an intervening blank line breaks the association.
+package allow
+
+type box struct {
+	buf []int
+}
+
+// above: the directive on the line directly above suppresses.
+//
+//relief:hotpath
+func (b *box) above(n int) {
+	//lint:allow hotalloc refilling the pool is amortized
+	b.buf = make([]int, n)
+}
+
+// trailing: the directive on the same line suppresses.
+//
+//relief:hotpath
+func (b *box) trailing(n int) {
+	b.buf = append(b.buf, n) //lint:allow hotalloc growth is amortized
+}
+
+// gapped: a blank line between the directive and the construct orphans
+// the directive, so the finding stands.
+//
+//relief:hotpath
+func (b *box) gapped(n int) {
+	//lint:allow hotalloc orphaned by the blank line below
+
+	b.buf = make([]int, n) // want `make\(\) allocates in hotpath function gapped`
+}
+
+// bare: a directive without a reason is inert.
+//
+//relief:hotpath
+func (b *box) bare(n int) {
+	//lint:allow hotalloc
+	b.buf = make([]int, n) // want `make\(\) allocates in hotpath function bare`
+}

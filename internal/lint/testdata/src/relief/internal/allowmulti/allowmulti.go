@@ -1,0 +1,20 @@
+// Comma-list suppression fixture: one line that trips two analyzers
+// (hotalloc interface boxing and a twoclock conversion), silenced for
+// both by a single //lint:allow hotalloc,twoclock directive. Both
+// analyzers run over this package expecting zero findings.
+package allowmulti
+
+import (
+	"time"
+
+	"relief/internal/sim"
+)
+
+type sink struct {
+	last interface{}
+}
+
+//relief:hotpath
+func (s *sink) record(d time.Duration) {
+	s.last = interface{}(sim.Time(d)) //lint:allow hotalloc,twoclock debug tap: boxes one value on a wall-clock boundary
+}

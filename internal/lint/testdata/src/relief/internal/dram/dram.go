@@ -1,6 +1,10 @@
 // hotalloc fixture: functions annotated //relief:hotpath must not
-// allocate; unannotated functions may.
+// allocate; unannotated functions may. The interprocedural cases call
+// same-package helpers (proven or not by the allocfree fixpoint) and the
+// sim fixture package (facts crossing a package boundary).
 package dram
+
+import "relief/internal/sim"
 
 type controller struct {
 	queue []int
@@ -55,4 +59,38 @@ func (c *controller) cold(n int) {
 	_ = map[int]int{}
 	c.cb = func() {}
 	variadicSink(n)
+}
+
+// leak allocates, so it can never be proven alloc-free.
+func leak() []int { return make([]int, 8) }
+
+// tight is clean; the allocfree fixpoint proves it.
+func tight(n int) int { return n * 2 }
+
+// halve and shrink are clean mutual recursion: the optimistic fixpoint
+// keeps the cycle provably alloc-free.
+func halve(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return shrink(n / 2)
+}
+
+func shrink(n int) int { return halve(n - 1) }
+
+// chase exercises the interprocedural check: proven same-package callees
+// and the sim fixture's clean Kernel.Now pass, the allocating ones are
+// flagged, and direct recursion is exempt (this body is checked here).
+//
+//relief:hotpath
+func (c *controller) chase(k *sim.Kernel, n int) int {
+	if n > 0 {
+		return c.chase(k, n-1)
+	}
+	n = tight(n)
+	n += halve(n)
+	_ = k.Now()
+	k.Schedule(sim.Time(n), c.cb) // want `call to sim\.Kernel\.Schedule, which is not proven alloc-free, in hotpath function chase`
+	_ = leak()                    // want `call to leak, which is not proven alloc-free, in hotpath function chase`
+	return n
 }

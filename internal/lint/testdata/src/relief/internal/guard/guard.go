@@ -1,0 +1,112 @@
+// lockcheck fixture: fields annotated //relief:guardedby mu may only be
+// accessed while the named sibling mutex is held on the same value.
+package guard
+
+import "sync"
+
+type Tracker struct {
+	mu    sync.Mutex
+	count int //relief:guardedby mu
+	name  string
+}
+
+// Registry is the exported cross-package case: the guardedby fact on
+// Entries travels to importers (see the guarduser fixture).
+type Registry struct {
+	Mu      sync.RWMutex
+	Entries map[string]int //relief:guardedby Mu
+}
+
+// Good brackets the access with the lock.
+func (t *Tracker) Good() {
+	t.mu.Lock()
+	t.count++
+	t.mu.Unlock()
+}
+
+// Deferred holds the lock to function exit.
+func (t *Tracker) Deferred() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Free never touches a guarded field, so no lock is needed.
+func (t *Tracker) Free() string { return t.name }
+
+// Bad accesses the guarded field with no lock at all.
+func (t *Tracker) Bad() {
+	t.count++ // want `t\.count is guarded by t\.mu, which is not held here`
+}
+
+// Stale accesses the guarded field after releasing the lock.
+func (t *Tracker) Stale() {
+	t.mu.Lock()
+	t.count++
+	t.mu.Unlock()
+	t.count = 0 // want `t\.count is guarded by t\.mu, which is not held here`
+}
+
+// Branch releases on one path; the access after the if sees the merged
+// (pessimistic) state.
+func (t *Tracker) Branch(b bool) {
+	if b {
+		t.mu.Lock()
+		t.count++
+		t.mu.Unlock()
+		return
+	}
+	t.count-- // want `t\.count is guarded by t\.mu, which is not held here`
+}
+
+// Leaky acquires only inside a branch: the acquisition must not leak
+// past its block.
+func (t *Tracker) Leaky(b bool) {
+	if b {
+		t.mu.Lock()
+	}
+	t.count++ // want `t\.count is guarded by t\.mu, which is not held here`
+	if b {
+		t.mu.Unlock()
+	}
+}
+
+// countLocked relies on the name-suffix convention: callers hold t.mu.
+func (t *Tracker) countLocked() int { return t.count }
+
+// bump is documented to run with the lock held.
+//
+//relief:holds mu
+func (t *Tracker) bump() { t.count++ }
+
+// Spawn hands work to another goroutine: the closure starts with an
+// empty lock set even though the spawner holds the lock.
+func (t *Tracker) Spawn() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		t.count++ // want `t\.count is guarded by t\.mu, which is not held here`
+	}()
+}
+
+// NewTracker builds a value no other goroutine can see yet; guarded
+// fields of body-local values may be initialized lock-free.
+func NewTracker(n int) *Tracker {
+	t := &Tracker{}
+	t.count = n
+	return t
+}
+
+// Reads holds the read side, which suffices for reads.
+func (r *Registry) Reads() int {
+	r.Mu.RLock()
+	defer r.Mu.RUnlock()
+	return len(r.Entries)
+}
+
+// WriteUnderRead mutates under the read lock.
+func (r *Registry) WriteUnderRead() {
+	r.Mu.RLock()
+	defer r.Mu.RUnlock()
+	r.Entries = nil // want `r\.Entries is written while r\.Mu is only read-locked`
+}

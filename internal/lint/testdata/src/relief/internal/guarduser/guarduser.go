@@ -1,0 +1,22 @@
+// lockcheck cross-package fixture: the guardedby fact exported for
+// guard.Registry.Entries reaches importing packages, so foreign accesses
+// are held to the same discipline.
+package guarduser
+
+import "relief/internal/guard"
+
+// Size reads the guarded field without the lock.
+func Size(r *guard.Registry) int {
+	return len(r.Entries) // want `r\.Entries is guarded by r\.Mu, which is not held here`
+}
+
+// Snapshot reads under the read lock, which facts-imported guards accept.
+func Snapshot(r *guard.Registry) map[string]int {
+	r.Mu.RLock()
+	defer r.Mu.RUnlock()
+	out := make(map[string]int, len(r.Entries))
+	for k, v := range r.Entries {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+// twoclock fixture: conversions and arithmetic mixing simulated time
+// (sim.Time and derived types, including fact-imported ones) with
+// wall-clock time.Time/time.Duration are flagged; same-clock and plain
+// numeric conversions are not.
+package mixer
+
+import (
+	"time"
+
+	"relief/internal/sim"
+	"relief/internal/stamp"
+)
+
+// tick is the in-package derived case: no fact import needed.
+type tick sim.Time
+
+func conversions(d time.Duration, t sim.Time, e stamp.Epoch) {
+	_ = sim.Time(d)        // want `conversion of wall-clock time\.Duration to simulated sim\.Time mixes the two clocks`
+	_ = sim.Time(int64(d)) // want `conversion of wall-clock time\.Duration to simulated sim\.Time mixes the two clocks`
+	_ = time.Duration(t)   // want `conversion of simulated sim\.Time to wall-clock time\.Duration mixes the two clocks`
+	_ = stamp.Stamp(d)     // want `conversion of wall-clock time\.Duration to simulated stamp\.Stamp mixes the two clocks`
+	_ = time.Duration(e)   // want `conversion of simulated stamp\.Epoch to wall-clock time\.Duration mixes the two clocks`
+	_ = tick(d)            // want `conversion of wall-clock time\.Duration to simulated tick mixes the two clocks`
+
+	_ = sim.Time(t)    // same clock: fine
+	_ = stamp.Stamp(t) // sim to derived sim: fine
+	_ = tick(e)        // derived to derived: fine
+	_ = int64(d)       // leaving the wall clock for plain numerics: fine
+	_ = sim.Time(int64(42))
+}
+
+func arithmetic(d time.Duration, t sim.Time) {
+	_ = t << d // want `operands mix simulated sim\.Time and wall-clock time\.Duration`
+	_ = t + t  // same clock: fine
+	_ = d + d  // same clock: fine
+}
+
+func allowed(d time.Duration) sim.Time {
+	return sim.Time(d) //lint:allow twoclock boundary adapter converting configured wall budgets into sim picoseconds
+}

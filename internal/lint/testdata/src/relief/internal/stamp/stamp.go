@@ -1,0 +1,11 @@
+// twoclock fixture dependency: types derived from sim.Time carry the
+// SimClock fact, so importers' conversions are checked against them.
+package stamp
+
+import "relief/internal/sim"
+
+// Stamp is a simulated timestamp.
+type Stamp sim.Time
+
+// Epoch derives one level deeper; the in-package fixpoint still marks it.
+type Epoch Stamp

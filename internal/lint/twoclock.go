@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"relief/internal/lint/analysis"
+)
+
+// SimClockFact marks a named type as carrying simulated time: sim.Time
+// itself, or any type declared (possibly transitively) from it, e.g.
+//
+//	type Stamp sim.Time
+//
+// Exported for every such type so the two-clock check follows derived
+// timestamp types across package boundaries.
+type SimClockFact struct{}
+
+func (*SimClockFact) AFact() {}
+
+func (*SimClockFact) String() string { return "simClock" }
+
+// TwoClock flags value-level mixing of the simulator's clock (sim.Time,
+// picoseconds since run start) with the wall clock (time.Time and
+// time.Duration): conversions from one clock's types to the other's —
+// including through intermediate numeric conversions like
+// sim.Time(int64(d)) — and binary expressions with one operand on each
+// clock. The two clocks advance independently; a value laundered across
+// the boundary is a determinism bug (wall time leaking into the
+// simulation) or a unit bug (picoseconds read as nanoseconds). Deliberate
+// boundary crossings (e.g. formatting sim time for humans) carry a
+// //lint:allow twoclock directive with a reason.
+var TwoClock = &analysis.Analyzer{
+	Name: "twoclock",
+	Doc: "forbid conversions and arithmetic mixing simulated time (sim.Time " +
+		"and types derived from it) with wall-clock time.Time/time.Duration",
+	FactTypes: []analysis.Fact{&SimClockFact{}},
+	Run:       runTwoClock,
+}
+
+type twoClockChecker struct {
+	pass  *analysis.Pass
+	local map[*types.TypeName]bool // in-package types derived from sim.Time
+}
+
+func runTwoClock(pass *analysis.Pass) error {
+	c := &twoClockChecker{pass: pass, local: make(map[*types.TypeName]bool)}
+	c.collectDerived()
+	for tn := range c.local {
+		pass.ExportObjectFact(tn, &SimClockFact{})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				c.checkConversion(e)
+			case *ast.BinaryExpr:
+				c.checkBinary(e)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectDerived finds package-level `type X Y` declarations whose right-
+// hand side is a sim-clock type, iterating to a fixpoint so chains
+// (type A sim.Time; type B A) resolve regardless of declaration order.
+// Aliases need no entry: type identity already resolves them.
+func (c *twoClockChecker) collectDerived() {
+	for {
+		changed := false
+		for _, file := range c.pass.Files {
+			for _, d := range file.Decls {
+				gd, ok := d.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok || ts.Assign.IsValid() {
+						continue
+					}
+					tn, ok := c.pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+					if !ok || c.local[tn] {
+						continue
+					}
+					rhs, ok := c.pass.TypesInfo.Types[ts.Type]
+					if !ok || rhs.Type == nil {
+						continue
+					}
+					if c.isSimClock(rhs.Type) {
+						c.local[tn] = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// isSimClock reports whether t is a simulated-time type: sim.Time itself,
+// a local derived type, or a type with an imported SimClock fact.
+func (c *twoClockChecker) isSimClock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	if tn.Pkg() != nil && strings.HasSuffix(tn.Pkg().Path(), "internal/sim") && tn.Name() == "Time" {
+		return true
+	}
+	if c.local[tn] {
+		return true
+	}
+	if c.pass.Facts != nil {
+		var fact SimClockFact
+		if c.pass.Facts.ImportObjectFact(tn, &fact) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWallClock reports whether t is time.Time or time.Duration.
+func isWallClock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil || tn.Pkg().Path() != "time" {
+		return false
+	}
+	return tn.Name() == "Time" || tn.Name() == "Duration"
+}
+
+// clockOf classifies a type: "simulated" / "wall-clock" / "" (neither).
+func (c *twoClockChecker) clockOf(t types.Type) string {
+	switch {
+	case c.isSimClock(t):
+		return "simulated"
+	case isWallClock(t):
+		return "wall-clock"
+	}
+	return ""
+}
+
+// operandClock classifies the expression feeding a conversion, looking
+// through intermediate plain-numeric conversions so that laundering like
+// sim.Time(int64(d)) is still caught.
+func (c *twoClockChecker) operandClock(expr ast.Expr) (string, types.Type) {
+	for {
+		expr = ast.Unparen(expr)
+		tv, ok := c.pass.TypesInfo.Types[expr]
+		if !ok || tv.Type == nil {
+			return "", nil
+		}
+		if clock := c.clockOf(tv.Type); clock != "" {
+			return clock, tv.Type
+		}
+		// Look through a nested conversion: int64(x), uint64(x), ...
+		call, ok := expr.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return "", nil
+		}
+		if ftv, ok := c.pass.TypesInfo.Types[call.Fun]; !ok || !ftv.IsType() {
+			return "", nil
+		}
+		expr = call.Args[0]
+	}
+}
+
+func (c *twoClockChecker) checkConversion(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dstClock := c.clockOf(tv.Type)
+	if dstClock == "" {
+		return
+	}
+	srcClock, srcType := c.operandClock(call.Args[0])
+	if srcClock == "" || srcClock == dstClock {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "conversion of %s %s to %s %s mixes the two clocks",
+		srcClock, typeName(c.pass.Pkg, srcType), dstClock, typeName(c.pass.Pkg, tv.Type))
+}
+
+func (c *twoClockChecker) checkBinary(e *ast.BinaryExpr) {
+	xt, ok := c.pass.TypesInfo.Types[e.X]
+	if !ok || xt.Type == nil {
+		return
+	}
+	yt, ok := c.pass.TypesInfo.Types[e.Y]
+	if !ok || yt.Type == nil {
+		return
+	}
+	xc, yc := c.clockOf(xt.Type), c.clockOf(yt.Type)
+	if xc == "" || yc == "" || xc == yc {
+		return
+	}
+	c.pass.Reportf(e.OpPos, "operands mix %s %s and %s %s",
+		xc, typeName(c.pass.Pkg, xt.Type), yc, typeName(c.pass.Pkg, yt.Type))
+}
+
+// typeName renders a type for diagnostics, package-qualified unless it is
+// declared in the package under analysis.
+func typeName(current *types.Package, t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string {
+		if p == current {
+			return ""
+		}
+		return p.Name()
+	})
+}

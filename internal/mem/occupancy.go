@@ -37,7 +37,7 @@ func (o *Occupancy) linkBusy(busy bool) {
 		// An event-driven transition while a claim is analytic means the
 		// claim is no longer the sole traffic; fold it back to event-driven
 		// state first so the union below composes correctly.
-		o.cl.materialize()
+		o.cl.materialize() //lint:allow hotalloc claim conflict fold-back is a cold path; sole-occupant steady state never takes it
 	}
 	if busy {
 		if o.active == 0 {

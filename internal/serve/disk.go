@@ -50,7 +50,7 @@ type diskCache struct {
 	spillErrors atomic.Int64
 
 	mu    sync.Mutex // serializes writes, removals, and the bound
-	count int64      // spill files currently on disk (atomic-read via entries)
+	count int64      //relief:guardedby mu — spill files currently on disk (read via entries)
 }
 
 // openDiskCache prepares dir as a spill directory bounded to cap entries

@@ -68,11 +68,11 @@ type peerHealth struct {
 	now func() time.Time
 
 	mu      sync.Mutex
-	state   int32
-	fails   int           // consecutive failures since the last success
-	backoff time.Duration // current open interval (0 until first open)
-	retryAt time.Time     // when an open breaker grants its next probe
-	rng     *rand.Rand    // deterministic jitter source
+	state   int32         //relief:guardedby mu
+	fails   int           //relief:guardedby mu — consecutive failures since the last success
+	backoff time.Duration //relief:guardedby mu — current open interval (0 until first open)
+	retryAt time.Time     //relief:guardedby mu — when an open breaker grants its next probe
+	rng     *rand.Rand    //relief:guardedby mu — deterministic jitter source
 
 	// stateG mirrors state for lock-free metric and readyz reads.
 	stateG atomic.Int32
@@ -145,6 +145,8 @@ func (h *peerHealth) failure() {
 // open (re)opens the breaker: double the bounded backoff and schedule the
 // next half-open probe at now + backoff + jitter, where jitter is a
 // deterministic draw in [0, backoff/4].
+//
+//relief:holds mu
 func (h *peerHealth) open() {
 	if h.backoff == 0 {
 		h.backoff = h.cfg.base
@@ -162,6 +164,7 @@ func (h *peerHealth) open() {
 	h.setState(breakerOpen)
 }
 
+//relief:holds mu
 func (h *peerHealth) setState(s int32) {
 	if h.state != s && h.notify != nil {
 		h.notify(h.state, s)

@@ -144,11 +144,11 @@ type Server struct {
 	runner func(ctx context.Context, req Request) (*Result, error)
 
 	mu       sync.Mutex
-	cache    *cache
-	disk     *diskCache // nil = memory-only; published by EnableDiskCache
-	flights  map[string]*flight
-	cluster  *cluster // nil = single-node; published by ConfigureCluster
-	draining bool
+	cache    *cache             //relief:guardedby mu
+	disk     *diskCache         //relief:guardedby mu — nil = memory-only; published by EnableDiskCache
+	flights  map[string]*flight //relief:guardedby mu
+	cluster  *cluster           //relief:guardedby mu — nil = single-node; published by ConfigureCluster
+	draining bool               //relief:guardedby mu
 
 	// drainCh is closed when draining starts, unblocking sweep cells
 	// waiting for queue space (blocking admission) so Drain cannot hang

@@ -151,14 +151,14 @@ func (s *Span) End() time.Duration {
 // all methods are no-ops on a nil receiver.
 type Trace struct {
 	mu     sync.Mutex
-	id     string
-	start  time.Time
-	end    time.Time
-	digest string
-	source string
-	status int
-	spans  []*Span
-	kernel []trace.Event
+	id     string        // immutable after New
+	start  time.Time     //relief:guardedby mu
+	end    time.Time     //relief:guardedby mu
+	digest string        //relief:guardedby mu
+	source string        //relief:guardedby mu
+	status int           //relief:guardedby mu
+	spans  []*Span       //relief:guardedby mu
+	kernel []trace.Event //relief:guardedby mu
 }
 
 // New starts a trace. The caller supplies the ID (minted or propagated).
@@ -406,8 +406,8 @@ func (d Doc) Events() []trace.Event {
 type Store struct {
 	mu    sync.Mutex
 	cap   int
-	m     map[string]*Trace
-	order []string
+	m     map[string]*Trace //relief:guardedby mu
+	order []string          //relief:guardedby mu
 }
 
 // DefaultStoreCap bounds the store when no capacity is configured.

@@ -25,9 +25,20 @@ echo "== relief-lint json smoke"
 go run ./cmd/relief-lint -json ./... | grep -qx '\[\]'
 
 echo "== relief-lint vettool smoke"
-# The binary must also speak cmd/go's unitchecker protocol.
+# The binary must also speak cmd/go's unitchecker protocol. internal/mem
+# is included because its hot paths are provable only via cross-package
+# allocfree facts flowing from internal/sim through the vetx files, and
+# internal/serve carries the lockcheck guardedby annotations.
 go build -o "$tmp/relief-lint" ./cmd/relief-lint
-go vet -vettool="$tmp/relief-lint" ./internal/sim ./internal/metrics
+go vet -vettool="$tmp/relief-lint" ./internal/sim ./internal/metrics ./internal/mem ./internal/serve
+
+echo "== relief-lint sarif smoke"
+# A clean tree still emits a complete SARIF log: header plus the full
+# rule table, with an empty (never null) results array.
+go run ./cmd/relief-lint -format sarif ./... >"$tmp/lint.sarif"
+grep -q '"version": "2.1.0"' "$tmp/lint.sarif"
+grep -q '"id": "twoclock"' "$tmp/lint.sarif"
+grep -q '"results": \[\]' "$tmp/lint.sarif"
 
 echo "== staticcheck"
 if command -v staticcheck >/dev/null 2>&1; then
@@ -46,8 +57,15 @@ fi
 echo "== test"
 go test ./...
 
-echo "== race (short)"
-go test -race -short ./...
+echo "== race"
+# The serving, tracing, and sweep-client packages run their FULL test
+# suites under the race detector: they are the concurrent surface the
+# lockcheck annotations document, and their long tests exercise real
+# goroutine fan-out (workers, peers, sweep cells). Everything else —
+# dominated by single-goroutine simulation determinism tests — keeps
+# -short to bound CI time.
+go test -race ./internal/serve/... ./internal/svctrace/... ./cmd/relief-sweep/...
+go test -race -short $(go list ./... | grep -v -e '^relief/internal/serve' -e '^relief/internal/svctrace' -e '^relief/cmd/relief-sweep')
 
 echo "== bench smoke"
 go test -run '^$' -bench 'BenchmarkFig4$' -benchtime=1x -benchmem .
