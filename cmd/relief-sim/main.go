@@ -5,14 +5,23 @@
 //	relief-sim -mix CGL -policy RELIEF
 //	relief-sim -mix CDH -policy LAX -continuous
 //	relief-sim -mix GHL -policy RELIEF -topology xbar -bw average
+//
+// Periodic workloads can be checkpointed once warm and resumed or forked
+// later (docs/CHECKPOINT.md):
+//
+//	relief-sim -mix CG -period 5ms -horizon 20ms -warm 8ms -checkpoint warm.ckpt
+//	relief-sim -mix CG -period 5ms -horizon 40ms -restore warm.ckpt
+//	relief-sim -mix CG -period 5ms -horizon 200ms -sample 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"relief/internal/ckpt"
 	"relief/internal/exp"
 	"relief/internal/fault"
 	"relief/internal/metrics"
@@ -38,6 +47,12 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault-injection PRNG seed")
 	metricsOut := flag.String("metrics", "", "collect telemetry and write <prefix>.csv, <prefix>.json, <prefix>.prom")
 	metricsInterval := flag.Duration("metrics-interval", 0, "probe sampling period in simulated time (0 = 50us default)")
+	period := flag.Duration("period", 0, "periodic release interval in simulated time (0 = off): a fresh instance of each mix app is released every period until -horizon")
+	horizon := flag.Duration("horizon", 0, "periodic/continuous run cutoff in simulated time (0 = 50ms default)")
+	ckptOut := flag.String("checkpoint", "", "warm the periodic scenario and write a relief-ckpt/1 envelope to this file (requires -period; see docs/CHECKPOINT.md)")
+	warm := flag.Duration("warm", 0, "earliest capture instant for -checkpoint: the snapshot lands at the first quiescent release at or after this")
+	restoreIn := flag.String("restore", "", "resume from a checkpoint envelope instead of a cold start (requires -period and a scenario matching the checkpoint's fork key)")
+	sample := flag.Int("sample", 0, "estimate whole-run statistics from N steady-state sampling windows instead of a full run (requires -period); writes a relief-estimate/1 JSON document to stdout")
 	flag.Parse()
 
 	apps, err := workload.ParseMix(*mix)
@@ -96,10 +111,62 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown topology %q", *topo))
 	}
+	if *period > 0 {
+		sc.Period = sim.Time(period.Nanoseconds()) * sim.Nanosecond
+		sc.Horizon = sim.Time(horizon.Nanoseconds()) * sim.Nanosecond
+	} else if *ckptOut != "" || *restoreIn != "" || *sample > 0 {
+		fatal(fmt.Errorf("-checkpoint/-restore/-sample require a periodic workload (-period)"))
+	}
 
-	res, err := exp.Run(sc)
-	if err != nil {
-		fatal(err)
+	ctx := context.Background()
+	if *sample > 0 {
+		est, err := exp.RunSampled(ctx, sc, *sample)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exp.WriteEstimate(os.Stdout, est); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *ckptOut != "" {
+		warmAt := sim.Time(warm.Nanoseconds()) * sim.Nanosecond
+		env, err := exp.RunToCheckpoint(ctx, sc, warmAt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*ckptOut, env, 0o644); err != nil {
+			fatal(err)
+		}
+		opened, err := ckpt.Open(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checkpoint:          captured at %v, %d bytes written to %s\n",
+			sim.Time(opened.CapturedPs), len(env), *ckptOut)
+		return
+	}
+
+	var res *exp.Result
+	if *restoreIn != "" {
+		data, err := os.ReadFile(*restoreIn)
+		if err != nil {
+			fatal(err)
+		}
+		env, err := ckpt.Open(data)
+		if err != nil {
+			fatal(err)
+		}
+		res, err = exp.RunFromCheckpoint(ctx, sc, env)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		res, err = exp.Run(sc)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	st := res.Stats
 	if err := exp.WriteSummary(os.Stdout, sc, st); err != nil {

@@ -6,14 +6,18 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"os"
 
 	"relief/internal/accel"
+	"relief/internal/ckpt"
 	"relief/internal/design"
 	"relief/internal/exp"
 	"relief/internal/hostif"
+	"relief/internal/sim"
 	"relief/internal/workload"
 )
 
@@ -130,6 +134,65 @@ func main() {
 				return "", fmt.Errorf("RELIEF starved Deblur")
 			}
 			return "starvation under LAX only", nil
+		}},
+		{"checkpoint restore is bit-identical (docs/CHECKPOINT.md)", func() (string, error) {
+			mix, _ := workload.ParseMix("CG")
+			sc := exp.Scenario{
+				Mix: mix, Contention: workload.Contention(len(mix)), Policy: "RELIEF",
+				Period: 5 * sim.Millisecond, Horizon: 20 * sim.Millisecond,
+			}
+			env, err := exp.RunToCheckpoint(context.Background(), sc, 8*sim.Millisecond)
+			if err != nil {
+				return "", err
+			}
+			opened, err := ckpt.Open(env)
+			if err != nil {
+				return "", err
+			}
+			warm, err := exp.RunFromCheckpoint(context.Background(), sc, opened)
+			if err != nil {
+				return "", err
+			}
+			cold, err := exp.Run(sc)
+			if err != nil {
+				return "", err
+			}
+			var a, b bytes.Buffer
+			if err := exp.WriteSummary(&a, sc, warm.Stats); err != nil {
+				return "", err
+			}
+			if err := exp.WriteSummary(&b, sc, cold.Stats); err != nil {
+				return "", err
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				return "", fmt.Errorf("restored run diverged from cold run")
+			}
+			return fmt.Sprintf("captured %v, summaries identical", sim.Time(opened.CapturedPs)), nil
+		}},
+		{"interval sampling tracks the full run (docs/CHECKPOINT.md)", func() (string, error) {
+			mix, _ := workload.ParseMix("CG")
+			sc := exp.Scenario{
+				Mix: mix, Contention: workload.Contention(len(mix)), Policy: "RELIEF",
+				Period: 5 * sim.Millisecond, Horizon: 100 * sim.Millisecond,
+			}
+			est, err := exp.RunSampled(context.Background(), sc, 4)
+			if err != nil {
+				return "", err
+			}
+			if !est.Sampled {
+				return "", fmt.Errorf("sampler fell back to a full run")
+			}
+			full, err := exp.Run(sc)
+			if err != nil {
+				return "", err
+			}
+			got, want := est.NodesDone.Estimate, float64(full.Stats.NodesDone)
+			relErr := math.Abs(got-want) / want
+			if relErr > 0.05 {
+				return "", fmt.Errorf("nodes-done estimate %.0f vs full %.0f (%.2f%% error)", got, want, 100*relErr)
+			}
+			return fmt.Sprintf("%d windows, %.2f%% error (bound %.2f%%)",
+				est.Windows, 100*relErr, 100*est.NodesDone.ErrorBound), nil
 		}},
 		{"determinism (two identical runs agree)", func() (string, error) {
 			mix, _ := workload.ParseMix("CGL")

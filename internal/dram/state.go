@@ -1,0 +1,82 @@
+package dram
+
+import (
+	"fmt"
+
+	"relief/internal/sim"
+)
+
+// BankState is one bank's serializable row-buffer state.
+type BankState struct {
+	OpenRow int64
+	Valid   bool
+}
+
+// ChannelState is one channel's serializable state at a quiescent instant
+// (no burst in service, empty queue): bank row buffers, accumulated busy
+// time, and the refresh schedule position.
+type ChannelState struct {
+	Banks       []BankState
+	BusyAcc     sim.Time
+	NextRefresh sim.Time
+}
+
+// ControllerState is the controller's serializable state: the synthetic
+// address cursor (row/bank placement of future requests depends on it),
+// served-byte and row/refresh statistics, and per-channel state.
+type ControllerState struct {
+	Cursor    int64
+	Bytes     int64
+	RowHits   int64
+	RowMisses int64
+	Refreshes int64
+	Channels  []ChannelState
+}
+
+// CaptureState snapshots the controller at a quiescent instant, erroring if
+// any channel still has bursts queued or in flight.
+func (c *Controller) CaptureState() (ControllerState, error) {
+	s := ControllerState{
+		Cursor:    c.cursor,
+		Bytes:     c.bytes,
+		RowHits:   c.RowHits,
+		RowMisses: c.RowMisses,
+		Refreshes: c.Refreshes,
+	}
+	for _, ch := range c.channels {
+		if ch.serving || ch.pending() > 0 || ch.fin != nil {
+			return ControllerState{}, fmt.Errorf("dram: channel %d busy at capture", ch.idx)
+		}
+		cs := ChannelState{BusyAcc: ch.busyAcc, NextRefresh: ch.nextRefresh}
+		for _, b := range ch.banks {
+			cs.Banks = append(cs.Banks, BankState{OpenRow: b.openRow, Valid: b.valid})
+		}
+		s.Channels = append(s.Channels, cs)
+	}
+	return s, nil
+}
+
+// RestoreState primes a freshly constructed controller (same geometry) with
+// captured state.
+func (c *Controller) RestoreState(s ControllerState) error {
+	if len(s.Channels) != len(c.channels) {
+		return fmt.Errorf("dram: restore channel count %d, checkpoint has %d", len(c.channels), len(s.Channels))
+	}
+	c.cursor = s.Cursor
+	c.bytes = s.Bytes
+	c.RowHits = s.RowHits
+	c.RowMisses = s.RowMisses
+	c.Refreshes = s.Refreshes
+	for i, cs := range s.Channels {
+		ch := c.channels[i]
+		if len(cs.Banks) != len(ch.banks) {
+			return fmt.Errorf("dram: restore bank count %d, checkpoint has %d", len(ch.banks), len(cs.Banks))
+		}
+		ch.busyAcc = cs.BusyAcc
+		ch.nextRefresh = cs.NextRefresh
+		for j, b := range cs.Banks {
+			ch.banks[j] = bank{openRow: b.OpenRow, valid: b.Valid}
+		}
+	}
+	return nil
+}

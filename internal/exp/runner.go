@@ -94,6 +94,24 @@ type Scenario struct {
 	// (instances, interconnect, memory, predictors); the scenario's other
 	// platform toggles are ignored.
 	Platform *PlatformSpec
+	// Period, if positive, selects periodic release: a fresh instance of
+	// every mix application is released each period until Horizon,
+	// regardless of completion (frame-queue arrivals). Periodic scenarios
+	// take precedence over Contention and are the only ones that can be
+	// checkpointed (docs/CHECKPOINT.md): between iterations the simulation
+	// passes through quiescent instants.
+	Period sim.Time
+	// Horizon is the periodic-release cutoff (0 = the continuous-contention
+	// default, 50 ms). Ignored unless Period > 0.
+	Horizon sim.Time
+}
+
+// EffectiveHorizon returns the periodic run cutoff.
+func (sc *Scenario) EffectiveHorizon() sim.Time {
+	if sc.Horizon > 0 {
+		return sc.Horizon
+	}
+	return workload.ContinuousHorizon
 }
 
 // Result couples a scenario with its measured statistics.
@@ -118,17 +136,32 @@ func Run(sc Scenario) (*Result, error) {
 // an abandoned run never leaks partial statistics. This is the entry point
 // the serving layer (internal/serve) drives.
 func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
-	policy, err := NewPolicy(sc.Policy)
+	cfg, err := sc.managerConfig()
 	if err != nil {
 		return nil, err
 	}
 	k := sim.NewKernel()
 	st := stats.New()
+	m := manager.New(k, cfg, st)
+	if err := submitMix(m, sc); err != nil {
+		return nil, err
+	}
+	return finishRun(ctx, sc, k, m, st)
+}
+
+// managerConfig translates the scenario's platform knobs into a manager
+// configuration (shared by cold runs, checkpoint warming, and restore —
+// a restored run must rebuild exactly the platform the checkpoint saw).
+func (sc *Scenario) managerConfig() (manager.Config, error) {
+	policy, err := NewPolicy(sc.Policy)
+	if err != nil {
+		return manager.Config{}, err
+	}
 	var cfg manager.Config
 	if sc.Platform != nil {
 		cfg, err = sc.Platform.Apply(policy)
 		if err != nil {
-			return nil, err
+			return manager.Config{}, err
 		}
 	} else {
 		cfg = manager.DefaultConfig(policy)
@@ -145,7 +178,7 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 		}
 		bw, err := predict.NewBW(sc.BWPredictor, cfg.Interconnect.DRAMBandwidth)
 		if err != nil {
-			return nil, err
+			return manager.Config{}, err
 		}
 		cfg.BW = bw
 	}
@@ -153,8 +186,26 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 	cfg.Trace = sc.Trace
 	cfg.Metrics = sc.Metrics
 	cfg.MetricsInterval = sc.MetricsInterval
-	m := manager.New(k, cfg, st)
+	return cfg, nil
+}
 
+// submitMix registers the scenario's workload schedule with the manager: the
+// periodic release grid when Period is set, otherwise one release of each
+// mix application at t=0 (with continuous-contention rebuild closures when
+// the scenario asks for them). A restored manager skips everything that
+// completed before its capture instant.
+func submitMix(m *manager.Manager, sc Scenario) error {
+	if sc.Period > 0 {
+		horizon := sc.EffectiveHorizon()
+		for _, app := range sc.Mix {
+			app := app
+			build := func() *graph.DAG { return workload.MustBuild(app) }
+			if err := m.SubmitPeriodic(build, sc.Period, horizon); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	continuous := sc.Contention == workload.Continuous
 	for _, app := range sc.Mix {
 		app := app
@@ -163,9 +214,15 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 			rebuild = func() *graph.DAG { return workload.MustBuild(app) }
 		}
 		if err := m.Submit(workload.MustBuild(app), 0, rebuild); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return nil
+}
+
+// finishRun wires cancellation, drives the submitted simulation to its end,
+// and assembles the result.
+func finishRun(ctx context.Context, sc Scenario, k *sim.Kernel, m *manager.Manager, st *stats.Stats) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -180,9 +237,12 @@ func RunContext(ctx context.Context, sc Scenario) (*Result, error) {
 		})
 	}
 	var end sim.Time
-	if continuous {
+	switch {
+	case sc.Period > 0:
+		end = m.RunContinuous(sc.EffectiveHorizon())
+	case sc.Contention == workload.Continuous:
 		end = m.RunContinuous(workload.ContinuousHorizon)
-	} else {
+	default:
 		end = m.Run()
 	}
 	if k.Interrupted() {

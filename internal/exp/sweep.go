@@ -68,8 +68,25 @@ func AppendScenarioKey(b []byte, sc Scenario) []byte {
 	b = appendBool(b, sc.DRAMFCFS)
 	b = append(b, '|')
 	b = sc.Faults.AppendKey(b)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(sc.Period), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(sc.Horizon), 10)
 	return b
 }
+
+// AppendForkKey appends the scenario encoding with the horizon zeroed. A
+// warmed simulation's state trajectory up to its capture instant is
+// identical for every horizon beyond it (pending future releases cannot
+// affect earlier state), so scenarios sharing a fork key can all be seeded
+// from one checkpoint (docs/CHECKPOINT.md).
+func AppendForkKey(b []byte, sc Scenario) []byte {
+	sc.Horizon = 0
+	return AppendScenarioKey(b, sc)
+}
+
+// ForkKey renders the horizon-agnostic scenario key (see AppendForkKey).
+func ForkKey(sc Scenario) string { return string(AppendForkKey(nil, sc)) }
 
 func appendBool(b []byte, v bool) []byte {
 	if v {

@@ -14,6 +14,7 @@
 package fault
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -173,9 +174,18 @@ type Counts struct {
 // It must only be used from the simulation goroutine. All methods are
 // nil-receiver safe and inject nothing on nil.
 type Injector struct {
-	rng *rand.Rand
-	r   Rates
-	c   Counts
+	rng   *rand.Rand
+	r     Rates
+	c     Counts
+	draws int64
+}
+
+// draw consumes one PRNG sample, counting it so a checkpoint can record the
+// injector's position in the draw sequence and a restore can fast-forward a
+// fresh injector to it.
+func (in *Injector) draw() float64 {
+	in.draws++
+	return in.rng.Float64()
 }
 
 // NewInjector materialises the runtime injector for one simulation run.
@@ -203,13 +213,13 @@ func (in *Injector) Task() Verdict {
 		return VerdictNone
 	}
 	switch {
-	case in.r.InstanceDeath > 0 && in.rng.Float64() < in.r.InstanceDeath:
+	case in.r.InstanceDeath > 0 && in.draw() < in.r.InstanceDeath:
 		return VerdictDie
-	case in.r.TaskHang > 0 && in.rng.Float64() < in.r.TaskHang:
+	case in.r.TaskHang > 0 && in.draw() < in.r.TaskHang:
 		return VerdictHang
-	case in.r.TaskFail > 0 && in.rng.Float64() < in.r.TaskFail:
+	case in.r.TaskFail > 0 && in.draw() < in.r.TaskFail:
 		return VerdictFail
-	case in.r.TaskSlow > 0 && in.rng.Float64() < in.r.TaskSlow:
+	case in.r.TaskSlow > 0 && in.draw() < in.r.TaskSlow:
 		return VerdictSlow
 	}
 	return VerdictNone
@@ -225,11 +235,11 @@ func (in *Injector) Transfer(bytes int64) (stall sim.Time, corrupt bool) {
 	if in == nil {
 		return 0, false
 	}
-	if in.r.DMAStall > 0 && in.rng.Float64() < in.r.DMAStall {
+	if in.r.DMAStall > 0 && in.draw() < in.r.DMAStall {
 		stall = in.r.DMAStallTime
 		in.c.DMAStalls++
 	}
-	if in.r.DMACorrupt > 0 && in.rng.Float64() < in.r.DMACorrupt {
+	if in.r.DMACorrupt > 0 && in.draw() < in.r.DMACorrupt {
 		corrupt = true
 		in.c.DMACorruptions++
 	}
@@ -241,7 +251,7 @@ func (in *Injector) DRAM(bytes int64) sim.Time {
 	if in == nil || in.r.DRAMError <= 0 {
 		return 0
 	}
-	if in.rng.Float64() < in.r.DRAMError {
+	if in.draw() < in.r.DRAMError {
 		in.c.DRAMErrors++
 		return in.r.DRAMErrorTime
 	}
@@ -254,4 +264,43 @@ func (in *Injector) Counts() Counts {
 		return Counts{}
 	}
 	return in.c
+}
+
+// InjectorState is the serializable position of an injector: how many PRNG
+// samples it has consumed and the fault tallies so far. The PRNG itself is
+// not serialized — a restore materialises a fresh injector from the same
+// plan and fast-forwards it Draws samples, which reproduces the stream
+// exactly because the plan's seed is part of the scenario.
+type InjectorState struct {
+	Draws  int64
+	Counts Counts
+}
+
+// CaptureState snapshots the injector's draw position. Nil-safe: a nil
+// injector captures the zero state.
+func (in *Injector) CaptureState() InjectorState {
+	if in == nil {
+		return InjectorState{}
+	}
+	return InjectorState{Draws: in.draws, Counts: in.c}
+}
+
+// RestoreInjector materialises an injector for the plan positioned at a
+// captured draw state: a fresh seeded PRNG fast-forwarded past the samples
+// the checkpointed run had already consumed. Returns nil for a nil plan
+// (legal only if the state is zero).
+func (p *Plan) RestoreInjector(s InjectorState) (*Injector, error) {
+	in := p.NewInjector()
+	if in == nil {
+		if s.Draws != 0 || s.Counts != (Counts{}) {
+			return nil, fmt.Errorf("fault: checkpoint has injector state but plan is nil")
+		}
+		return nil, nil
+	}
+	for i := int64(0); i < s.Draws; i++ {
+		in.rng.Float64()
+	}
+	in.draws = s.Draws
+	in.c = s.Counts
+	return in, nil
 }

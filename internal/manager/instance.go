@@ -550,6 +550,7 @@ func (m *Manager) finishNode(n *graph.Node) {
 	}
 
 	if n.DAG.NodeDone(now) {
+		m.inFlight--
 		m.dropActive(n.DAG)
 		app.Iterations++
 		app.Runtimes = append(app.Runtimes, n.DAG.Runtime())
@@ -563,7 +564,7 @@ func (m *Manager) finishNode(n *graph.Node) {
 			if rb := m.rebuild[n.DAG.App]; rb != nil {
 				if next := rb(); next != nil {
 					next.Iteration = n.DAG.Iteration + 1
-					if err := m.Submit(next, now, rb); err != nil && m.err == nil {
+					if err := m.submit(next, now, rb, false); err != nil && m.err == nil {
 						m.err = err
 					}
 				} else if m.err == nil {

@@ -151,6 +151,13 @@ type Manager struct {
 	active []*graph.DAG // released, unfinished, unaborted DAGs
 	deaths int          // permanently dead instances
 
+	// Checkpoint machinery (checkpoint.go). inFlight counts released DAGs
+	// that have neither finished nor aborted; resumeAt is the capture time
+	// this manager was restored from (0 = cold run).
+	inFlight int
+	ckpt     *captureArm
+	resumeAt sim.Time
+
 	// Telemetry (nil without cfg.Metrics). The histogram pointers are
 	// cached so hot-path observations skip the registry map lookups.
 	met          *metrics.Registry
@@ -215,6 +222,12 @@ type nodeState struct {
 
 // New builds a manager on the given kernel, collecting metrics into st.
 func New(k *sim.Kernel, cfg Config, st *stats.Stats) *Manager {
+	return newManager(k, cfg, st, 0)
+}
+
+// newManager builds a manager, cold (resumeAt == 0) or restored from a
+// checkpoint captured at resumeAt (see Restore in checkpoint.go).
+func newManager(k *sim.Kernel, cfg Config, st *stats.Stats, resumeAt sim.Time) *Manager {
 	if cfg.Policy == nil {
 		panic("manager: nil policy")
 	}
@@ -242,14 +255,15 @@ func New(k *sim.Kernel, cfg Config, st *stats.Stats) *Manager {
 		cfg.Interconnect.DRAMServer = dc
 	}
 	m := &Manager{
-		k:       k,
-		cfg:     cfg,
-		dram:    dc,
-		ic:      xbar.New(k, cfg.Interconnect),
-		st:      st,
-		policy:  cfg.Policy,
-		ns:      make(map[*graph.Node]*nodeState),
-		rebuild: make(map[string]func() *graph.DAG),
+		k:        k,
+		cfg:      cfg,
+		dram:     dc,
+		ic:       xbar.New(k, cfg.Interconnect),
+		st:       st,
+		policy:   cfg.Policy,
+		ns:       make(map[*graph.Node]*nodeState),
+		rebuild:  make(map[string]func() *graph.DAG),
+		resumeAt: resumeAt,
 	}
 	if e, ok := cfg.Policy.(sched.Escalator); ok {
 		m.esc = e
@@ -351,6 +365,15 @@ func (m *Manager) RuntimeEstimate(n *graph.Node) sim.Time {
 // if non-nil, is used to re-instantiate the application under continuous
 // contention once this instance finishes.
 func (m *Manager) Submit(d *graph.DAG, release sim.Time, rebuild func() *graph.DAG) error {
+	return m.submit(d, release, rebuild, true)
+}
+
+// submit implements Submit. replay marks statically scheduled releases
+// (everything submitted before the run starts): their events are derivable
+// from the simulation's inputs, which is what lets a checkpoint skip
+// serializing the event queue (sim.AtReplay). Dynamic resubmission under
+// continuous contention is not replayable.
+func (m *Manager) submit(d *graph.DAG, release sim.Time, rebuild func() *graph.DAG, replay bool) error {
 	mode := m.policy.DeadlineMode()
 	if err := graph.AssignDeadlines(d, mode, m.RuntimeEstimate); err != nil {
 		return err
@@ -359,7 +382,16 @@ func (m *Manager) Submit(d *graph.DAG, release sim.Time, rebuild func() *graph.D
 		m.rebuild[d.App] = rebuild
 	}
 	m.st.App(d.App, d.Sym, d.Deadline)
-	m.k.At(release, func() { m.release(d) })
+	if release < m.resumeAt {
+		// Restored run: this DAG completed before the capture instant; its
+		// effects are already in the restored state.
+		return nil
+	}
+	if replay {
+		m.k.AtReplay(release, func() { m.release(d) })
+	} else {
+		m.k.At(release, func() { m.release(d) })
+	}
 	return nil
 }
 
@@ -374,6 +406,14 @@ func (m *Manager) SubmitPeriodic(build func() *graph.DAG, period, until sim.Time
 	}
 	iter := 0
 	for t := sim.Time(0); t < until; t += period {
+		if t < m.resumeAt {
+			// Restored run: this iteration completed before the capture
+			// instant (a checkpoint is only taken with no DAG in flight, so
+			// every pre-capture release is fully accounted for in the
+			// restored state).
+			iter++
+			continue
+		}
 		d := build()
 		if d == nil {
 			return fmt.Errorf("manager: periodic build returned nil DAG")
@@ -388,6 +428,12 @@ func (m *Manager) SubmitPeriodic(build func() *graph.DAG, period, until sim.Time
 }
 
 func (m *Manager) release(d *graph.DAG) {
+	if m.maybeCapture() {
+		// A checkpoint was captured at (or before) this release: the run is
+		// draining, and this DAG will be re-derived by the restored run.
+		return
+	}
+	m.inFlight++
 	d.Release = m.k.Now()
 	if m.cfg.Trace.Enabled() {
 		m.cfg.Trace.Instant(trace.Release, fmt.Sprintf("%s#%d", d.App, d.Iteration), "manager", d.Release, nil)

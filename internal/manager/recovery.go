@@ -40,8 +40,15 @@ func (m *Manager) scheduleDeaths(p *fault.Plan) {
 		if i < 0 || i >= len(m.insts) {
 			continue
 		}
+		if t := p.DieAt[i]; m.resumeAt > 0 && t <= m.resumeAt {
+			// Restored run: this death fired before the capture instant;
+			// the instance's Dead health is part of the restored state.
+			continue
+		}
 		inst := m.insts[i]
-		m.k.At(p.DieAt[i], func() { m.killInstance(inst) })
+		// Replayable: the schedule comes from the plan, so a checkpoint can
+		// skip serializing these events (see sim.AtReplay).
+		m.k.AtReplay(p.DieAt[i], func() { m.killInstance(inst) })
 	}
 }
 
@@ -251,6 +258,7 @@ func (m *Manager) abortDAG(d *graph.DAG, reason string) {
 	}
 	d.Aborted = true
 	d.AbortReason = reason
+	m.inFlight--
 	m.dropActive(d)
 	m.st.Faults.DAGsAborted++
 	app := m.st.App(d.App, d.Sym, d.Deadline)

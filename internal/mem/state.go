@@ -1,0 +1,58 @@
+package mem
+
+import (
+	"fmt"
+
+	"relief/internal/sim"
+)
+
+// ResourceState is the serializable state of a Resource at a quiescent
+// instant (no request in service, empty FIFO, no analytic claim): the
+// accumulated accounting that outlives individual transfers. Capture refuses
+// a non-quiescent resource — in-flight chunk events cannot be serialized, and
+// the checkpoint machinery guarantees they never exist at capture time.
+type ResourceState struct {
+	BusyAcc sim.Time
+	Bytes   int64
+}
+
+// CaptureState snapshots the resource's accumulated accounting. It errors if
+// the resource is mid-service: a checkpoint is only legal at a quiescent
+// instant.
+func (r *Resource) CaptureState() (ResourceState, error) {
+	if r.busy || r.claim != nil || r.head != len(r.q) {
+		return ResourceState{}, fmt.Errorf("mem: resource %s busy at capture", r.name)
+	}
+	return ResourceState{BusyAcc: r.busyAcc, Bytes: r.bytes}, nil
+}
+
+// RestoreState primes a freshly constructed resource with captured
+// accounting.
+func (r *Resource) RestoreState(s ResourceState) {
+	r.busyAcc = s.BusyAcc
+	r.bytes = s.Bytes
+}
+
+// OccupancyState is the serializable state of an Occupancy tracker at a
+// quiescent instant (no open busy period, no active claim).
+type OccupancyState struct {
+	Acc       sim.Time
+	Claims    int64
+	Conflicts int64
+}
+
+// CaptureState snapshots the tracker's accumulated accounting, erroring if a
+// busy period or analytic claim is open.
+func (o *Occupancy) CaptureState() (OccupancyState, error) {
+	if o.active != 0 || o.cl != nil {
+		return OccupancyState{}, fmt.Errorf("mem: occupancy busy at capture")
+	}
+	return OccupancyState{Acc: o.acc, Claims: o.Claims, Conflicts: o.Conflicts}, nil
+}
+
+// RestoreState primes a fresh tracker with captured accounting.
+func (o *Occupancy) RestoreState(s OccupancyState) {
+	o.acc = s.Acc
+	o.Claims = s.Claims
+	o.Conflicts = s.Conflicts
+}

@@ -309,6 +309,33 @@ func (r *Registry) sample(now sim.Time) {
 	r.rows = append(r.rows, row)
 }
 
+// Series returns the probe time series of one metric: the sample times and
+// the sampled values, in probe order. It returns nils when the metric was
+// not registered before the first probe tick (the column set is snapshotted
+// there) or no samples exist. The returned slices alias registry storage —
+// read-only. Steady-state detection (internal/exp's interval sampler) reads
+// per-period deltas of relief_nodes_done_total through this.
+func (r *Registry) Series(name string) (times []sim.Time, vals []float64) {
+	if r == nil || len(r.rows) == 0 {
+		return nil, nil
+	}
+	col := -1
+	for i, m := range r.cols {
+		if m.name == name {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return nil, nil
+	}
+	vals = make([]float64, len(r.rows))
+	for i, row := range r.rows {
+		vals[i] = row[col]
+	}
+	return r.times, vals
+}
+
 // sortedMetrics returns the registered counters/gauges ordered by name.
 func (r *Registry) sortedMetrics() []*metric {
 	ms := make([]*metric, len(r.metrics))

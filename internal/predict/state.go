@@ -1,0 +1,65 @@
+package predict
+
+import "fmt"
+
+// BWState is the serializable state of a bandwidth predictor. The Kind tag
+// must match the predictor the state is restored into; Vals carries the
+// kind-specific observation history (Last: one sample; Average: the ring
+// buffer; EWMA: the running prediction).
+type BWState struct {
+	Kind string
+	Vals []float64
+	Next int
+	Full bool
+	Init bool
+}
+
+// CaptureBW snapshots a bandwidth predictor's observation state.
+func CaptureBW(p BWPredictor) BWState {
+	s := BWState{Kind: p.Name()}
+	switch v := p.(type) {
+	case *Max:
+		// stateless
+	case *Last:
+		s.Vals = []float64{v.last}
+		s.Init = v.last != 0
+	case *Average:
+		s.Vals = append([]float64(nil), v.ring...)
+		s.Next = v.next
+		s.Full = v.full
+	case *EWMA:
+		s.Vals = []float64{v.pred}
+		s.Init = v.init
+	default:
+		panic(fmt.Sprintf("predict: cannot capture predictor %T", p))
+	}
+	return s
+}
+
+// RestoreBW primes a freshly constructed predictor of the same kind with
+// captured observation state.
+func RestoreBW(p BWPredictor, s BWState) error {
+	if p.Name() != s.Kind {
+		return fmt.Errorf("predict: restore into %s predictor, checkpoint has %s", p.Name(), s.Kind)
+	}
+	switch v := p.(type) {
+	case *Max:
+		// stateless
+	case *Last:
+		if s.Init && len(s.Vals) == 1 {
+			v.last = s.Vals[0]
+		}
+	case *Average:
+		v.ring = append([]float64(nil), s.Vals...)
+		v.next = s.Next
+		v.full = s.Full
+	case *EWMA:
+		if len(s.Vals) == 1 {
+			v.pred = s.Vals[0]
+		}
+		v.init = s.Init
+	default:
+		return fmt.Errorf("predict: cannot restore predictor %T", p)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package serve
+
+// Sweep checkpoint pool: a grid of periodic cells that differ only in
+// scalar knobs excluded from the fork key (today: the horizon) repeats the
+// same warm-up simulation once per cell. The pool warms that shared prefix
+// once — run to steady quiescence, snapshot (internal/ckpt) — and every
+// cell forks from the snapshot, simulating only its own tail. Restored runs
+// are byte-identical to cold ones (the manager checkpoint contract, golden-
+// tested in internal/exp), so forked cells are safe to content-address and
+// cache exactly like cold results.
+//
+// The pool lives for one POST /sweep: handleSweep threads it through the
+// cell contexts, submit copies it onto each flight, and the worker hands it
+// to runSimulation. Interactive /run requests never see a pool and always
+// run cold.
+
+import (
+	"context"
+	"sync"
+
+	"relief/internal/ckpt"
+	"relief/internal/exp"
+)
+
+// Warm-run shape, in periods: the capture is armed at ckptArmPeriods (the
+// snapshot lands at the first quiescent release at or after it) and the warm
+// run gives up at ckptWarmPeriods. Workloads that never quiesce in that
+// window (iterations always overlapping) fail the warm once and every cell
+// of that fork group falls back to a cold run.
+const (
+	ckptArmPeriods  = 2
+	ckptWarmPeriods = 4
+)
+
+// ckptPool deduplicates warm-up runs by fork key for one sweep.
+type ckptPool struct {
+	mu      sync.Mutex
+	entries map[string]*ckptEntry
+}
+
+// ckptEntry is one fork group's warmed snapshot (or its warm failure, cached
+// so the group warms at most once).
+type ckptEntry struct {
+	once sync.Once
+	env  *ckpt.Envelope
+	err  error
+}
+
+func newCkptPool() *ckptPool { return &ckptPool{entries: make(map[string]*ckptEntry)} }
+
+// envelope returns the warmed checkpoint for sc's fork group, running the
+// warm-up on first call (concurrent cells of the same group block on the
+// first). The warm-up runs under the first caller's context: if that cell is
+// cancelled mid-warm the failure sticks and the group's cells run cold —
+// a deliberate trade for never warming twice.
+func (p *ckptPool) envelope(ctx context.Context, sc exp.Scenario) (*ckpt.Envelope, error) {
+	fk := exp.ForkKey(sc)
+	p.mu.Lock()
+	e, ok := p.entries[fk]
+	if !ok {
+		e = &ckptEntry{}
+		p.entries[fk] = e
+	}
+	p.mu.Unlock()
+	e.once.Do(func() {
+		warm := sc
+		warm.Trace = nil
+		warm.Metrics = nil
+		warm.MetricsInterval = 0
+		warm.Horizon = ckptWarmPeriods * sc.Period
+		data, err := exp.RunToCheckpoint(ctx, warm, ckptArmPeriods*sc.Period)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.env, e.err = ckpt.Open(data)
+	})
+	return e.env, e.err
+}
+
+type ckptPoolCtxKey struct{}
+
+// withCkptPool attaches a sweep's checkpoint pool to the context (the same
+// plumbing pattern as the trace recorder).
+func withCkptPool(ctx context.Context, p *ckptPool) context.Context {
+	return context.WithValue(ctx, ckptPoolCtxKey{}, p)
+}
+
+// ckptPoolFrom returns the attached pool, or nil.
+func ckptPoolFrom(ctx context.Context) *ckptPool {
+	p, _ := ctx.Value(ckptPoolCtxKey{}).(*ckptPool)
+	return p
+}

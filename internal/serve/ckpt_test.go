@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"relief/internal/exp"
+)
+
+// TestRetryAfterDerived pins the backpressure hint derivation (replacing the
+// old hardcoded "1"/"5"): queue depth times the p50 service latency, clamped
+// to [1, 30] seconds, with a 1-second floor on a cold server.
+func TestRetryAfterDerived(t *testing.T) {
+	m := newServiceMetrics(func() int { return 0 })
+
+	if got := m.retryAfterSeconds(); got != 1 {
+		t.Errorf("cold server (empty histogram): %d, want the 1s floor", got)
+	}
+
+	// 2-second median service latency, five queued requests → 10 seconds.
+	for i := 0; i < 100; i++ {
+		m.observeLatency(2 * time.Second)
+	}
+	m.queueDepth.Store(5)
+	got := m.retryAfterSeconds()
+	// The histogram is log-bucketed, so the p50 is the 2000 ms bucket's
+	// representative value, not exactly 2000; accept the derived range.
+	if got < 5 || got > 15 {
+		t.Errorf("5 queued x ~2s p50: %d, want roughly 10 (in [5,15])", got)
+	}
+
+	// A deep backlog clamps to the 30-second ceiling.
+	m.queueDepth.Store(1000)
+	if got := m.retryAfterSeconds(); got != 30 {
+		t.Errorf("deep backlog: %d, want the 30s ceiling", got)
+	}
+
+	// Zero depth with a warm histogram still answers the floor.
+	m.queueDepth.Store(0)
+	if got := m.retryAfterSeconds(); got != 1 {
+		t.Errorf("idle server: %d, want the 1s floor", got)
+	}
+}
+
+// TestPruneEqualModTimeDeterministic pins the prune tie-break: spill files
+// with identical modification times are ordered by name (digest), so which
+// entries survive an over-cap prune is a function of the directory's
+// contents alone, not ReadDir enumeration order or timestamp granularity
+// (coarse filesystem clocks routinely stamp a burst of spills identically).
+func TestPruneEqualModTimeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	// Open unbounded so all five spills land on disk, then lower the cap:
+	// store() prunes eagerly, which would otherwise evict under the fresh
+	// write timestamps instead of the equal ones this test pins.
+	d, _, err := openDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("%064x", i)
+		keys = append(keys, key)
+		d.store(key, &Result{Digest: key, Text: "x"})
+	}
+	stamp := time.Now().Add(-time.Hour)
+	for _, k := range keys {
+		if err := os.Chtimes(filepath.Join(dir, k+spillExt), stamp, stamp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.mu.Lock()
+	d.cap = 2
+	kept, err := d.pruneLocked()
+	d.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 {
+		t.Fatalf("pruneLocked kept %d, want cap 2", kept)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survived []string
+	for _, e := range entries {
+		survived = append(survived, stripExt(e.Name()))
+	}
+	sort.Strings(survived)
+	// Equal mtimes tie-break by ascending name, so the lexicographically
+	// smallest digests survive — every process over this directory prunes
+	// to the same survivors.
+	want := []string{keys[0], keys[1]}
+	if len(survived) != 2 || survived[0] != want[0] || survived[1] != want[1] {
+		t.Errorf("survivors %v, want %v", survived, want)
+	}
+}
+
+// TestRequestPeriodicNormalize pins the periodic request knobs: negatives
+// rejected, horizon meaningless (and zeroed) without a period, and the
+// period/horizon pair reaching the scenario and its digest.
+func TestRequestPeriodicNormalize(t *testing.T) {
+	bad := Request{Mix: "C", PeriodMS: -1}
+	if err := bad.Normalize(); err == nil {
+		t.Error("negative period accepted")
+	}
+	bad = Request{Mix: "C", PeriodMS: 5, HorizonMS: -1}
+	if err := bad.Normalize(); err == nil {
+		t.Error("negative horizon accepted")
+	}
+
+	orphan := Request{Mix: "C", HorizonMS: 20}
+	if err := orphan.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	plain := Request{Mix: "C"}
+	if err := plain.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if orphan.Digest() != plain.Digest() {
+		t.Error("horizon without period should normalize away (digest mismatch)")
+	}
+
+	periodic := Request{Mix: "C", PeriodMS: 5, HorizonMS: 20}
+	if err := periodic.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if periodic.Digest() == plain.Digest() {
+		t.Error("periodic request digests identically to the aperiodic one")
+	}
+	sc, err := periodic.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Period != msToTime(5) || sc.Horizon != msToTime(20) {
+		t.Errorf("scenario period/horizon = %v/%v", sc.Period, sc.Horizon)
+	}
+}
+
+// TestRunScenarioForksFromPool pins the sweep fork contract at the unit
+// level: running a periodic scenario through a checkpoint pool yields the
+// same summary document as a cold run (restore byte-identity), and the two
+// horizons of one fork group share a single warmed entry.
+func TestRunScenarioForksFromPool(t *testing.T) {
+	req := Request{Mix: "CG", PeriodMS: 5, HorizonMS: 20}
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := req.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := newCkptPool()
+	ctx := withCkptPool(context.Background(), pool)
+
+	for _, horizonMS := range []float64{15, 20} {
+		fork := sc
+		fork.Horizon = msToTime(horizonMS)
+		warm, err := runScenario(ctx, fork)
+		if err != nil {
+			t.Fatalf("pooled run (horizon %vms): %v", horizonMS, err)
+		}
+		cold, err := exp.RunContext(context.Background(), fork)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Stats.Makespan != cold.Stats.Makespan || warm.Stats.NodesDone != cold.Stats.NodesDone ||
+			warm.Stats.Forwards != cold.Stats.Forwards {
+			t.Errorf("horizon %vms: forked run diverged from cold (makespan %v vs %v, nodes %d vs %d)",
+				horizonMS, warm.Stats.Makespan, cold.Stats.Makespan, warm.Stats.NodesDone, cold.Stats.NodesDone)
+		}
+	}
+	if n := len(pool.entries); n != 1 {
+		t.Errorf("pool warmed %d fork groups, want 1 (horizons share a fork key)", n)
+	}
+}
+
+// TestSweepPeriodicForkPool drives the full POST /sweep path with a horizon
+// axis: the merged document must carry one cell per horizon, and each cell's
+// summary must be byte-identical to an interactive /run of the same request
+// on a pool-free server (forking is unobservable in results).
+func TestSweepPeriodicForkPool(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/sweep", "application/json",
+		strings.NewReader(`{"mixes":["CG"],"period_ms":5,"horizons_ms":[15,20]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status=%d body=%s", resp.StatusCode, body)
+	}
+	var cells []exp.Cell
+	if err := json.Unmarshal(body, &cells); err != nil {
+		t.Fatalf("merged sweep document: %v", err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("sweep produced %d cells, want 2 (one per horizon)", len(cells))
+	}
+
+	// Cold reference: a separate server answers /run without any pool.
+	cold := New(Config{Workers: 2})
+	tsCold := httptest.NewServer(cold.Handler())
+	defer tsCold.Close()
+	for _, horizon := range []int{15, 20} {
+		reqBody := fmt.Sprintf(`{"mix":"CG","period_ms":5,"horizon_ms":%d}`, horizon)
+		resp, b := post(t, tsCold.URL, reqBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cold run: status=%d body=%s", resp.StatusCode, b)
+		}
+		_, coldRes := decodeEnvelope(t, b)
+
+		resp, b = post(t, ts.URL, reqBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep-server run: status=%d body=%s", resp.StatusCode, b)
+		}
+		src, forkRes := decodeEnvelope(t, b)
+		if src != srcCache {
+			t.Errorf("horizon %d: post-sweep /run source %q, want cache (sweep populated it)", horizon, src)
+		}
+		if forkRes.Text != coldRes.Text {
+			t.Errorf("horizon %d: forked cell text diverged from cold run:\nfork:\n%s\ncold:\n%s",
+				horizon, forkRes.Text, coldRes.Text)
+		}
+	}
+}

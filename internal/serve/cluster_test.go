@@ -178,7 +178,11 @@ func TestPeerDownFallsBackLocally(t *testing.T) {
 
 	// Find a scenario the dead peer owns (about half of all digests).
 	body := ""
-	for _, mix := range []string{`{"mix":"C"}`, `{"mix":"D"}`, `{"mix":"G"}`, `{"mix":"H"}`, `{"mix":"L"}`, `{"mix":"CD"}`, `{"mix":"CG"}`} {
+	for _, mix := range []string{
+		`{"mix":"C"}`, `{"mix":"D"}`, `{"mix":"G"}`, `{"mix":"H"}`, `{"mix":"L"}`,
+		`{"mix":"CD"}`, `{"mix":"CG"}`, `{"mix":"CH"}`, `{"mix":"CL"}`, `{"mix":"DG"}`,
+		`{"mix":"DH"}`, `{"mix":"DL"}`, `{"mix":"GH"}`, `{"mix":"GL"}`, `{"mix":"HL"}`,
+	} {
 		if _, owner := digestOwner(t, s, mix); owner == deadPeer {
 			body = mix
 			break

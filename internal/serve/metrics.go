@@ -2,6 +2,7 @@ package serve
 
 import (
 	"io"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -160,6 +161,30 @@ func (m *serviceMetrics) observeLatency(d time.Duration) {
 	m.mu.Lock()
 	m.lat.Observe(float64(d) / float64(time.Millisecond))
 	m.mu.Unlock()
+}
+
+// retryAfterSeconds derives the Retry-After hint for 429/503 responses from
+// live load instead of a hardcoded constant: the admission backlog times the
+// median request service latency is roughly how long the backlog takes to
+// drain, so a client that waits that long finds queue space with one retry
+// instead of hammering a saturated server. The estimate is clamped to
+// [1, 30] seconds; a cold server with no completed requests yet (empty
+// latency histogram) answers the 1-second floor.
+func (m *serviceMetrics) retryAfterSeconds() int {
+	m.mu.Lock()
+	var p50 float64
+	if m.lat.Count() > 0 {
+		p50 = m.lat.Quantile(0.50)
+	}
+	m.mu.Unlock()
+	secs := int(math.Ceil(float64(m.queueDepth.Load()) * p50 / 1000))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // observeStage feeds one pipeline-stage duration into its per-stage

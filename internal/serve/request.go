@@ -16,6 +16,7 @@ import (
 	"relief/internal/exp"
 	"relief/internal/fault"
 	"relief/internal/predict"
+	"relief/internal/sim"
 	"relief/internal/workload"
 	"relief/internal/xbar"
 )
@@ -47,6 +48,13 @@ type Request struct {
 	// seeding the injection PRNG (0 = the CLI default seed 1).
 	FaultRate float64 `json:"fault_rate,omitempty"`
 	FaultSeed int64   `json:"fault_seed,omitempty"`
+	// PeriodMS selects periodic release (relief-sim's -period): a fresh
+	// instance of each mix application every period until HorizonMS
+	// (0 = the 50 ms default). Periodic requests take precedence over
+	// Continuous and are the only ones the sweep checkpoint pool can fork
+	// from a shared warmed snapshot (docs/CHECKPOINT.md).
+	PeriodMS  float64 `json:"period_ms,omitempty"`
+	HorizonMS float64 `json:"horizon_ms,omitempty"`
 	// Metrics attaches a telemetry registry and returns its
 	// relief-metrics/1 JSON document in the response.
 	Metrics bool `json:"metrics,omitempty"`
@@ -101,6 +109,15 @@ func (r *Request) Normalize() error {
 		r.FaultSeed = 0 // seed is meaningless without injection
 	} else if r.FaultSeed == 0 {
 		r.FaultSeed = 1 // the CLI's default seed
+	}
+	if r.PeriodMS < 0 {
+		return fmt.Errorf("serve: negative period %vms", r.PeriodMS)
+	}
+	if r.HorizonMS < 0 {
+		return fmt.Errorf("serve: negative horizon %vms", r.HorizonMS)
+	}
+	if r.PeriodMS == 0 {
+		r.HorizonMS = 0 // horizon is meaningless without periodic release
 	}
 	if r.TimeoutMS < 0 {
 		return fmt.Errorf("serve: negative timeout %dms", r.TimeoutMS)
@@ -167,5 +184,13 @@ func (r *Request) Scenario() (exp.Scenario, error) {
 	if r.Topology == "xbar" {
 		sc.Topology = xbar.Crossbar
 	}
+	if r.PeriodMS > 0 {
+		sc.Period = msToTime(r.PeriodMS)
+		sc.Horizon = msToTime(r.HorizonMS)
+	}
 	return sc, nil
 }
+
+// msToTime converts a fractional-millisecond knob to simulated time
+// (integer picoseconds; fractions below 1 ps truncate).
+func msToTime(ms float64) sim.Time { return sim.Time(ms * float64(sim.Millisecond)) }

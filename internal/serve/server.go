@@ -10,11 +10,13 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"relief/internal/exp"
 	"relief/internal/metrics"
+	"relief/internal/sim"
 	"relief/internal/svctrace"
 	"relief/internal/trace"
 )
@@ -128,6 +130,11 @@ type flight struct {
 	startAt   time.Time
 	runDur    time.Duration
 	rec       *trace.Recorder
+
+	// ckpts is the sweep checkpoint pool the creating request ran under
+	// (nil for interactive /run requests): periodic cells fork from the
+	// pool's shared warmed snapshot instead of re-warming (ckpt.go).
+	ckpts *ckptPool
 }
 
 // Server is the simulation service. Create with New, expose via Handler
@@ -349,6 +356,9 @@ func (s *Server) worker() {
 		if fl.rec != nil {
 			ctx = withRecorder(ctx, fl.rec)
 		}
+		if fl.ckpts != nil {
+			ctx = withCkptPool(ctx, fl.ckpts)
+		}
 		res, err := s.runner(ctx, fl.request)
 		fl.runDur = time.Since(start)
 		s.svc.observeStage(stageRun, fl.runDur)
@@ -370,6 +380,12 @@ func (s *Server) worker() {
 		s.svc.running.Add(-1)
 		s.svc.observeLatency(time.Since(start))
 	}
+}
+
+// setRetryAfter stamps a backpressure response (429/503) with the live
+// drain-time estimate (see serviceMetrics.retryAfterSeconds).
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.svc.retryAfterSeconds()))
 }
 
 // Answer sources reported in the response envelope.
@@ -422,7 +438,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "5")
+		s.setRetryAfter(w)
 		fail(http.StatusServiceUnavailable, errDraining)
 		return
 	}
@@ -467,11 +483,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	res, fl, err := s.submit(r.Context(), req, key, false)
 	switch {
 	case err != nil:
-		if errors.Is(err, errBusy) {
-			w.Header().Set("Retry-After", "1")
-		} else {
-			w.Header().Set("Retry-After", "5")
-		}
+		s.setRetryAfter(w)
 		fail(errStatus(err), err)
 		return
 	case res != nil: // cache hit raced in between the fast path and submit
@@ -528,6 +540,7 @@ func (s *Server) submit(ctx context.Context, req Request, key string, block bool
 		key: key, request: req, ctx: fctx, cancel: cancel,
 		done: make(chan struct{}), waiters: 1,
 		enqueueAt: time.Now(),
+		ckpts:     ckptPoolFrom(ctx),
 	}
 	if req.Trace {
 		// Capture the kernel's simulated-time events for the combined
@@ -780,7 +793,7 @@ func runSimulation(ctx context.Context, req Request) (*Result, error) {
 	// (nil-safe recorder, no extra kernel events), so digests stay
 	// bit-identical.
 	sc.Trace = recorderFrom(ctx)
-	res, err := exp.RunContext(ctx, sc)
+	res, err := runScenario(ctx, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -802,4 +815,29 @@ func runSimulation(ctx context.Context, req Request) (*Result, error) {
 		out.Metrics = json.RawMessage(bytes.TrimSpace(mb.Bytes()))
 	}
 	return out, nil
+}
+
+// runScenario executes one scenario, forking from the sweep's shared warmed
+// checkpoint when a pool is attached (sweep cells only) and the scenario is
+// forkable: periodic, unobserved (a forked run's metrics/trace would only
+// cover the post-restore tail, breaking the content-address contract that
+// identical digests yield identical documents), and with a horizon beyond
+// the capture instant. A restored run is byte-identical to a cold one, so
+// which path served a cell is unobservable in the result. Any warm or
+// restore failure degrades to the cold path.
+func runScenario(ctx context.Context, sc exp.Scenario) (*exp.Result, error) {
+	pool := ckptPoolFrom(ctx)
+	if pool != nil && sc.Period > 0 && sc.Metrics == nil && sc.Trace == nil {
+		env, err := pool.envelope(ctx, sc)
+		if err == nil && sim.Time(env.CapturedPs) < sc.EffectiveHorizon() {
+			res, err := exp.RunFromCheckpoint(ctx, sc, env)
+			if err == nil {
+				return res, nil
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return exp.RunContext(ctx, sc)
 }

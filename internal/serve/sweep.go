@@ -40,6 +40,12 @@ type SweepSpec struct {
 	Topologies []string `json:"topologies,omitempty"`
 	// BW is the bandwidth-predictor axis (default [max]).
 	BW []string `json:"bw,omitempty"`
+	// HorizonsMS is the periodic-horizon axis in milliseconds (default the
+	// 50 ms horizon; requires PeriodMS). Horizons are excluded from the
+	// checkpoint fork key, so the whole axis forks from one warmed snapshot
+	// per (mix × policy × topology × bw) point instead of re-warming per
+	// cell (docs/CHECKPOINT.md).
+	HorizonsMS []float64 `json:"horizons_ms,omitempty"`
 
 	// Scalar knobs, applied to every cell (see the /run request fields).
 	Continuous   bool    `json:"continuous,omitempty"`
@@ -49,6 +55,7 @@ type SweepSpec struct {
 	DRAMFCFS     bool    `json:"dram_fcfs,omitempty"`
 	FaultRate    float64 `json:"fault_rate,omitempty"`
 	FaultSeed    int64   `json:"fault_seed,omitempty"`
+	PeriodMS     float64 `json:"period_ms,omitempty"`
 	Metrics      bool    `json:"metrics,omitempty"`
 	TimeoutMS    int64   `json:"timeout_ms,omitempty"`
 
@@ -80,6 +87,12 @@ func (sp SweepSpec) expand() ([]sweepCell, error) {
 	bws := sp.BW
 	if len(bws) == 0 {
 		bws = []string{""}
+	}
+	horizons := sp.HorizonsMS
+	if len(horizons) == 0 {
+		horizons = []float64{0}
+	} else if sp.PeriodMS <= 0 {
+		return nil, fmt.Errorf("serve: horizons_ms requires period_ms")
 	}
 	type mixPoint struct {
 		mix        string
@@ -121,25 +134,28 @@ func (sp SweepSpec) expand() ([]sweepCell, error) {
 		for _, policy := range policies {
 			for _, topo := range topologies {
 				for _, bw := range bws {
-					req := Request{
-						Mix: m.mix, Policy: policy, Continuous: m.continuous,
-						Topology: topo, BW: bw,
-						PredictDM: sp.PredictDM, NoForwarding: sp.NoForwarding,
-						DetailedDRAM: sp.DetailedDRAM, DRAMFCFS: sp.DRAMFCFS,
-						FaultRate: sp.FaultRate, FaultSeed: sp.FaultSeed,
-						Metrics: sp.Metrics, TimeoutMS: sp.TimeoutMS,
-					}
-					if err := req.Normalize(); err != nil {
-						return nil, err
-					}
-					d := req.Digest()
-					if seen[d] {
-						continue
-					}
-					seen[d] = true
-					cells = append(cells, sweepCell{Request: req, Digest: d})
-					if len(cells) > maxSweepCells {
-						return nil, fmt.Errorf("serve: sweep grid exceeds %d cells", maxSweepCells)
+					for _, h := range horizons {
+						req := Request{
+							Mix: m.mix, Policy: policy, Continuous: m.continuous,
+							Topology: topo, BW: bw,
+							PredictDM: sp.PredictDM, NoForwarding: sp.NoForwarding,
+							DetailedDRAM: sp.DetailedDRAM, DRAMFCFS: sp.DRAMFCFS,
+							FaultRate: sp.FaultRate, FaultSeed: sp.FaultSeed,
+							PeriodMS: sp.PeriodMS, HorizonMS: h,
+							Metrics: sp.Metrics, TimeoutMS: sp.TimeoutMS,
+						}
+						if err := req.Normalize(); err != nil {
+							return nil, err
+						}
+						d := req.Digest()
+						if seen[d] {
+							continue
+						}
+						seen[d] = true
+						cells = append(cells, sweepCell{Request: req, Digest: d})
+						if len(cells) > maxSweepCells {
+							return nil, fmt.Errorf("serve: sweep grid exceeds %d cells", maxSweepCells)
+						}
 					}
 				}
 			}
@@ -200,7 +216,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	cl := s.cluster
 	s.mu.Unlock()
 	if draining {
-		w.Header().Set("Retry-After", "5")
+		s.setRetryAfter(w)
 		fail(http.StatusServiceUnavailable, errDraining)
 		return
 	}
@@ -229,8 +245,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// Every cell records its spans (cache/disk/probe/forward/admission/run,
 	// digest-attributed) into the sweep's one trace, so a slow sweep can be
-	// decomposed cell by cell from GET /trace/{id}.
+	// decomposed cell by cell from GET /trace/{id}. Periodic cells also share
+	// this sweep's checkpoint pool: scalar-knob variations of one warmed
+	// simulation fork from a single snapshot instead of re-warming (ckpt.go).
 	ctx := withTrace(r.Context(), tr)
+	if spec.PeriodMS > 0 {
+		ctx = withCkptPool(ctx, newCkptPool())
+	}
 	outCh := make(chan outcome)
 	sem := make(chan struct{}, parallel)
 	go func() {

@@ -60,6 +60,7 @@ type Event struct {
 	queued    bool
 	cancelled bool
 	weak      bool
+	replay    bool
 }
 
 // At returns the time the event is scheduled to fire.
@@ -76,9 +77,10 @@ type Kernel struct {
 	now     Time
 	curBorn Time // born time of the event currently dispatching
 	seq     uint64
-	queue   []*Event // 4-ary min-heap ordered by (at, seq)
-	live    int      // queued events that are not cancelled
-	free    *Event   // recycled Event free list
+	queue      []*Event // 4-ary min-heap ordered by (at, seq)
+	live       int      // queued events that are not cancelled
+	replayLive int      // live events that are replayable (AtReplay)
+	free       *Event   // recycled Event free list
 	fired   uint64
 	allocs  uint64 // Event allocations (free-list misses)
 	halted  bool
@@ -126,7 +128,19 @@ func (k *Kernel) Schedule(delay Time, fn func()) *Event {
 
 // At arranges for fn to run at absolute time t (clamped to now).
 func (k *Kernel) At(t Time, fn func()) *Event {
-	return k.at(t, fn, false)
+	return k.at(t, fn, false, false)
+}
+
+// AtReplay arranges for fn to run at absolute time t like At, but marks the
+// event replayable: one whose schedule is derivable from the simulation's
+// inputs alone (pre-planned periodic releases, scripted fault deaths), so a
+// restored run can re-create it instead of serializing the closure. Replay
+// events are ordinary in every other respect — they keep the run alive and
+// fire in (at, seq) order. PendingNonReplay excludes them, which is how the
+// checkpoint machinery recognises a quiescent instant: the only future the
+// simulation has left is one that can be replayed from the inputs.
+func (k *Kernel) AtReplay(t Time, fn func()) *Event {
+	return k.at(t, fn, false, true)
 }
 
 // ScheduleWeak arranges for fn to run delay picoseconds from now as a weak
@@ -141,7 +155,7 @@ func (k *Kernel) ScheduleWeak(delay Time, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
 	}
-	return k.at(k.now+delay, fn, true)
+	return k.at(k.now+delay, fn, true, false)
 }
 
 // at is the scheduling slow half of Schedule/At/ScheduleWeak: pool an
@@ -149,7 +163,7 @@ func (k *Kernel) ScheduleWeak(delay Time, fn func()) *Event {
 // so the path stays allocation-free.
 //
 //relief:hotpath
-func (k *Kernel) at(t Time, fn func(), weak bool) *Event {
+func (k *Kernel) at(t Time, fn func(), weak, replay bool) *Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
@@ -171,9 +185,13 @@ func (k *Kernel) at(t Time, fn func(), weak bool) *Event {
 	e.fn = fn
 	e.queued = true
 	e.weak = weak
+	e.replay = replay
 	k.seq++
 	if !weak {
 		k.live++
+		if replay {
+			k.replayLive++
+		}
 	}
 	k.push(e)
 	return e
@@ -193,6 +211,9 @@ func (k *Kernel) Cancel(e *Event) {
 		e.fn = nil
 		if !e.weak {
 			k.live--
+			if e.replay {
+				k.replayLive--
+			}
 		}
 	}
 }
@@ -222,6 +243,45 @@ func (k *Kernel) Interrupted() bool { return k.interrupted }
 // Pending reports how many non-cancelled ordinary (non-weak) events are
 // queued.
 func (k *Kernel) Pending() int { return k.live }
+
+// PendingNonReplay reports how many pending ordinary events are NOT
+// replayable (see AtReplay). Zero means every queued obligation can be
+// re-created from the simulation's inputs — the condition the checkpoint
+// machinery requires before capturing state.
+func (k *Kernel) PendingNonReplay() int { return k.live - k.replayLive }
+
+// KernelState is the serializable kernel state captured at a quiescent
+// instant: the clock and the next sequence number. The event queue itself is
+// deliberately absent — a checkpoint is only taken when every pending event
+// is replayable (PendingNonReplay() == 0), so a restored run re-creates the
+// queue from the simulation's inputs. Restoring Seq preserves bit-identical
+// dispatch: re-created events receive sequence numbers that are uniformly
+// shifted but relatively ordered exactly as in the uninterrupted run.
+// Dispatch order compares (at, seq), and absolute seq values are observable
+// nowhere else, so the shift cannot change any result. Fired/alloc counters
+// are simulator-cost metrics, not simulation state, and start from zero in a
+// restored kernel.
+type KernelState struct {
+	Now Time
+	Seq uint64
+}
+
+// CaptureState snapshots the kernel's serializable state (see KernelState).
+func (k *Kernel) CaptureState() KernelState {
+	return KernelState{Now: k.now, Seq: k.seq}
+}
+
+// RestoreState primes a fresh kernel with a captured state: the clock jumps
+// to the capture instant and sequence numbering continues from the captured
+// value. It must be called before any event is scheduled on the kernel.
+func (k *Kernel) RestoreState(s KernelState) error {
+	if k.seq != 0 || len(k.queue) != 0 || k.fired != 0 {
+		return fmt.Errorf("sim: RestoreState on a used kernel (%d events scheduled)", k.seq)
+	}
+	k.now = s.Now
+	k.seq = s.Seq
+	return nil
+}
 
 // Run dispatches events until the queue is empty or Halt is called.
 // It returns the final simulation time.
@@ -253,6 +313,9 @@ func (k *Kernel) RunUntil(limit Time) Time {
 		}
 		if !next.weak {
 			k.live--
+			if next.replay {
+				k.replayLive--
+			}
 		}
 		k.now = next.at
 		k.curBorn = next.born

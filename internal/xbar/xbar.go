@@ -160,3 +160,78 @@ func (ic *Interconnect) Occupancy() float64 {
 func (ic *Interconnect) ClaimStats() (claims, conflicts int64) {
 	return ic.occ.Claims, ic.occ.Conflicts
 }
+
+// State is the interconnect's serializable state at a quiescent instant:
+// accumulated accounting for the links, the union-occupancy tracker, and —
+// when the interconnect owns the DRAM server (no external controller was
+// injected) — the DRAM resource. An externally supplied DRAM server (the
+// bank-level controller) captures its own state.
+type State struct {
+	Links []mem.ResourceState // bus (one entry) or crossbar ports (one per instance)
+	Occ   mem.OccupancyState
+	DRAM  *mem.ResourceState // nil when cfg.DRAMServer was injected
+}
+
+// CaptureState snapshots the interconnect at a quiescent instant, erroring
+// if any link or the DRAM resource is mid-transfer.
+func (ic *Interconnect) CaptureState() (State, error) {
+	var s State
+	capture := func(r *mem.Resource) error {
+		rs, err := r.CaptureState()
+		if err != nil {
+			return err
+		}
+		s.Links = append(s.Links, rs)
+		return nil
+	}
+	if ic.bus != nil {
+		if err := capture(ic.bus); err != nil {
+			return State{}, err
+		}
+	}
+	for _, p := range ic.ports {
+		if err := capture(p.(*mem.Resource)); err != nil {
+			return State{}, err
+		}
+	}
+	occ, err := ic.occ.CaptureState()
+	if err != nil {
+		return State{}, err
+	}
+	s.Occ = occ
+	if dr, ok := ic.dram.(*mem.Resource); ok {
+		rs, err := dr.CaptureState()
+		if err != nil {
+			return State{}, err
+		}
+		s.DRAM = &rs
+	}
+	return s, nil
+}
+
+// RestoreState primes a freshly constructed interconnect (same topology and
+// instance count) with captured accounting.
+func (ic *Interconnect) RestoreState(s State) error {
+	var links []*mem.Resource
+	if ic.bus != nil {
+		links = append(links, ic.bus)
+	}
+	for _, p := range ic.ports {
+		links = append(links, p.(*mem.Resource))
+	}
+	if len(links) != len(s.Links) {
+		return fmt.Errorf("xbar: restore link count %d, checkpoint has %d", len(links), len(s.Links))
+	}
+	for i, l := range links {
+		l.RestoreState(s.Links[i])
+	}
+	ic.occ.RestoreState(s.Occ)
+	dr, ok := ic.dram.(*mem.Resource)
+	if ok != (s.DRAM != nil) {
+		return fmt.Errorf("xbar: restore DRAM server kind mismatch with checkpoint")
+	}
+	if ok {
+		dr.RestoreState(*s.DRAM)
+	}
+	return nil
+}

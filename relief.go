@@ -28,6 +28,7 @@ import (
 	"io"
 
 	"relief/internal/accel"
+	"relief/internal/ckpt"
 	"relief/internal/core"
 	"relief/internal/fault"
 	"relief/internal/graph"
@@ -216,41 +217,53 @@ func FaultProfile(rate float64, seed int64) *FaultPlan { return fault.Profile(ra
 // Option customises a System beyond the Config struct.
 type Option struct {
 	apply func(*manager.Config)
+	sys   func(*System)
 }
 
 // WithFaultPlan installs deterministic fault injection plus the recovery
 // machinery (per-task watchdogs, bounded retry with backoff, DAG abort).
 func WithFaultPlan(p *FaultPlan) Option {
-	return Option{func(c *manager.Config) { c.Fault = p }}
+	return Option{apply: func(c *manager.Config) { c.Fault = p }}
 }
 
 // WithWatchdogMult scales the per-task watchdog deadline (predicted
 // runtime x mult; 0 = default 8).
 func WithWatchdogMult(mult float64) Option {
-	return Option{func(c *manager.Config) { c.WatchdogMult = mult }}
+	return Option{apply: func(c *manager.Config) { c.WatchdogMult = mult }}
 }
 
 // WithMaxRetries bounds per-node re-dispatch attempts before the DAG is
 // aborted (0 = default 3).
 func WithMaxRetries(n int) Option {
-	return Option{func(c *manager.Config) { c.MaxRetries = n }}
+	return Option{apply: func(c *manager.Config) { c.MaxRetries = n }}
 }
 
 // WithRetryBackoff sets the base re-dispatch delay, doubled per retry
 // (0 = default 2 µs).
 func WithRetryBackoff(d Time) Option {
-	return Option{func(c *manager.Config) { c.RetryBackoff = d }}
+	return Option{apply: func(c *manager.Config) { c.RetryBackoff = d }}
 }
 
 // WithMetrics attaches a telemetry registry to the simulation. Probes are
 // read-only: a metricised run produces bit-identical simulation results.
 func WithMetrics(r *MetricsRegistry) Option {
-	return Option{func(c *manager.Config) { c.Metrics = r }}
+	return Option{apply: func(c *manager.Config) { c.Metrics = r }}
 }
 
 // WithMetricsInterval sets the probe sampling period (0 = 50 µs default).
 func WithMetricsInterval(d Time) Option {
-	return Option{func(c *manager.Config) { c.MetricsInterval = d }}
+	return Option{apply: func(c *manager.Config) { c.MetricsInterval = d }}
+}
+
+// WithCheckpoint arms checkpoint capture: the system snapshots its complete
+// state at the first quiescent instant (no work in flight, only replayable
+// events pending) at or after armAt. Quiescent instants occur between the
+// iterations of SubmitPeriodic workloads; a system whose iterations always
+// overlap never quiesces and Checkpoint reports that after the run. See
+// docs/CHECKPOINT.md. Tracing cannot cross a checkpoint, so WithCheckpoint
+// is incompatible with Config.Trace.
+func WithCheckpoint(armAt Time) Option {
+	return Option{sys: func(s *System) { s.mgr.ArmCheckpoint(armAt) }}
 }
 
 // System is a configured SoC simulation accepting DAG submissions.
@@ -270,6 +283,24 @@ func NewSystem(cfg Config, opts ...Option) *System {
 	k := sim.NewKernel()
 	st := stats.New()
 	s := &System{kernel: k, st: st}
+	mcfg, err := buildConfig(cfg, opts)
+	if err != nil {
+		s.err = err
+		return s
+	}
+	s.mgr = manager.New(k, mcfg, st)
+	for _, o := range opts {
+		if o.sys != nil {
+			o.sys(s)
+		}
+	}
+	return s
+}
+
+// buildConfig translates the facade Config plus config-level options into a
+// manager configuration. Both NewSystem and RunFrom use it: a restored
+// system must rebuild exactly the platform the checkpointed system ran on.
+func buildConfig(cfg Config, opts []Option) (manager.Config, error) {
 	policy := cfg.Custom
 	if policy == nil {
 		name := cfg.Policy
@@ -278,8 +309,7 @@ func NewSystem(cfg Config, opts ...Option) *System {
 		}
 		p, err := PolicyByName(name)
 		if err != nil {
-			s.err = err
-			return s
+			return manager.Config{}, err
 		}
 		policy = p
 	}
@@ -298,8 +328,7 @@ func NewSystem(cfg Config, opts ...Option) *System {
 	if cfg.BandwidthPredictor != "" {
 		bw, err := predict.NewBW(cfg.BandwidthPredictor, mcfg.Interconnect.DRAMBandwidth)
 		if err != nil {
-			s.err = err
-			return s
+			return manager.Config{}, err
 		}
 		mcfg.BW = bw
 	}
@@ -309,10 +338,46 @@ func NewSystem(cfg Config, opts ...Option) *System {
 	mcfg.DisableForwarding = cfg.DisableForwarding
 	mcfg.Trace = cfg.Trace
 	for _, o := range opts {
-		o.apply(&mcfg)
+		if o.apply != nil {
+			o.apply(&mcfg)
+		}
 	}
-	s.mgr = manager.New(k, mcfg, st)
-	return s
+	return mcfg, nil
+}
+
+// RunFrom rebuilds a warmed System from a checkpoint envelope produced by
+// Checkpoint. cfg and opts must reproduce the checkpointed system's
+// configuration (the envelope checksum guards integrity, not compatibility —
+// mismatched platforms are detected during restore where possible). The
+// caller then re-submits the same workload schedule — identical Submit /
+// SubmitPeriodic calls — and runs as usual; releases and scripted events
+// that predate the capture instant are skipped automatically, so the resumed
+// run is byte-identical to an uninterrupted one. The returned Time is the
+// simulated instant the checkpoint was captured at.
+func RunFrom(cfg Config, envelope []byte, opts ...Option) (*System, Time, error) {
+	env, err := ckpt.Open(envelope)
+	if err != nil {
+		return nil, 0, err
+	}
+	mcfg, err := buildConfig(cfg, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if mcfg.Trace != nil {
+		return nil, 0, fmt.Errorf("relief: tracing cannot cross a checkpoint")
+	}
+	k := sim.NewKernel()
+	m, st, err := manager.Restore(k, mcfg, env.Payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := &System{kernel: k, mgr: m, st: st}
+	for _, o := range opts {
+		if o.sys != nil {
+			o.sys(s)
+		}
+	}
+	return s, Time(env.CapturedPs), nil
 }
 
 // Err returns the first error the system recorded: a construction error
@@ -494,6 +559,21 @@ func (s *System) mustRunOnce() {
 		panic("relief: System has already run") //lint:allow nopanic double-Run is programmer error, like sync.Once misuse
 	}
 	s.ran = true
+}
+
+// Checkpoint returns the sealed relief-ckpt/1 envelope captured during the
+// run (the system must have been built with WithCheckpoint and run to
+// completion). It errors if no capture happened — the workload never
+// quiesced after the arm instant. Restore with RunFrom.
+func (s *System) Checkpoint() ([]byte, error) {
+	if err := s.Err(); err != nil {
+		return nil, err
+	}
+	data, at, err := s.mgr.CheckpointData()
+	if err != nil {
+		return nil, err
+	}
+	return ckpt.Seal("", "", int64(at), data)
 }
 
 // Stats exposes the raw metric sink for advanced use.

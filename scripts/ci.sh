@@ -76,6 +76,33 @@ grep -q '"schema": "relief-metrics/1"' "$tmp/m.json"
 test -s "$tmp/m.csv"
 grep -q '^# TYPE' "$tmp/m.prom"
 
+echo "== checkpoint smoke"
+# Checkpoint/restore contract over the real CLI (docs/CHECKPOINT.md):
+# warm one periodic scenario, snapshot it, fork the snapshot across three
+# horizon variations, and require each forked run's summary document to be
+# byte-identical to a cold uninterrupted run at that horizon. A tampered
+# envelope must be rejected by its checksum, never half-restored. Interval
+# sampling over the same scenario must produce a relief-estimate/1
+# document that actually sampled.
+go build -o "$tmp/relief-sim" ./cmd/relief-sim
+"$tmp/relief-sim" -mix CG -period 5ms -horizon 20ms -warm 8ms -checkpoint "$tmp/warm.ckpt" >"$tmp/ckpt.log"
+grep -q '^checkpoint: *captured at ' "$tmp/ckpt.log"
+grep -q '"schema":"relief-ckpt/1"' "$tmp/warm.ckpt"
+for h in 15ms 25ms 40ms; do
+	"$tmp/relief-sim" -mix CG -period 5ms -horizon "$h" -restore "$tmp/warm.ckpt" >"$tmp/fork_$h.txt"
+	"$tmp/relief-sim" -mix CG -period 5ms -horizon "$h" >"$tmp/cold_$h.txt"
+	cmp "$tmp/fork_$h.txt" "$tmp/cold_$h.txt"
+done
+sed 's/"payload":"/"payload":"AAAA/' "$tmp/warm.ckpt" >"$tmp/tampered.ckpt"
+if "$tmp/relief-sim" -mix CG -period 5ms -horizon 40ms -restore "$tmp/tampered.ckpt" >/dev/null 2>"$tmp/tamper.err"; then
+	echo "tampered checkpoint accepted" >&2
+	exit 1
+fi
+grep -q 'checksum' "$tmp/tamper.err"
+"$tmp/relief-sim" -mix CG -period 5ms -horizon 100ms -sample 4 >"$tmp/estimate.json"
+grep -q '"schema": "relief-estimate/1"' "$tmp/estimate.json"
+grep -q '"sampled": true' "$tmp/estimate.json"
+
 echo "== serve smoke"
 # End-to-end over a real socket: start on an ephemeral port, POST the
 # same scenario twice (second spelled in a different field order — the
